@@ -1,0 +1,101 @@
+(* Benchmark harness: one Bechamel test per table/figure of the paper.
+
+   Each test measures the wall-clock cost of regenerating that table or
+   figure on a reduced workload (one benchmark, small budgets), so the
+   harness doubles as a performance-regression suite for the pipeline
+   itself.  After the timings, the harness prints every table and figure
+   at the quick experiment settings — the same rows/series the paper
+   reports.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+module E = Perfclone.Experiments
+
+(* Reduced settings so a single sample is millisecond-scale. *)
+let bench_settings =
+  {
+    E.seed = 1;
+    profile_instrs = 50_000;
+    sim_instrs = 60_000;
+    clone_dynamic = 20_000;
+    benchmarks = [ "crc32" ];
+  }
+
+(* Shared pipelines, built once: each test measures only its own
+   experiment's incremental cost. *)
+let pipelines = lazy (E.prepare bench_settings)
+
+let tests =
+  [
+    Test.make ~name:"table1:benchmark-registry"
+      (Staged.stage (fun () -> List.length Pc_workloads.Registry.all));
+    Test.make ~name:"table2:base-config"
+      (Staged.stage (fun () -> Pc_uarch.Config.with_widths 2 Pc_uarch.Config.base));
+    Test.make ~name:"fig3:single-stride-profile"
+      (Staged.stage (fun () -> E.fig3 (Lazy.force pipelines)));
+    Test.make ~name:"fig4:28-cache-study"
+      (Staged.stage (fun () -> E.cache_studies bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"fig5:cache-rankings"
+      (Staged.stage (fun () ->
+           E.rankings_scatter (E.cache_studies bench_settings (Lazy.force pipelines))));
+    Test.make ~name:"fig6+7:base-ipc-power"
+      (Staged.stage (fun () -> E.base_runs bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"table3+fig8+9:design-changes"
+      (Staged.stage (fun () -> E.run_design_changes bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"ablation:microdep-baseline"
+      (Staged.stage (fun () -> E.ablation bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"statsim:ipc-estimate"
+      (Staged.stage (fun () -> E.statsim_comparison bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"portable:kc-clone"
+      (Staged.stage (fun () -> E.portable_comparison bench_settings (Lazy.force pipelines)));
+    Test.make ~name:"pipeline:profile+synthesize"
+      (Staged.stage (fun () ->
+           Perfclone.Pipeline.clone_benchmark ~profile_instrs:50_000
+             ~target_dynamic:20_000 "crc32"));
+  ]
+
+let run_timings () =
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Format.printf "== Bechamel timings (per regeneration, reduced workload) ==@.";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) ->
+            Format.printf "  %-34s %12.4f ms/run@." (Test.Elt.name elt) (t /. 1e6)
+          | Some [] | None ->
+            Format.printf "  %-34s (no estimate)@." (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+let print_series () =
+  Format.printf "@.== Paper tables and figures (quick settings) ==@.";
+  let s = E.quick_settings in
+  let ps = E.prepare s in
+  E.pp_fig3 Format.std_formatter (E.fig3 ps);
+  let studies = E.cache_studies s ps in
+  E.pp_fig4 Format.std_formatter studies;
+  E.pp_fig5 Format.std_formatter (E.rankings_scatter studies);
+  let runs = E.base_runs s ps in
+  E.pp_fig6 Format.std_formatter runs;
+  E.pp_fig7 Format.std_formatter runs;
+  let changes = E.run_design_changes s ps in
+  E.pp_table3 Format.std_formatter changes;
+  let width_change = List.nth changes 2 in
+  E.pp_fig8 Format.std_formatter width_change;
+  E.pp_fig9 Format.std_formatter width_change;
+  E.pp_ablation Format.std_formatter (E.ablation s ps);
+  E.pp_statsim Format.std_formatter (E.statsim_comparison s ps);
+  E.pp_portable Format.std_formatter (E.portable_comparison s ps)
+
+let () =
+  run_timings ();
+  print_series ()

@@ -1,0 +1,116 @@
+(* clone_gen: the dissemination tool.  Profile a workload, save/load the
+   microarchitecture-independent profile, and emit the synthetic clone —
+   as a profile file, an SRISC disassembly, or the C-with-asm rendering
+   the paper distributes.
+
+   Usage:
+     clone_gen profile BENCH -o workload.profile
+     clone_gen synth -p workload.profile -o clone.s [--format c|asm]
+     clone_gen clone BENCH --format c       (profile + synth in one step)
+     clone_gen list *)
+
+open Cmdliner
+
+let with_out path f =
+  match path with
+  | None -> f stdout
+  | Some p ->
+    let oc = open_out p in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let load_bench name =
+  match Pc_workloads.Registry.find name with
+  | entry -> Pc_workloads.Registry.compile entry
+  | exception Not_found ->
+    Printf.eprintf "unknown benchmark %S; try 'clone_gen list'\n" name;
+    exit 1
+
+let cmd_list () =
+  List.iter
+    (fun (domain, names) ->
+      List.iter (fun n -> Printf.printf "%-14s %s\n" n domain) names)
+    Pc_workloads.Registry.domains
+
+let cmd_profile bench output instrs =
+  let program = load_bench bench in
+  let profile = Pc_profile.Collector.profile ~max_instrs:instrs program in
+  with_out output (fun oc -> Pc_profile.Profile.save oc profile);
+  Format.eprintf "%a" Pc_profile.Profile.pp_summary profile
+
+let emit_clone clone fmt output =
+  with_out output (fun oc ->
+      match fmt with
+      | "c" -> output_string oc (Pc_synth.Render.to_c clone)
+      | "bin" -> Pc_isa.Encoding.write oc clone
+      | "asm" | _ -> output_string oc (Pc_isa.Parser.roundtrip_text clone))
+
+let cmd_synth profile_path output fmt seed dynamic =
+  let ic = open_in profile_path in
+  let profile =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Pc_profile.Profile.load ic)
+  in
+  let options =
+    { Pc_synth.Synth.default_options with seed; target_dynamic = dynamic }
+  in
+  let clone = Pc_synth.Synth.generate ~options profile in
+  emit_clone clone fmt output
+
+let cmd_clone bench output fmt seed instrs dynamic =
+  let program = load_bench bench in
+  let pipeline =
+    Perfclone.Pipeline.clone_program ~seed ~profile_instrs:instrs
+      ~target_dynamic:dynamic program
+  in
+  emit_clone pipeline.Perfclone.Pipeline.clone fmt output
+
+(* --- command line --- *)
+
+let bench_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output file (default stdout).")
+
+let format_arg =
+  Arg.(value & opt string "asm" & info [ "format"; "f" ] ~docv:"FMT"
+         ~doc:
+           "Output format: asm (parseable SRISC assembly), bin (SRISC binary), or c \
+            (C with asm statements).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generation seed.")
+
+let instrs_arg =
+  Arg.(value & opt int 1_000_000 & info [ "instrs" ] ~docv:"N"
+         ~doc:"Profiling budget in dynamic instructions.")
+
+let dynamic_arg =
+  Arg.(value & opt int 100_000 & info [ "dynamic" ] ~docv:"N"
+         ~doc:"Target dynamic length of the clone.")
+
+let profile_arg =
+  Arg.(required & opt (some string) None & info [ "p"; "profile" ] ~docv:"FILE"
+         ~doc:"Profile file produced by 'clone_gen profile'.")
+
+let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list available benchmarks")
+    Term.(const cmd_list $ const ())
+
+let profile_cmd =
+  Cmd.v (Cmd.info "profile" ~doc:"profile a workload")
+    Term.(const cmd_profile $ bench_pos $ output_arg $ instrs_arg)
+
+let synth_cmd =
+  Cmd.v (Cmd.info "synth" ~doc:"synthesize a clone from a saved profile")
+    Term.(const cmd_synth $ profile_arg $ output_arg $ format_arg $ seed_arg $ dynamic_arg)
+
+let clone_cmd =
+  Cmd.v (Cmd.info "clone" ~doc:"profile and synthesize in one step")
+    Term.(const cmd_clone $ bench_pos $ output_arg $ format_arg $ seed_arg $ instrs_arg
+          $ dynamic_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "clone_gen" ~doc:"performance-cloning dissemination tool")
+    [ list_cmd; profile_cmd; synth_cmd; clone_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,114 @@
+(* run_experiments: regenerate every table and figure of the paper.
+
+   Usage:
+     run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N]
+
+   Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
+   ablation all (default: all). *)
+
+module E = Perfclone.Experiments
+
+let pp = Format.std_formatter
+
+let print_table1 () =
+  Format.fprintf pp "Table 1: benchmark programs and application domains@.";
+  List.iter
+    (fun (domain, names) ->
+      Format.fprintf pp "  %-12s %s@." domain (String.concat ", " names))
+    Pc_workloads.Registry.domains
+
+let print_table2 () =
+  let c = Pc_uarch.Config.base in
+  Format.fprintf pp "Table 2: base configuration@.";
+  Format.fprintf pp "  functional units: %d int ALU, %d int mul/div, %d FP ALU, %d FP mul/div@."
+    c.Pc_uarch.Config.int_alu_units c.Pc_uarch.Config.int_mul_units
+    c.Pc_uarch.Config.fp_alu_units c.Pc_uarch.Config.fp_mul_units;
+  Format.fprintf pp "  reorder buffer: %d entries; load/store queue: %d entries@."
+    c.Pc_uarch.Config.rob_size c.Pc_uarch.Config.lsq_size;
+  Format.fprintf pp "  fetch/decode/issue width: %d, %s@." c.Pc_uarch.Config.fetch_width
+    (if c.Pc_uarch.Config.in_order then "in-order" else "out-of-order");
+  Format.fprintf pp "  branch predictor: %s@."
+    (Pc_branch.Predictor.config_name c.Pc_uarch.Config.bpred);
+  let l1 h = Pc_caches.Cache.config_name h.Pc_caches.Hierarchy.l1 in
+  Format.fprintf pp "  L1 I-cache: %s; L1 D-cache: %s@." (l1 c.Pc_uarch.Config.icache)
+    (l1 c.Pc_uarch.Config.dcache);
+  (match c.Pc_uarch.Config.dcache.Pc_caches.Hierarchy.l2 with
+  | Some l2 -> Format.fprintf pp "  L2 cache: %s@." (Pc_caches.Cache.config_name l2)
+  | None -> Format.fprintf pp "  no L2 cache@.");
+  Format.fprintf pp "  memory latency: %d cycles@."
+    c.Pc_uarch.Config.dcache.Pc_caches.Hierarchy.mem_latency
+
+let main experiments quick benches seed =
+  let settings =
+    let base = if quick then E.quick_settings else E.default_settings in
+    { base with E.seed; benchmarks = (if benches = [] then base.E.benchmarks else benches) }
+  in
+  let experiments = if experiments = [] then [ "all" ] else experiments in
+  let wants name = List.mem name experiments || List.mem "all" experiments in
+  if wants "table1" then print_table1 ();
+  if wants "table2" then print_table2 ();
+  let needs_pipelines =
+    List.exists wants
+      [
+        "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table3"; "fig8"; "fig9";
+        "ablation"; "statsim"; "portable"; "bpred"; "seeds";
+      ]
+  in
+  if needs_pipelines then begin
+    Format.fprintf pp "(preparing %s benchmark pipelines...)@."
+      (match settings.E.benchmarks with [] -> "23" | l -> string_of_int (List.length l));
+    let pipelines = E.prepare settings in
+    if wants "fig3" then E.pp_fig3 pp (E.fig3 pipelines);
+    if wants "fig4" || wants "fig5" then begin
+      let studies = E.cache_studies settings pipelines in
+      if wants "fig4" then E.pp_fig4 pp studies;
+      if wants "fig5" then E.pp_fig5 pp (E.rankings_scatter studies)
+    end;
+    if wants "fig6" || wants "fig7" then begin
+      let runs = E.base_runs settings pipelines in
+      if wants "fig6" then E.pp_fig6 pp runs;
+      if wants "fig7" then E.pp_fig7 pp runs
+    end;
+    if wants "table3" || wants "fig8" || wants "fig9" then begin
+      let results = E.run_design_changes settings pipelines in
+      if wants "table3" then E.pp_table3 pp results;
+      (* Figures 8/9 show the width-doubling change (index 2). *)
+      let width_change = List.nth results 2 in
+      if wants "fig8" then E.pp_fig8 pp width_change;
+      if wants "fig9" then E.pp_fig9 pp width_change
+    end;
+    if wants "ablation" then E.pp_ablation pp (E.ablation settings pipelines);
+    if wants "statsim" then E.pp_statsim pp (E.statsim_comparison settings pipelines);
+    if wants "portable" then E.pp_portable pp (E.portable_comparison settings pipelines);
+    if wants "bpred" then E.pp_bpred pp (E.bpred_studies settings pipelines);
+    if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness settings pipelines)
+  end
+
+open Cmdliner
+
+let experiments_arg =
+  let doc =
+    "Experiments to run: table1, table2, fig3, fig4, fig5, fig6, fig7, table3, \
+     fig8, fig9, ablation, statsim, portable, bpred, seeds, or all."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Quick mode: fewer benchmarks and shorter simulations." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let bench_arg =
+  let doc = "Restrict to the named benchmark (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for clone generation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "regenerate the Performance Cloning paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "run_experiments" ~doc)
+    Term.(const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,63 @@
+(* What-if studies on the abstract workload model (paper Section 3.1.4:
+   the simple microarchitecture-independent model "provides us with the
+   flexibility to study what-if scenarios (by altering the memory access
+   pattern of the program), which is almost impossible with a more
+   complex model").
+
+   Here: take a real workload's profile, then ask "what if the data
+   footprint doubled?" and "what if spatial locality halved?" by editing
+   the profile before synthesis — no source code needed.
+
+     dune exec examples/whatif_locality.exe [BENCH]
+*)
+
+module Profile = Pc_profile.Profile
+module Synth = Pc_synth.Synth
+module Machine = Pc_funcsim.Machine
+
+(* Rewrite every memory op in the profile. *)
+let map_mem_ops f (p : Profile.t) =
+  {
+    p with
+    Profile.nodes =
+      Array.map
+        (fun (n : Profile.node) -> { n with Profile.mem_ops = Array.map f n.Profile.mem_ops })
+        p.Profile.nodes;
+  }
+
+let double_footprint (m : Profile.mem_op) =
+  {
+    m with
+    Profile.footprint = 2 * m.Profile.footprint;
+    window_span = 2 * m.Profile.window_span;
+    stream_length = 2 * m.Profile.stream_length;
+  }
+
+let halve_spatial_locality (m : Profile.mem_op) =
+  (* Doubling every stride halves the useful bytes per cache line. *)
+  { m with Profile.stride = 2 * m.Profile.stride }
+
+let l1d_mpi program =
+  let cfg = Pc_uarch.Config.base in
+  let r = Pc_uarch.Sim.run ~max_instrs:1_000_000 cfg program in
+  (Pc_uarch.Sim.l1d_mpi r, r.Pc_uarch.Sim.ipc)
+
+let report label program =
+  let mpi, ipc = l1d_mpi program in
+  Format.printf "  %-28s L1D misses/instr %.5f   IPC %.3f@." label mpi ipc
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fft" in
+  let pipeline = Perfclone.Pipeline.clone_benchmark bench in
+  let profile = pipeline.Perfclone.Pipeline.profile in
+  Format.printf "what-if scenarios for %s on the base configuration:@." bench;
+  report "clone (as profiled)" pipeline.Perfclone.Pipeline.clone;
+  let variant name f =
+    let p = map_mem_ops f profile in
+    let clone = Synth.generate { p with Profile.name = p.Profile.name ^ "-" ^ name } in
+    report name clone
+  in
+  variant "2x data footprint" double_footprint;
+  variant "halved spatial locality" halve_spatial_locality;
+  Format.printf
+    "@.The architect explores workload futures without touching any source code.@."

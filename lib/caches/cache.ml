@@ -1,0 +1,136 @@
+type replacement = Lru | Fifo | Random of int
+
+type config = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+  replacement : replacement;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config ?(replacement = Lru) ~size_bytes ~assoc ~line_bytes () =
+  if not (is_pow2 size_bytes) then
+    invalid_arg "Cache.config: size must be a positive power of two";
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.config: line size must be a positive power of two";
+  if size_bytes mod line_bytes <> 0 then
+    invalid_arg "Cache.config: line size must divide cache size";
+  let lines = size_bytes / line_bytes in
+  if assoc < 0 then invalid_arg "Cache.config: negative associativity";
+  if assoc > 0 && lines mod assoc <> 0 then
+    invalid_arg "Cache.config: way count must divide line count";
+  { size_bytes; assoc; line_bytes; replacement }
+
+let ways c = if c.assoc = 0 then c.size_bytes / c.line_bytes else c.assoc
+
+let config_name c =
+  let size =
+    if c.size_bytes >= 1024 && c.size_bytes mod 1024 = 0 then
+      Printf.sprintf "%dKB" (c.size_bytes / 1024)
+    else Printf.sprintf "%dB" c.size_bytes
+  in
+  let assoc =
+    if c.assoc = 0 then "full"
+    else if c.assoc = 1 then "direct"
+    else Printf.sprintf "%d-way" c.assoc
+  in
+  let policy =
+    match c.replacement with Lru -> "" | Fifo -> "/fifo" | Random _ -> "/rand"
+  in
+  Printf.sprintf "%s/%s/%dB%s" size assoc c.line_bytes policy
+
+type t = {
+  cfg : config;
+  sets : int;
+  nways : int;
+  line_shift : int;
+  tags : int array;  (** [set * nways + way]; [-1] = invalid *)
+  ages : int array;  (** larger = more recently used *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable rand_state : int64;  (* SplitMix-style victim stream for Random *)
+}
+
+let create cfg =
+  let nways = ways cfg in
+  let sets = cfg.size_bytes / cfg.line_bytes / nways in
+  let line_shift =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 cfg.line_bytes 0
+  in
+  {
+    cfg;
+    sets;
+    nways;
+    line_shift;
+    tags = Array.make (sets * nways) (-1);
+    ages = Array.make (sets * nways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    rand_state =
+      (match cfg.replacement with
+      | Random seed -> Int64.of_int ((seed * 2654435761) lor 1)
+      | Lru | Fifo -> 1L);
+  }
+
+let access t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let base = set * t.nways in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  (* Look for the tag; remember the LRU way for replacement. *)
+  let hit_way = ref (-1) in
+  let lru_way = ref 0 in
+  let lru_age = ref max_int in
+  for w = 0 to t.nways - 1 do
+    let idx = base + w in
+    if t.tags.(idx) = line then hit_way := w
+    else if t.ages.(idx) < !lru_age then begin
+      lru_age := t.ages.(idx);
+      lru_way := w
+    end
+  done;
+  if !hit_way >= 0 then begin
+    (* FIFO does not refresh on hit; LRU does. *)
+    (match t.cfg.replacement with
+    | Lru | Random _ -> t.ages.(base + !hit_way) <- t.clock
+    | Fifo -> ());
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim =
+      match t.cfg.replacement with
+      | Lru | Fifo -> !lru_way
+      | Random _ ->
+        (* prefer an invalid way; otherwise draw from the stream *)
+        let invalid = ref (-1) in
+        for w = 0 to t.nways - 1 do
+          if t.tags.(base + w) = -1 && !invalid < 0 then invalid := w
+        done;
+        if !invalid >= 0 then !invalid
+        else begin
+          t.rand_state <-
+            Int64.add (Int64.mul t.rand_state 6364136223846793005L) 1442695040888963407L;
+          Int64.to_int (Int64.shift_right_logical t.rand_state 33) mod t.nways
+        end
+    in
+    let idx = base + victim in
+    t.tags.(idx) <- line;
+    t.ages.(idx) <- t.clock;
+    false
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,40 @@
+type config = {
+  l1 : Cache.config;
+  l1_latency : int;
+  l2 : Cache.config option;
+  l2_latency : int;
+  mem_latency : int;
+}
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t option;
+  mutable mem_accesses : int;
+}
+
+let create cfg =
+  { cfg; l1 = Cache.create cfg.l1; l2 = Option.map Cache.create cfg.l2; mem_accesses = 0 }
+
+let access t addr =
+  if Cache.access t.l1 addr then t.cfg.l1_latency
+  else
+    match t.l2 with
+    | Some l2 ->
+      if Cache.access l2 addr then t.cfg.l1_latency + t.cfg.l2_latency
+      else begin
+        t.mem_accesses <- t.mem_accesses + 1;
+        t.cfg.l1_latency + t.cfg.l2_latency + t.cfg.mem_latency
+      end
+    | None ->
+      t.mem_accesses <- t.mem_accesses + 1;
+      t.cfg.l1_latency + t.cfg.mem_latency
+
+let l1_accesses t = Cache.accesses t.l1
+let l1_misses t = Cache.misses t.l1
+let l2_accesses t = match t.l2 with Some c -> Cache.accesses c | None -> 0
+let l2_misses t = match t.l2 with Some c -> Cache.misses c | None -> 0
+let mem_accesses t = t.mem_accesses
+
+let l1_mpi t ~instrs =
+  if instrs = 0 then 0.0 else float_of_int (Cache.misses t.l1) /. float_of_int instrs

@@ -1,0 +1,36 @@
+(** Memory hierarchy: an L1 cache, an optional L2, and main memory, with
+    per-level access latencies.
+
+    The timing model instantiates one hierarchy for the instruction side
+    and one for the data side.  The paper's "64 KB unified L2" is modelled
+    as a private L2 behind each L1 (the experiments never vary the L2, so
+    I/D interference in it is irrelevant to every reported trend). *)
+
+type config = {
+  l1 : Cache.config;
+  l1_latency : int;  (** cycles for an L1 hit *)
+  l2 : Cache.config option;
+  l2_latency : int;  (** additional cycles for an L2 hit *)
+  mem_latency : int;  (** additional cycles for main memory *)
+}
+
+type t
+
+val create : config -> t
+
+val access : t -> int -> int
+(** [access t addr] simulates the access through the hierarchy and
+    returns its total latency in cycles. *)
+
+val l1_accesses : t -> int
+val l1_misses : t -> int
+val l2_accesses : t -> int
+(** Zero when there is no L2. *)
+
+val l2_misses : t -> int
+
+val mem_accesses : t -> int
+(** Accesses that reached main memory. *)
+
+val l1_mpi : t -> instrs:int -> float
+(** L1 misses per instruction. *)

@@ -1,0 +1,42 @@
+let line_bytes = 32
+
+let configs =
+  let sizes = [| 256; 512; 1024; 2048; 4096; 8192; 16384 |] in
+  let assocs = [| 1; 2; 4; 0 |] in
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun size ->
+            Array.map
+              (fun assoc -> Cache.config ~size_bytes:size ~assoc ~line_bytes ())
+              assocs)
+          sizes))
+
+let reference_index = 0
+
+type result = { config : Cache.config; misses : int; accesses : int; mpi : float }
+
+let run_trace feed =
+  let caches = Array.map Cache.create configs in
+  let emit addr = Array.iter (fun c -> ignore (Cache.access c addr)) caches in
+  let instrs = feed emit in
+  Array.map2
+    (fun config cache ->
+      {
+        config;
+        misses = Cache.misses cache;
+        accesses = Cache.accesses cache;
+        mpi =
+          (if instrs = 0 then 0.0
+           else float_of_int (Cache.misses cache) /. float_of_int instrs);
+      })
+    configs caches
+
+let relative_mpi results =
+  let reference = results.(reference_index).mpi in
+  let rest =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> reference_index) (Array.to_list results))
+  in
+  if reference = 0.0 then Array.map (fun r -> r.mpi) rest
+  else Array.map (fun r -> r.mpi /. reference) rest

@@ -1,0 +1,29 @@
+(** The paper's 28-configuration L1 D-cache study set (Section 5.1):
+    sizes 256 B – 16 KB (powers of two) crossed with direct-mapped,
+    2-way, 4-way and fully associative, all with 32-byte lines and LRU. *)
+
+val configs : Cache.config array
+(** The 28 configurations, ordered by size then associativity.  Index 0
+    is the 256 B direct-mapped reference configuration. *)
+
+val reference_index : int
+(** Index of the 256 B direct-mapped configuration (0). *)
+
+type result = {
+  config : Cache.config;
+  misses : int;
+  accesses : int;
+  mpi : float;  (** misses per instruction *)
+}
+
+val run_trace : ((int -> unit) -> int) -> result array
+(** [run_trace feed] simulates all 28 caches in one pass over a memory
+    reference trace.  [feed emit] must call [emit addr] for every data
+    reference and return the total dynamic instruction count (the
+    misses-per-instruction denominator). *)
+
+val relative_mpi : result array -> float array
+(** The paper's Figure-4 series: misses-per-instruction of each of the 27
+    non-reference configurations divided by the reference configuration's
+    misses-per-instruction.  When the reference has zero misses, returns
+    raw MPIs instead (degenerate but defined). *)

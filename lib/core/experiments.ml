@@ -1,0 +1,543 @@
+module Machine = Pc_funcsim.Machine
+module Study = Pc_caches.Study
+module Stats = Pc_stats.Stats
+module Config = Pc_uarch.Config
+module Sim = Pc_uarch.Sim
+module Power = Pc_power.Power
+module Profile = Pc_profile.Profile
+
+type settings = {
+  seed : int;
+  profile_instrs : int;
+  sim_instrs : int;
+  clone_dynamic : int;
+  benchmarks : string list;
+}
+
+let default_settings =
+  {
+    seed = 1;
+    profile_instrs = 1_000_000;
+    sim_instrs = 2_000_000;
+    clone_dynamic = 100_000;
+    benchmarks = [];
+  }
+
+let quick_settings =
+  {
+    seed = 1;
+    profile_instrs = 300_000;
+    sim_instrs = 500_000;
+    clone_dynamic = 50_000;
+    benchmarks = [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ];
+  }
+
+let prepare settings =
+  let names =
+    match settings.benchmarks with
+    | [] -> Pc_workloads.Registry.names
+    | names -> names
+  in
+  List.map
+    (fun name ->
+      Pipeline.clone_benchmark ~seed:settings.seed
+        ~profile_instrs:settings.profile_instrs
+        ~target_dynamic:settings.clone_dynamic name)
+    names
+
+(* --- Figure 3 --- *)
+
+let fig3 pipelines =
+  List.map
+    (fun (p : Pipeline.t) -> (p.Pipeline.name, p.Pipeline.profile.Profile.single_stride_fraction))
+    pipelines
+
+let pp_fig3 ppf rows =
+  Format.fprintf ppf "Figure 3: dynamic references covered by a single stride@.";
+  List.iter
+    (fun (name, frac) -> Format.fprintf ppf "  %-14s %6.1f%%@." name (100.0 *. frac))
+    rows;
+  let avg = Stats.mean (Array.of_list (List.map snd rows)) in
+  Format.fprintf ppf "  %-14s %6.1f%%@." "average" (100.0 *. avg)
+
+(* --- Figures 4 and 5 --- *)
+
+type cache_study = {
+  bench : string;
+  correlation : float;
+  orig_mpi : float array;
+  clone_mpi : float array;
+}
+
+let mpi_trace ~max_instrs program =
+  let results =
+    Study.run_trace (fun emit ->
+        let m = Machine.load program in
+        Machine.run ~max_instrs m (fun ev ->
+            if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+  in
+  Array.map (fun (r : Study.result) -> r.Study.mpi) results
+
+let study_of_mpis bench orig_mpi clone_mpi =
+  let rel mpis =
+    let reference = mpis.(Study.reference_index) in
+    let rest =
+      Array.of_list
+        (List.filteri (fun i _ -> i <> Study.reference_index) (Array.to_list mpis))
+    in
+    if reference = 0.0 then rest else Array.map (fun v -> v /. reference) rest
+  in
+  { bench; correlation = Stats.pearson (rel clone_mpi) (rel orig_mpi); orig_mpi; clone_mpi }
+
+let cache_studies settings pipelines =
+  List.map
+    (fun (p : Pipeline.t) ->
+      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
+      let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      study_of_mpis p.Pipeline.name orig_mpi clone_mpi)
+    pipelines
+
+let average_correlation studies =
+  Stats.mean (Array.of_list (List.map (fun s -> s.correlation) studies))
+
+let pp_fig4 ppf studies =
+  Format.fprintf ppf
+    "Figure 4: Pearson correlation of relative misses/instruction across the 28 cache configurations@.";
+  List.iter
+    (fun s -> Format.fprintf ppf "  %-14s %6.3f@." s.bench s.correlation)
+    studies;
+  Format.fprintf ppf "  %-14s %6.3f@." "average" (average_correlation studies)
+
+let rankings_scatter studies =
+  let n_configs = Array.length Study.configs in
+  let sum_orig = Array.make n_configs 0.0 in
+  let sum_clone = Array.make n_configs 0.0 in
+  List.iter
+    (fun s ->
+      let ro = Stats.rankings s.orig_mpi in
+      let rc = Stats.rankings s.clone_mpi in
+      Array.iteri (fun i r -> sum_orig.(i) <- sum_orig.(i) +. r) ro;
+      Array.iteri (fun i r -> sum_clone.(i) <- sum_clone.(i) +. r) rc)
+    studies;
+  let n = float_of_int (max 1 (List.length studies)) in
+  Array.init n_configs (fun i -> (sum_orig.(i) /. n, sum_clone.(i) /. n))
+
+let pp_fig5 ppf scatter =
+  Format.fprintf ppf
+    "Figure 5: average cache-configuration rankings, real vs synthetic (1 = fewest misses)@.";
+  Format.fprintf ppf "  %-22s %8s %9s@." "configuration" "real" "synthetic";
+  Array.iteri
+    (fun i (o, c) ->
+      Format.fprintf ppf "  %-22s %8.2f %9.2f@."
+        (Pc_caches.Cache.config_name Study.configs.(i))
+        o c)
+    scatter;
+  let xs = Array.map fst scatter and ys = Array.map snd scatter in
+  Format.fprintf ppf "  rank correlation (Spearman): %.3f@." (Stats.spearman xs ys)
+
+(* --- Figures 6 and 7 --- *)
+
+type base_run = {
+  bench : string;
+  ipc_orig : float;
+  ipc_clone : float;
+  power_orig : float;
+  power_clone : float;
+}
+
+let base_runs settings pipelines =
+  let cfg = Config.base in
+  List.map
+    (fun (p : Pipeline.t) ->
+      let ro = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
+      let rc = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      {
+        bench = p.Pipeline.name;
+        ipc_orig = ro.Sim.ipc;
+        ipc_clone = rc.Sim.ipc;
+        power_orig = Power.total cfg ro;
+        power_clone = Power.total cfg rc;
+      })
+    pipelines
+
+let ipc_of r = (r.ipc_orig, r.ipc_clone)
+let power_of r = (r.power_orig, r.power_clone)
+
+let avg_abs_error select runs =
+  let errors =
+    List.map
+      (fun r ->
+        let actual, predicted = select r in
+        Stats.abs_rel_error ~actual ~predicted)
+      runs
+  in
+  Stats.mean (Array.of_list errors)
+
+let pp_metric_figure ~title ~label select ppf runs =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "  %-14s %10s %10s %8s@." "benchmark" "original" "clone" "error";
+  List.iter
+    (fun r ->
+      let actual, predicted = select r in
+      Format.fprintf ppf "  %-14s %10.3f %10.3f %7.1f%%@." r.bench actual predicted
+        (100.0 *. Stats.abs_rel_error ~actual ~predicted))
+    runs;
+  Format.fprintf ppf "  average absolute %s error: %.2f%%@." label
+    (100.0 *. avg_abs_error select runs)
+
+let pp_fig6 ppf runs =
+  pp_metric_figure ~title:"Figure 6: IPC on the base configuration" ~label:"IPC"
+    ipc_of ppf runs
+
+let pp_fig7 ppf runs =
+  pp_metric_figure
+    ~title:"Figure 7: power consumption on the base configuration (relative units)"
+    ~label:"power" power_of ppf runs
+
+(* --- Table 3 and Figures 8/9 --- *)
+
+type design_change = { change : string; config : Config.t }
+
+let design_changes () =
+  [
+    {
+      change = "Double the number of entries in the reorder buffer and load store queue";
+      config = Config.with_rob_lsq ~rob:32 ~lsq:16 Config.base;
+    };
+    {
+      change = "Reduce the L1 cache size to half";
+      config = Config.with_l1d_size 8192 Config.base;
+    };
+    {
+      change = "Double the fetch, decode, and issue width";
+      config = Config.with_widths 2 Config.base;
+    };
+    {
+      change = "Change the predictor from a 2-level to a not-taken predictor";
+      config = Config.with_bpred Pc_branch.Predictor.Not_taken Config.base;
+    };
+    {
+      change = "Change the instruction issue policy to in-order";
+      config = Config.with_in_order true Config.base;
+    };
+  ]
+
+type change_result = {
+  change_name : string;
+  per_bench : (string * float * float * float * float) list;
+  avg_ipc_error : float;
+  avg_power_error : float;
+}
+
+let run_design_changes settings pipelines =
+  let base_cfg = Config.base in
+  (* Base-configuration runs, shared by every change. *)
+  let base =
+    List.map
+      (fun (p : Pipeline.t) ->
+        let ro = Sim.run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.original in
+        let rc = Sim.run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.clone in
+        (p, ro, rc))
+      pipelines
+  in
+  List.map
+    (fun { change; config } ->
+      let rows =
+        List.map
+          (fun ((p : Pipeline.t), base_orig, base_clone) ->
+            let new_orig = Sim.run ~max_instrs:settings.sim_instrs config p.Pipeline.original in
+            let new_clone = Sim.run ~max_instrs:settings.sim_instrs config p.Pipeline.clone in
+            let ipc_ratio_orig = new_orig.Sim.ipc /. base_orig.Sim.ipc in
+            let ipc_ratio_clone = new_clone.Sim.ipc /. base_clone.Sim.ipc in
+            let pw_ratio_orig =
+              Power.total config new_orig /. Power.total base_cfg base_orig
+            in
+            let pw_ratio_clone =
+              Power.total config new_clone /. Power.total base_cfg base_clone
+            in
+            ( p.Pipeline.name,
+              ipc_ratio_orig,
+              ipc_ratio_clone,
+              pw_ratio_orig,
+              pw_ratio_clone ))
+          base
+      in
+      let avg metric =
+        Stats.mean
+          (Array.of_list
+             (List.map
+                (fun (_, io, ic, po, pc) ->
+                  let real, synth = metric (io, ic, po, pc) in
+                  abs_float (synth -. real) /. abs_float real)
+                rows))
+      in
+      {
+        change_name = change;
+        per_bench = rows;
+        avg_ipc_error = avg (fun (io, ic, _, _) -> (io, ic));
+        avg_power_error = avg (fun (_, _, po, pc) -> (po, pc));
+      })
+    (design_changes ())
+
+let pp_table3 ppf results =
+  Format.fprintf ppf
+    "Table 3: average relative error in IPC and power for the five design changes@.";
+  Format.fprintf ppf "  %-72s %8s %8s@." "design change" "IPC" "power";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-72s %7.2f%% %7.2f%%@." r.change_name
+        (100.0 *. r.avg_ipc_error)
+        (100.0 *. r.avg_power_error))
+    results
+
+let pp_change_detail ~title select ppf r =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "  (design change: %s)@." r.change_name;
+  Format.fprintf ppf "  %-14s %10s %10s@." "benchmark" "real" "synthetic";
+  let reals = ref [] and synths = ref [] in
+  List.iter
+    (fun row ->
+      let name, real, synth = select row in
+      reals := real :: !reals;
+      synths := synth :: !synths;
+      Format.fprintf ppf "  %-14s %10.3f %10.3f@." name real synth)
+    r.per_bench;
+  Format.fprintf ppf "  %-14s %10.3f %10.3f@." "average"
+    (Stats.mean (Array.of_list !reals))
+    (Stats.mean (Array.of_list !synths))
+
+let pp_fig8 ppf r =
+  pp_change_detail ~title:"Figure 8: IPC speedup over the base configuration"
+    (fun (name, io, ic, _, _) -> (name, io, ic))
+    ppf r
+
+let pp_fig9 ppf r =
+  pp_change_detail
+    ~title:"Figure 9: relative power increase over the base configuration"
+    (fun (name, _, _, po, pc) -> (name, po, pc))
+    ppf r
+
+(* --- branch-predictor study --- *)
+
+let bpred_configs =
+  let open Pc_branch.Predictor in
+  [
+    Taken;
+    Not_taken;
+    Bimodal 64;
+    Bimodal 512;
+    Bimodal 4096;
+    Gshare { history_bits = 8; entries = 4096 };
+    Gshare { history_bits = 12; entries = 16384 };
+    base_gap;
+    Pap { history_bits = 6; tables = 256 };
+    Tournament
+      { meta_entries = 1024; a = Bimodal 1024; b = Gshare { history_bits = 10; entries = 4096 } };
+  ]
+
+type bpred_study = {
+  bp_bench : string;
+  bp_correlation : float;
+  bp_orig_rates : float array;
+  bp_clone_rates : float array;
+}
+
+let bpred_studies settings pipelines =
+  let rates program =
+    Array.of_list
+      (List.map
+         (fun bp ->
+           let cfg = Config.with_bpred bp Config.base in
+           Sim.mispredict_rate (Sim.run ~max_instrs:settings.sim_instrs cfg program))
+         bpred_configs)
+  in
+  List.map
+    (fun (p : Pipeline.t) ->
+      let bp_orig_rates = rates p.Pipeline.original in
+      let bp_clone_rates = rates p.Pipeline.clone in
+      {
+        bp_bench = p.Pipeline.name;
+        bp_correlation = Stats.pearson bp_clone_rates bp_orig_rates;
+        bp_orig_rates;
+        bp_clone_rates;
+      })
+    pipelines
+
+let pp_bpred ppf studies =
+  Format.fprintf ppf
+    "Branch-predictor study: misprediction-rate correlation across %d predictors@."
+    (List.length bpred_configs);
+  List.iter
+    (fun s -> Format.fprintf ppf "  %-14s %6.3f@." s.bp_bench s.bp_correlation)
+    studies;
+  let avg =
+    Stats.mean (Array.of_list (List.map (fun s -> s.bp_correlation) studies))
+  in
+  Format.fprintf ppf "  %-14s %6.3f@." "average" avg
+
+(* --- seed robustness --- *)
+
+type seed_robustness = {
+  sr_bench : string;
+  sr_correlations : float array;
+  sr_min : float;
+  sr_max : float;
+}
+
+let seed_robustness ?(seeds = [ 1; 2; 3; 4; 5 ]) settings pipelines =
+  List.map
+    (fun (p : Pipeline.t) ->
+      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
+      let correlations =
+        Array.of_list
+          (List.map
+             (fun seed ->
+               let options =
+                 {
+                   Pc_synth.Synth.default_options with
+                   Pc_synth.Synth.seed;
+                   target_dynamic = settings.clone_dynamic;
+                 }
+               in
+               let clone = Pc_synth.Synth.generate ~options p.Pipeline.profile in
+               let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs clone in
+               (study_of_mpis p.Pipeline.name orig_mpi clone_mpi).correlation)
+             seeds)
+      in
+      {
+        sr_bench = p.Pipeline.name;
+        sr_correlations = correlations;
+        sr_min = Array.fold_left min infinity correlations;
+        sr_max = Array.fold_left max neg_infinity correlations;
+      })
+    pipelines
+
+let pp_seed_robustness ppf rows =
+  Format.fprintf ppf "Seed robustness: cache-study correlation across generation seeds@.";
+  Format.fprintf ppf "  %-14s %8s %8s %8s@." "benchmark" "min" "mean" "max";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-14s %8.3f %8.3f %8.3f@." r.sr_bench r.sr_min
+        (Stats.mean r.sr_correlations) r.sr_max)
+    rows
+
+(* --- statistical-simulation comparison --- *)
+
+type statsim_row = {
+  ss_bench : string;
+  ss_ipc_orig : float;
+  ss_ipc_clone : float;
+  ss_ipc_statsim : float;
+}
+
+let statsim_comparison settings pipelines =
+  let cfg = Config.base in
+  List.map
+    (fun (p : Pipeline.t) ->
+      let ro = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
+      let rc = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      let rs =
+        Pc_statsim.Statsim.estimate ~seed:settings.seed
+          ~instrs:(min 200_000 settings.sim_instrs) cfg p.Pipeline.profile
+      in
+      {
+        ss_bench = p.Pipeline.name;
+        ss_ipc_orig = ro.Sim.ipc;
+        ss_ipc_clone = rc.Sim.ipc;
+        ss_ipc_statsim = rs.Sim.ipc;
+      })
+    pipelines
+
+let pp_statsim ppf rows =
+  Format.fprintf ppf
+    "Statistical simulation vs synthetic clone (base-configuration IPC)@.";
+  Format.fprintf ppf "  %-14s %9s %9s %9s %9s %9s@." "benchmark" "original" "clone"
+    "statsim" "cl.err" "ss.err";
+  let cl_errors = ref [] and ss_errors = ref [] in
+  List.iter
+    (fun r ->
+      let cl = Stats.abs_rel_error ~actual:r.ss_ipc_orig ~predicted:r.ss_ipc_clone in
+      let ss = Stats.abs_rel_error ~actual:r.ss_ipc_orig ~predicted:r.ss_ipc_statsim in
+      cl_errors := cl :: !cl_errors;
+      ss_errors := ss :: !ss_errors;
+      Format.fprintf ppf "  %-14s %9.3f %9.3f %9.3f %8.1f%% %8.1f%%@." r.ss_bench
+        r.ss_ipc_orig r.ss_ipc_clone r.ss_ipc_statsim (100.0 *. cl) (100.0 *. ss))
+    rows;
+  Format.fprintf ppf "  average absolute error: clone %.2f%%, statsim %.2f%%@."
+    (100.0 *. Stats.mean (Array.of_list !cl_errors))
+    (100.0 *. Stats.mean (Array.of_list !ss_errors))
+
+(* --- portable-clone comparison --- *)
+
+type portable_row = {
+  po_bench : string;
+  po_asm_correlation : float;
+  po_kc_correlation : float;
+}
+
+let portable_comparison settings pipelines =
+  List.map
+    (fun (p : Pipeline.t) ->
+      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
+      let asm_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      let kc_clone =
+        Pc_synth.Portable.generate_compiled ~seed:settings.seed
+          ~target_dynamic:settings.clone_dynamic p.Pipeline.profile
+      in
+      let kc_mpi = mpi_trace ~max_instrs:settings.sim_instrs kc_clone in
+      {
+        po_bench = p.Pipeline.name;
+        po_asm_correlation = (study_of_mpis p.Pipeline.name orig_mpi asm_mpi).correlation;
+        po_kc_correlation = (study_of_mpis p.Pipeline.name orig_mpi kc_mpi).correlation;
+      })
+    pipelines
+
+let pp_portable ppf rows =
+  Format.fprintf ppf
+    "Portability extension: cache-study correlation, SRISC clone vs compiled Kc-source clone@.";
+  Format.fprintf ppf "  %-14s %10s %10s@." "benchmark" "SRISC" "Kc-source";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-14s %10.3f %10.3f@." r.po_bench r.po_asm_correlation
+        r.po_kc_correlation)
+    rows;
+  let avg f = Stats.mean (Array.of_list (List.map f rows)) in
+  Format.fprintf ppf "  %-14s %10.3f %10.3f@." "average"
+    (avg (fun r -> r.po_asm_correlation))
+    (avg (fun r -> r.po_kc_correlation))
+
+(* --- ablation --- *)
+
+type ablation_row = {
+  ab_bench : string;
+  indep_correlation : float;
+  dep_correlation : float;
+}
+
+let ablation settings pipelines =
+  List.map
+    (fun (p : Pipeline.t) ->
+      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
+      let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      let baseline =
+        Pipeline.microdep_baseline ~seed:settings.seed ~reference:Config.base p
+      in
+      let dep_mpi = mpi_trace ~max_instrs:settings.sim_instrs baseline in
+      let indep = (study_of_mpis p.Pipeline.name orig_mpi clone_mpi).correlation in
+      let dep = (study_of_mpis p.Pipeline.name orig_mpi dep_mpi).correlation in
+      { ab_bench = p.Pipeline.name; indep_correlation = indep; dep_correlation = dep })
+    pipelines
+
+let pp_ablation ppf rows =
+  Format.fprintf ppf
+    "Ablation: cache-study correlation, microarchitecture-independent clone vs microarchitecture-dependent baseline@.";
+  Format.fprintf ppf "  %-14s %12s %12s@." "benchmark" "independent" "dependent";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-14s %12.3f %12.3f@." r.ab_bench r.indep_correlation
+        r.dep_correlation)
+    rows;
+  let avg f = Stats.mean (Array.of_list (List.map f rows)) in
+  Format.fprintf ppf "  %-14s %12.3f %12.3f@." "average"
+    (avg (fun r -> r.indep_correlation))
+    (avg (fun r -> r.dep_correlation))

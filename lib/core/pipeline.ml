@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  original : Pc_isa.Program.t;
+  profile : Pc_profile.Profile.t;
+  clone : Pc_isa.Program.t;
+}
+
+let clone_program ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 100_000)
+    program =
+  let profile = Pc_profile.Collector.profile ~max_instrs:profile_instrs program in
+  let options = { Pc_synth.Synth.default_options with seed; target_dynamic } in
+  let clone = Pc_synth.Synth.generate ~options profile in
+  { name = program.Pc_isa.Program.name; original = program; profile; clone }
+
+let clone_benchmark ?seed ?profile_instrs ?target_dynamic name =
+  let entry = Pc_workloads.Registry.find name in
+  clone_program ?seed ?profile_instrs ?target_dynamic
+    (Pc_workloads.Registry.compile entry)
+
+let microdep_baseline ?(seed = 1) ~reference t =
+  let targets = Pc_synth.Microdep.measure_targets reference t.original in
+  Pc_synth.Microdep.generate ~seed ~profile:t.profile ~targets ()
+
+let c_source t = Pc_synth.Render.to_c t.clone

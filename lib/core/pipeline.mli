@@ -1,0 +1,37 @@
+(** The performance-cloning pipeline (the paper's Figure 1): compile or
+    accept a workload, profile it, synthesize the clone.
+
+    This is the high-level public API a user of the library calls; the
+    lower-level pieces ({!Pc_profile}, {!Pc_synth}, {!Pc_uarch}, ...) stay
+    available for custom studies. *)
+
+type t = {
+  name : string;
+  original : Pc_isa.Program.t;
+  profile : Pc_profile.Profile.t;
+  clone : Pc_isa.Program.t;
+}
+
+val clone_program :
+  ?seed:int ->
+  ?profile_instrs:int ->
+  ?target_dynamic:int ->
+  Pc_isa.Program.t ->
+  t
+(** Profile an SRISC binary ([profile_instrs] budget, default 1 million
+    instructions) and generate its synthetic clone ([target_dynamic]
+    clone length, default 100k — the clone runs longer when its streams
+    need more iterations to cover their footprints). *)
+
+val clone_benchmark :
+  ?seed:int -> ?profile_instrs:int -> ?target_dynamic:int -> string -> t
+(** [clone_benchmark name] runs the pipeline on a workload from
+    {!Pc_workloads.Registry}.  Raises [Not_found] for unknown names. *)
+
+val microdep_baseline :
+  ?seed:int -> reference:Pc_uarch.Config.t -> t -> Pc_isa.Program.t
+(** The microarchitecture-dependent baseline clone for the same workload
+    (used by the ablation experiment). *)
+
+val c_source : t -> string
+(** The C-with-asm dissemination rendering of the clone. *)

@@ -1,0 +1,52 @@
+(** Functional (architectural) simulator for SRISC.
+
+    Plays the role SimpleScalar's [sim-safe] plays in the paper: it
+    executes a program instruction by instruction and exposes the retired
+    instruction stream to consumers (the workload profiler, the standalone
+    cache study, the trace-driven timing model).
+
+    For performance the event record passed to [on_event] is a single
+    mutable buffer reused on every step — consumers must copy any field
+    they retain past the callback. *)
+
+type event = {
+  mutable pc : int;  (** static instruction index *)
+  mutable iclass : Pc_isa.Instr.iclass;
+  mutable mem_addr : int;  (** effective byte address, or [-1] *)
+  mutable is_store : bool;
+  mutable is_branch : bool;  (** conditional branch *)
+  mutable taken : bool;  (** meaningful when [is_branch] *)
+  mutable next_pc : int;  (** pc of the next dynamic instruction *)
+  mutable reads : int list;  (** shared register ids read *)
+  mutable writes : int;  (** shared register id written, or [-1] *)
+}
+
+type t
+
+val load : Pc_isa.Program.t -> t
+(** Fresh machine with the program's data segment loaded, [pc = 0],
+    [sp = stack_base] and all registers zero. *)
+
+val step : t -> (event -> unit) -> bool
+(** Execute one instruction; invoke the callback with the retired event.
+    Returns [false] once the machine has halted (no event is emitted for
+    steps after halt). *)
+
+val run : ?max_instrs:int -> t -> (event -> unit) -> int
+(** [run ?max_instrs t f] steps until [Halt] or the instruction budget is
+    exhausted; returns the number of retired instructions.  The default
+    budget is 50 million (a runaway-program backstop). *)
+
+val halted : t -> bool
+val instruction_count : t -> int
+
+val ireg : t -> Pc_isa.Reg.t -> int64
+(** Architected integer register value (for result checking in tests). *)
+
+val freg : t -> Pc_isa.Reg.t -> float
+
+val memory : t -> Memory.t
+
+exception Fault of string
+(** Raised on execution faults: pc out of range or a misaligned or
+    negative memory access. *)

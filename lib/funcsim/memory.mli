@@ -1,0 +1,25 @@
+(** Sparse 64-bit word memory.
+
+    Byte-addressed, backed by 4 KiB pages allocated on demand, so a
+    program can use a small data segment near {!Pc_isa.Program.data_base}
+    and a stack near {!Pc_isa.Program.stack_base} without reserving the
+    whole address space.  Unwritten memory reads as zero.  Accesses must
+    be 8-byte aligned. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> int -> int64
+(** [read t addr] returns the word at byte address [addr].
+    Raises [Invalid_argument] on negative or unaligned addresses. *)
+
+val write : t -> int -> int64 -> unit
+
+val read_float : t -> int -> float
+(** Word reinterpreted as an IEEE-754 double. *)
+
+val write_float : t -> int -> float -> unit
+
+val load_words : t -> (int * int64) list -> unit
+(** Initialise a batch of words (used to load a program's data segment). *)

@@ -1,0 +1,41 @@
+type item = Label of string | Ins of Instr.t
+
+let assemble ~name ?(data = []) ?(data_bytes = 0) items =
+  let labels = Hashtbl.create 64 in
+  let count =
+    List.fold_left
+      (fun idx item ->
+        match item with
+        | Label l ->
+          if Hashtbl.mem labels l then
+            invalid_arg (Printf.sprintf "Asm.assemble: duplicate label %S" l);
+          Hashtbl.add labels l idx;
+          idx
+        | Ins _ -> idx + 1)
+      0 items
+  in
+  let resolve = function
+    | Instr.Abs _ as t -> t
+    | Instr.Label l -> (
+      match Hashtbl.find_opt labels l with
+      | Some idx -> Instr.Abs idx
+      | None -> invalid_arg (Printf.sprintf "Asm.assemble: undefined label %S" l))
+  in
+  let code = Array.make count Instr.Halt in
+  let idx = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | Ins instr ->
+        let resolved =
+          match instr with
+          | Instr.Br (c, r, t) -> Instr.Br (c, r, resolve t)
+          | Instr.Jmp t -> Instr.Jmp (resolve t)
+          | Instr.Call t -> Instr.Call (resolve t)
+          | other -> other
+        in
+        code.(!idx) <- resolved;
+        incr idx)
+    items;
+  Program.v ~name ~code ~data ~data_bytes

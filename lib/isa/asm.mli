@@ -1,0 +1,15 @@
+(** Two-pass assembler: resolves symbolic labels to instruction indices.
+
+    Code generators emit a list of {!item}s; [assemble] collects label
+    definitions in a first pass and rewrites every [Label] target to the
+    corresponding [Abs] index in a second pass. *)
+
+type item =
+  | Label of string  (** defines a label at the next instruction *)
+  | Ins of Instr.t
+
+val assemble :
+  name:string -> ?data:(int * int64) list -> ?data_bytes:int -> item list -> Program.t
+(** [assemble ~name items] resolves labels and builds a validated program.
+    [data] and [data_bytes] default to an empty segment.  Raises
+    [Invalid_argument] on duplicate or undefined labels. *)

@@ -1,0 +1,223 @@
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Cmp_eq
+  | Cmp_lt
+  | Cmp_le
+
+type falu_op = Fadd | Fsub
+type fcmp_op = Fcmp_eq | Fcmp_lt | Fcmp_le
+type cond = Eq_z | Ne_z | Lt_z | Ge_z | Gt_z | Le_z
+type target = Label of string | Abs of int
+
+type t =
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+  | Alui of alu_op * Reg.t * Reg.t * int
+  | Li of Reg.t * int64
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t
+  | Rem of Reg.t * Reg.t * Reg.t
+  | Falu of falu_op * Reg.t * Reg.t * Reg.t
+  | Fmul of Reg.t * Reg.t * Reg.t
+  | Fdiv of Reg.t * Reg.t * Reg.t
+  | Fli of Reg.t * float
+  | Fmov of Reg.t * Reg.t
+  | Fcmp of fcmp_op * Reg.t * Reg.t * Reg.t
+  | Itof of Reg.t * Reg.t
+  | Ftoi of Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Fload of Reg.t * Reg.t * int
+  | Fstore of Reg.t * Reg.t * int
+  | Br of cond * Reg.t * target
+  | Jmp of target
+  | Jr of Reg.t
+  | Call of target
+  | Halt
+
+type iclass =
+  | C_int_alu
+  | C_int_mul
+  | C_int_div
+  | C_fp_alu
+  | C_fp_mul
+  | C_fp_div
+  | C_load
+  | C_store
+  | C_branch
+  | C_jump
+  | C_other
+
+let classify = function
+  | Alu _ | Alui _ | Li _ -> C_int_alu
+  | Mul _ -> C_int_mul
+  | Div _ | Rem _ -> C_int_div
+  | Falu _ | Fli _ | Fmov _ | Fcmp _ | Itof _ | Ftoi _ -> C_fp_alu
+  | Fmul _ -> C_fp_mul
+  | Fdiv _ -> C_fp_div
+  | Load _ | Fload _ -> C_load
+  | Store _ | Fstore _ -> C_store
+  | Br _ -> C_branch
+  | Jmp _ | Jr _ | Call _ -> C_jump
+  | Halt -> C_other
+
+let class_count = 11
+
+let class_index = function
+  | C_int_alu -> 0
+  | C_int_mul -> 1
+  | C_int_div -> 2
+  | C_fp_alu -> 3
+  | C_fp_mul -> 4
+  | C_fp_div -> 5
+  | C_load -> 6
+  | C_store -> 7
+  | C_branch -> 8
+  | C_jump -> 9
+  | C_other -> 10
+
+let class_of_index = function
+  | 0 -> C_int_alu
+  | 1 -> C_int_mul
+  | 2 -> C_int_div
+  | 3 -> C_fp_alu
+  | 4 -> C_fp_mul
+  | 5 -> C_fp_div
+  | 6 -> C_load
+  | 7 -> C_store
+  | 8 -> C_branch
+  | 9 -> C_jump
+  | 10 -> C_other
+  | n -> invalid_arg (Printf.sprintf "Instr.class_of_index: %d" n)
+
+let class_name = function
+  | C_int_alu -> "int_alu"
+  | C_int_mul -> "int_mul"
+  | C_int_div -> "int_div"
+  | C_fp_alu -> "fp_alu"
+  | C_fp_mul -> "fp_mul"
+  | C_fp_div -> "fp_div"
+  | C_load -> "load"
+  | C_store -> "store"
+  | C_branch -> "branch"
+  | C_jump -> "jump"
+  | C_other -> "other"
+
+let is_control = function
+  | Br _ | Jmp _ | Jr _ | Call _ | Halt -> true
+  | Alu _ | Alui _ | Li _ | Mul _ | Div _ | Rem _ | Falu _ | Fmul _ | Fdiv _
+  | Fli _ | Fmov _ | Fcmp _ | Itof _ | Ftoi _ | Load _ | Store _ | Fload _
+  | Fstore _ ->
+    false
+
+let is_mem = function
+  | Load _ | Store _ | Fload _ | Fstore _ -> true
+  | Alu _ | Alui _ | Li _ | Mul _ | Div _ | Rem _ | Falu _ | Fmul _ | Fdiv _
+  | Fli _ | Fmov _ | Fcmp _ | Itof _ | Ftoi _ | Br _ | Jmp _ | Jr _ | Call _
+  | Halt ->
+    false
+
+let ir = Reg.id_of_int
+let fr = Reg.id_of_fp
+
+let reads = function
+  | Alu (_, _, a, b) | Mul (_, a, b) | Div (_, a, b) | Rem (_, a, b) ->
+    [ ir a; ir b ]
+  | Alui (_, _, a, _) -> [ ir a ]
+  | Li _ | Fli _ | Jmp _ | Call _ | Halt -> []
+  | Falu (_, _, a, b) | Fmul (_, a, b) | Fdiv (_, a, b) | Fcmp (_, _, a, b) ->
+    [ fr a; fr b ]
+  | Fmov (_, a) -> [ fr a ]
+  | Itof (_, a) -> [ ir a ]
+  | Ftoi (_, a) -> [ fr a ]
+  | Load (_, a, _) -> [ ir a ]
+  | Store (s, a, _) -> [ ir s; ir a ]
+  | Fload (_, a, _) -> [ ir a ]
+  | Fstore (s, a, _) -> [ fr s; ir a ]
+  | Br (_, r, _) -> [ ir r ]
+  | Jr r -> [ ir r ]
+
+let writes = function
+  | Alu (_, d, _, _) | Alui (_, d, _, _) | Li (d, _) | Mul (d, _, _)
+  | Div (d, _, _) | Rem (d, _, _) | Fcmp (_, d, _, _) | Ftoi (d, _)
+  | Load (d, _, _) ->
+    Some (ir d)
+  | Falu (_, d, _, _) | Fmul (d, _, _) | Fdiv (d, _, _) | Fli (d, _)
+  | Fmov (d, _) | Itof (d, _) | Fload (d, _, _) ->
+    Some (fr d)
+  | Call _ -> Some (ir Reg.ra)
+  | Store _ | Fstore _ | Br _ | Jmp _ | Jr _ | Halt -> None
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Cmp_eq -> "cmpeq"
+  | Cmp_lt -> "cmplt"
+  | Cmp_le -> "cmple"
+
+let falu_name = function Fadd -> "fadd" | Fsub -> "fsub"
+
+let fcmp_name = function
+  | Fcmp_eq -> "fcmpeq"
+  | Fcmp_lt -> "fcmplt"
+  | Fcmp_le -> "fcmple"
+
+let cond_name = function
+  | Eq_z -> "beqz"
+  | Ne_z -> "bnez"
+  | Lt_z -> "bltz"
+  | Ge_z -> "bgez"
+  | Gt_z -> "bgtz"
+  | Le_z -> "blez"
+
+let pp_target ppf = function
+  | Label l -> Format.fprintf ppf "%s" l
+  | Abs i -> Format.fprintf ppf "@%d" i
+
+let pp ppf = function
+  | Alu (op, d, a, b) ->
+    Format.fprintf ppf "%s %a, %a, %a" (alu_name op) Reg.pp d Reg.pp a Reg.pp b
+  | Alui (op, d, a, imm) ->
+    Format.fprintf ppf "%si %a, %a, %d" (alu_name op) Reg.pp d Reg.pp a imm
+  | Li (d, v) -> Format.fprintf ppf "li %a, %Ld" Reg.pp d v
+  | Mul (d, a, b) -> Format.fprintf ppf "mul %a, %a, %a" Reg.pp d Reg.pp a Reg.pp b
+  | Div (d, a, b) -> Format.fprintf ppf "div %a, %a, %a" Reg.pp d Reg.pp a Reg.pp b
+  | Rem (d, a, b) -> Format.fprintf ppf "rem %a, %a, %a" Reg.pp d Reg.pp a Reg.pp b
+  | Falu (op, d, a, b) ->
+    Format.fprintf ppf "%s %a, %a, %a" (falu_name op) Reg.pp_fp d Reg.pp_fp a
+      Reg.pp_fp b
+  | Fmul (d, a, b) ->
+    Format.fprintf ppf "fmul %a, %a, %a" Reg.pp_fp d Reg.pp_fp a Reg.pp_fp b
+  | Fdiv (d, a, b) ->
+    Format.fprintf ppf "fdiv %a, %a, %a" Reg.pp_fp d Reg.pp_fp a Reg.pp_fp b
+  | Fli (d, v) -> Format.fprintf ppf "fli %a, %g" Reg.pp_fp d v
+  | Fmov (d, a) -> Format.fprintf ppf "fmov %a, %a" Reg.pp_fp d Reg.pp_fp a
+  | Fcmp (op, d, a, b) ->
+    Format.fprintf ppf "%s %a, %a, %a" (fcmp_name op) Reg.pp d Reg.pp_fp a
+      Reg.pp_fp b
+  | Itof (d, a) -> Format.fprintf ppf "itof %a, %a" Reg.pp_fp d Reg.pp a
+  | Ftoi (d, a) -> Format.fprintf ppf "ftoi %a, %a" Reg.pp d Reg.pp_fp a
+  | Load (d, a, off) -> Format.fprintf ppf "ld %a, %d(%a)" Reg.pp d off Reg.pp a
+  | Store (s, a, off) -> Format.fprintf ppf "st %a, %d(%a)" Reg.pp s off Reg.pp a
+  | Fload (d, a, off) ->
+    Format.fprintf ppf "fld %a, %d(%a)" Reg.pp_fp d off Reg.pp a
+  | Fstore (s, a, off) ->
+    Format.fprintf ppf "fst %a, %d(%a)" Reg.pp_fp s off Reg.pp a
+  | Br (c, r, t) ->
+    Format.fprintf ppf "%s %a, %a" (cond_name c) Reg.pp r pp_target t
+  | Jmp t -> Format.fprintf ppf "jmp %a" pp_target t
+  | Jr r -> Format.fprintf ppf "jr %a" Reg.pp r
+  | Call t -> Format.fprintf ppf "call %a" pp_target t
+  | Halt -> Format.fprintf ppf "halt"

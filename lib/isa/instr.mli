@@ -1,0 +1,112 @@
+(** The SRISC instruction set.
+
+    SRISC is a small load/store RISC ISA standing in for the Alpha ISA the
+    paper targets.  It carries exactly the instruction classes the
+    performance-cloning profile distinguishes: integer ALU, integer
+    multiply, integer divide, FP ALU, FP multiply, FP divide, load, store
+    and branch.
+
+    Memory is byte-addressed; all loads and stores move 64-bit words and
+    must be 8-byte aligned.  Instructions occupy 4 bytes of instruction
+    address space each ([pc] is an instruction index; the byte address of
+    instruction [i] is [4 * i], which is what the I-cache sees). *)
+
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Sll  (** shift left logical *)
+  | Srl  (** shift right logical *)
+  | Sra  (** shift right arithmetic *)
+  | Cmp_eq  (** rd <- (a = b) as 0/1 *)
+  | Cmp_lt  (** signed less-than, 0/1 *)
+  | Cmp_le  (** signed less-or-equal, 0/1 *)
+
+type falu_op = Fadd | Fsub
+
+type fcmp_op = Fcmp_eq | Fcmp_lt | Fcmp_le
+
+type cond =
+  | Eq_z  (** branch if register = 0 *)
+  | Ne_z  (** branch if register <> 0 *)
+  | Lt_z  (** branch if register < 0 *)
+  | Ge_z  (** branch if register >= 0 *)
+  | Gt_z  (** branch if register > 0 *)
+  | Le_z  (** branch if register <= 0 *)
+
+type target =
+  | Label of string  (** unresolved, only before assembly *)
+  | Abs of int  (** resolved instruction index *)
+
+type t =
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** [Alu (op, rd, ra, rb)] *)
+  | Alui of alu_op * Reg.t * Reg.t * int  (** [Alui (op, rd, ra, imm)] *)
+  | Li of Reg.t * int64  (** load immediate *)
+  | Mul of Reg.t * Reg.t * Reg.t
+  | Div of Reg.t * Reg.t * Reg.t  (** signed quotient; division by zero yields 0 *)
+  | Rem of Reg.t * Reg.t * Reg.t  (** signed remainder; modulo zero yields 0 *)
+  | Falu of falu_op * Reg.t * Reg.t * Reg.t  (** [Falu (op, fd, fa, fb)] *)
+  | Fmul of Reg.t * Reg.t * Reg.t
+  | Fdiv of Reg.t * Reg.t * Reg.t  (** division by zero yields 0.0 *)
+  | Fli of Reg.t * float
+  | Fmov of Reg.t * Reg.t  (** [Fmov (fd, fa)]: exact bit-preserving move *)
+  | Fcmp of fcmp_op * Reg.t * Reg.t * Reg.t  (** [Fcmp (op, rd, fa, fb)]: integer 0/1 result *)
+  | Itof of Reg.t * Reg.t  (** [Itof (fd, ra)] *)
+  | Ftoi of Reg.t * Reg.t  (** [Ftoi (rd, fa)]: truncation *)
+  | Load of Reg.t * Reg.t * int  (** [Load (rd, ra, off)]: rd <- mem\[ra + off\] *)
+  | Store of Reg.t * Reg.t * int  (** [Store (rs, ra, off)]: mem\[ra + off\] <- rs *)
+  | Fload of Reg.t * Reg.t * int  (** [Fload (fd, ra, off)] *)
+  | Fstore of Reg.t * Reg.t * int  (** [Fstore (fs, ra, off)] *)
+  | Br of cond * Reg.t * target  (** conditional branch *)
+  | Jmp of target  (** unconditional jump *)
+  | Jr of Reg.t  (** jump to address held in register (returns) *)
+  | Call of target  (** r26 <- pc + 1; jump *)
+  | Halt
+
+(** Instruction classes as profiled by the paper's instruction mix. *)
+type iclass =
+  | C_int_alu
+  | C_int_mul
+  | C_int_div
+  | C_fp_alu
+  | C_fp_mul
+  | C_fp_div
+  | C_load
+  | C_store
+  | C_branch  (** conditional branches *)
+  | C_jump  (** unconditional control: Jmp, Jr, Call *)
+  | C_other  (** Halt *)
+
+val classify : t -> iclass
+
+val class_count : int
+(** Number of distinct classes (for class-indexed arrays). *)
+
+val class_index : iclass -> int
+(** Stable dense index in [0, class_count). *)
+
+val class_of_index : int -> iclass
+(** Inverse of [class_index]; raises [Invalid_argument] out of range. *)
+
+val class_name : iclass -> string
+
+val is_control : t -> bool
+(** True for [Br], [Jmp], [Jr], [Call] and [Halt] — everything that ends a
+    dynamic basic block. *)
+
+val is_mem : t -> bool
+(** True for loads and stores. *)
+
+val reads : t -> int list
+(** Shared register ids read by the instruction ([Reg.id_of_int] /
+    [Reg.id_of_fp] space).  Reads of [r0] are included (it is a real
+    operand, always ready). *)
+
+val writes : t -> int option
+(** Shared register id written, if any.  A write to [r0] is reported (the
+    simulator discards the value but dependence tracking ignores r0). *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-like rendering, e.g. [add r3, r1, r2]. *)

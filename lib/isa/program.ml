@@ -1,0 +1,42 @@
+type t = {
+  code : Instr.t array;
+  data : (int * int64) list;
+  data_bytes : int;
+  name : string;
+}
+
+let data_base = 0x10_0000 (* 1 MiB *)
+let stack_base = 0x7F_FFF8
+
+let check_target code i = function
+  | Instr.Label l ->
+    invalid_arg (Printf.sprintf "Program.v: unresolved label %S at %d" l i)
+  | Instr.Abs t ->
+    if t < 0 || t >= Array.length code then
+      invalid_arg (Printf.sprintf "Program.v: target %d out of range at %d" t i)
+
+let v ~name ~code ~data ~data_bytes =
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Br (_, _, t) | Instr.Jmp t | Instr.Call t -> check_target code i t
+      | _ -> ())
+    code;
+  List.iter
+    (fun (addr, _) ->
+      if addr mod 8 <> 0 then
+        invalid_arg (Printf.sprintf "Program.v: unaligned data word at %#x" addr);
+      if addr < data_base || addr >= data_base + data_bytes then
+        invalid_arg
+          (Printf.sprintf "Program.v: data word %#x outside segment" addr))
+    data;
+  { code; data; data_bytes; name }
+
+let length t = Array.length t.code
+
+let pp ppf t =
+  Format.fprintf ppf "; program %s (%d instrs, %d data bytes)@."
+    t.name (Array.length t.code) t.data_bytes;
+  Array.iteri
+    (fun i instr -> Format.fprintf ppf "%6d:  %a@." i Instr.pp instr)
+    t.code

@@ -1,0 +1,38 @@
+(** Executable SRISC programs.
+
+    A program is a resolved instruction array (all branch targets are
+    [Abs]) plus a description of the initial data segment.  The memory
+    layout is fixed:
+
+    - data segment starts at {!data_base} (byte address),
+    - the stack grows down from {!stack_base},
+    - instruction [i] lives at byte address [4 * i] for I-cache purposes.
+
+    Programs are produced by the assembler ({!Asm}), the Kc compiler, or
+    the clone synthesizer. *)
+
+type t = private {
+  code : Instr.t array;  (** resolved instructions; entry point is index 0 *)
+  data : (int * int64) list;  (** initial words: (byte address, value) *)
+  data_bytes : int;  (** bytes reserved for the data segment *)
+  name : string;  (** identifier used in reports *)
+}
+
+val data_base : int
+(** Byte address where the data segment starts (also the base used by code
+    generators for global arrays). *)
+
+val stack_base : int
+(** Initial stack pointer (stack grows towards lower addresses). *)
+
+val v : name:string -> code:Instr.t array -> data:(int * int64) list -> data_bytes:int -> t
+(** Constructs a program after validating it: every control-flow target
+    must be a resolved, in-range [Abs]; data addresses must be 8-byte
+    aligned and inside the reserved segment.  Raises [Invalid_argument]
+    otherwise. *)
+
+val length : t -> int
+(** Static instruction count. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing. *)

@@ -1,0 +1,13 @@
+type t = int
+
+let count = 32
+let zero = 0
+let ret = 1
+let arg0 = 2
+let max_args = 6
+let ra = 26
+let sp = 29
+let id_of_int r = r
+let id_of_fp r = 32 + r
+let pp ppf r = Format.fprintf ppf "r%d" r
+let pp_fp ppf r = Format.fprintf ppf "f%d" r

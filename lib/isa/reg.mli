@@ -1,0 +1,43 @@
+(** Register file layout of the SRISC ISA.
+
+    SRISC has 32 integer registers [r0]–[r31] and 32 floating-point
+    registers [f0]–[f31].  [r0] is hardwired to zero.  For dependency
+    profiling both files share one identifier space: integer register [i]
+    is id [i], floating-point register [i] is id [32 + i]. *)
+
+type t = int
+(** A register number within its file, [0..31]. *)
+
+val count : int
+(** Registers per file (32). *)
+
+val zero : t
+(** The hardwired-zero integer register, [r0]. *)
+
+val ret : t
+(** Integer return-value register ([r1]); also [f1] for floats. *)
+
+val arg0 : t
+(** First argument register ([r2]/[f2]); arguments use consecutive
+    registers. *)
+
+val max_args : int
+(** Number of argument registers (6: [r2]–[r7] / [f2]–[f7]). *)
+
+val ra : t
+(** Link register written by [Call] ([r26]). *)
+
+val sp : t
+(** Stack pointer ([r29]). *)
+
+val id_of_int : t -> int
+(** Shared-id encoding of an integer register. *)
+
+val id_of_fp : t -> int
+(** Shared-id encoding of a floating-point register. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [r<n>]. *)
+
+val pp_fp : Format.formatter -> t -> unit
+(** Prints as [f<n>]. *)

@@ -1,0 +1,78 @@
+type ty = I | F
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Var of string
+  | Ld of string * expr
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | I2f of expr
+  | F2i of expr
+
+type stmt =
+  | Set of string * expr
+  | St of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+  | Expr of expr
+  | Ret of expr option
+
+type fundef = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  locals : (string * ty) list;
+  body : stmt list;
+}
+
+type global = { gname : string; gty : ty; elems : int; ginit : int64 array }
+type prog = { globals : global list; funs : fundef list }
+
+let i n = Int (Int64.of_int n)
+let f x = Flt x
+let v name = Var name
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( /: ) a b = Bin (Div, a, b)
+let ( %: ) a b = Bin (Mod, a, b)
+let ( <: ) a b = Bin (Lt, a, b)
+let ( <=: ) a b = Bin (Le, a, b)
+let ( >: ) a b = Bin (Gt, a, b)
+let ( >=: ) a b = Bin (Ge, a, b)
+let ( =: ) a b = Bin (Eq, a, b)
+let ( <>: ) a b = Bin (Ne, a, b)
+let ( &&: ) a b = Bin (Land, a, b)
+let ( ||: ) a b = Bin (Lor, a, b)
+let ( &: ) a b = Bin (Band, a, b)
+let ( |: ) a b = Bin (Bor, a, b)
+let ( ^: ) a b = Bin (Bxor, a, b)
+let ( <<: ) a b = Bin (Shl, a, b)
+let ( >>: ) a b = Bin (Shr, a, b)
+let ld name idx = Ld (name, idx)
+let call name args = Call (name, args)
+let set name e = Set (name, e)
+let st name idx e = St (name, idx, e)
+let if_ c t e = If (c, t, e)
+let while_ c body = While (c, body)
+let for_ var lo hi body = For (var, lo, hi, body)
+let ret e = Ret (Some e)
+
+let fn fname ?(params = []) ?(ret = I) ?(locals = []) body =
+  { fname; params; ret; locals; body }
+
+let garr gname ?(gty = I) ?(init = [||]) elems = { gname; gty; elems; ginit = init }
+
+let gfarr gname ?(init = [||]) elems =
+  { gname; gty = F; elems; ginit = Array.map Int64.bits_of_float init }

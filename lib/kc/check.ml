@@ -1,0 +1,132 @@
+open Ast
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let ty_name = function I -> "int" | F -> "float"
+
+let rec type_of_expr ~globals ~vars ~funs expr =
+  let recur e = type_of_expr ~globals ~vars ~funs e in
+  match expr with
+  | Int _ -> I
+  | Flt _ -> F
+  | Var name -> (
+    match vars name with
+    | Some ty -> ty
+    | None -> error "unknown variable %S" name)
+  | Ld (name, idx) -> (
+    match globals name with
+    | None -> error "unknown global array %S" name
+    | Some ty ->
+      if recur idx <> I then error "index of %S must be an integer" name;
+      ty)
+  | Bin (op, a, b) -> (
+    let ta = recur a and tb = recur b in
+    if ta <> tb then
+      error "binary operator applied to %s and %s" (ty_name ta) (ty_name tb);
+    match op with
+    | Add | Sub | Mul | Div -> ta
+    | Mod | Band | Bor | Bxor | Shl | Shr | Land | Lor ->
+      if ta <> I then error "integer-only operator applied to floats";
+      I
+    | Eq | Ne | Lt | Le | Gt | Ge -> I)
+  | Un (op, a) -> (
+    let ta = recur a in
+    match op with
+    | Neg -> ta
+    | Bnot | Lnot ->
+      if ta <> I then error "integer-only unary operator applied to a float";
+      I)
+  | Call (name, args) -> (
+    match funs name with
+    | None -> error "unknown function %S" name
+    | Some (param_tys, ret_ty) ->
+      if List.length args <> List.length param_tys then
+        error "function %S called with %d arguments, expects %d" name
+          (List.length args) (List.length param_tys);
+      List.iter2
+        (fun arg pty ->
+          if recur arg <> pty then error "argument type mismatch calling %S" name)
+        args param_tys;
+      ret_ty)
+  | I2f e ->
+    if recur e <> I then error "i2f applied to a float";
+    F
+  | F2i e ->
+    if recur e <> F then error "f2i applied to an integer";
+    I
+
+let check_fun ~globals ~funs fundef =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, ty) ->
+      if Hashtbl.mem tbl name then
+        error "duplicate variable %S in %S" name fundef.fname;
+      Hashtbl.add tbl name ty)
+    (fundef.params @ fundef.locals);
+  let vars name = Hashtbl.find_opt tbl name in
+  let expr_ty e = type_of_expr ~globals ~vars ~funs e in
+  let rec check_stmt = function
+    | Set (name, e) -> (
+      match vars name with
+      | None -> error "assignment to unknown variable %S in %S" name fundef.fname
+      | Some ty ->
+        if expr_ty e <> ty then
+          error "assignment type mismatch for %S in %S" name fundef.fname)
+    | St (name, idx, e) -> (
+      match globals name with
+      | None -> error "store to unknown global %S in %S" name fundef.fname
+      | Some ty ->
+        if expr_ty idx <> I then error "index of %S must be an integer" name;
+        if expr_ty e <> ty then
+          error "store type mismatch for %S in %S" name fundef.fname)
+    | If (c, t, e) ->
+      if expr_ty c <> I then error "condition must be an integer in %S" fundef.fname;
+      List.iter check_stmt t;
+      List.iter check_stmt e
+    | While (c, body) ->
+      if expr_ty c <> I then error "condition must be an integer in %S" fundef.fname;
+      List.iter check_stmt body
+    | For (var, lo, hi, body) ->
+      (match vars var with
+      | Some I -> ()
+      | Some F -> error "for-variable %S must be an integer in %S" var fundef.fname
+      | None -> error "for-variable %S not declared in %S" var fundef.fname);
+      if expr_ty lo <> I || expr_ty hi <> I then
+        error "for-bounds must be integers in %S" fundef.fname;
+      List.iter check_stmt body
+    | Expr e -> ignore (expr_ty e)
+    | Ret None -> ()
+    | Ret (Some e) ->
+      if expr_ty e <> fundef.ret then
+        error "return type mismatch in %S" fundef.fname
+  in
+  List.iter check_stmt fundef.body
+
+let check prog =
+  let gtbl = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gtbl g.gname then error "duplicate global %S" g.gname;
+      if g.elems <= 0 then error "global %S has non-positive size" g.gname;
+      if Array.length g.ginit > g.elems then
+        error "global %S initialiser longer than the array" g.gname;
+      Hashtbl.add gtbl g.gname g.gty)
+    prog.globals;
+  let ftbl = Hashtbl.create 16 in
+  List.iter
+    (fun fd ->
+      if Hashtbl.mem ftbl fd.fname then error "duplicate function %S" fd.fname;
+      if List.length fd.params > Pc_isa.Reg.max_args then
+        error "function %S has too many parameters (max %d)" fd.fname
+          Pc_isa.Reg.max_args;
+      Hashtbl.add ftbl fd.fname (List.map snd fd.params, fd.ret))
+    prog.funs;
+  (match Hashtbl.find_opt ftbl "main" with
+  | Some ([], I) -> ()
+  | Some _ -> error "main must take no parameters and return an integer"
+  | None -> error "program has no main function");
+  let globals name = Hashtbl.find_opt gtbl name in
+  let funs name = Hashtbl.find_opt ftbl name in
+  List.iter (check_fun ~globals ~funs) prog.funs

@@ -1,0 +1,21 @@
+(** Static checks for Kc programs.
+
+    Verifies name resolution, arity, and the simple monomorphic type
+    rules: arithmetic is homogeneous, comparisons yield integers, bitwise
+    and logical operators are integer-only, array index expressions are
+    integers, [For] variables are declared integer locals, [main] exists
+    with no parameters and integer return. *)
+
+exception Error of string
+(** Raised with a human-readable message on any violation. *)
+
+val type_of_expr :
+  globals:(string -> Ast.ty option) ->
+  vars:(string -> Ast.ty option) ->
+  funs:(string -> (Ast.ty list * Ast.ty) option) ->
+  Ast.expr ->
+  Ast.ty
+(** Type of an expression in the given environment; raises {!Error}. *)
+
+val check : Ast.prog -> unit
+(** Check a whole program; raises {!Error} on the first violation. *)

@@ -1,0 +1,529 @@
+open Ast
+module I = Pc_isa.Instr
+module Reg = Pc_isa.Reg
+module Asm = Pc_isa.Asm
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Register conventions (see the interface). *)
+let gp = 30
+let fzero = 31
+let int_homes = [ 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19 ]
+let fp_homes = int_homes
+let int_temps = [ 20; 21; 22; 23; 24; 25; 27; 28 ]
+let fp_temps = [ 20; 21; 22; 23; 24; 25; 26; 27 ]
+
+type loc = Lreg of int | Lfreg of int | Lspill of int (* frame slot *)
+
+(* The result of compiling an expression: which register holds it and
+   whether that register came from the temporary pool. *)
+type res = { reg : int; rty : ty; is_temp : bool }
+
+type ctx = {
+  mutable items : Asm.item list; (* reversed *)
+  vars : (string, ty * loc) Hashtbl.t;
+  mutable free_int_temps : int list;
+  mutable free_fp_temps : int list;
+  globals : (string, ty * int) Hashtbl.t; (* byte offset in data segment *)
+  fun_sigs : (string, ty list * ty) Hashtbl.t;
+  label_counter : int ref;
+  epilogue : string;
+  fname : string;
+}
+
+let emit ctx instr = ctx.items <- Asm.Ins instr :: ctx.items
+let emit_label ctx l = ctx.items <- Asm.Label l :: ctx.items
+
+let fresh_label ctx stem =
+  incr ctx.label_counter;
+  Printf.sprintf "%s_%s_%d" ctx.fname stem !(ctx.label_counter)
+
+let alloc_temp ctx ty =
+  match ty with
+  | I -> (
+    match ctx.free_int_temps with
+    | r :: rest ->
+      ctx.free_int_temps <- rest;
+      { reg = r; rty = I; is_temp = true }
+    | [] -> error "expression too deep in %S: out of integer temporaries" ctx.fname)
+  | F -> (
+    match ctx.free_fp_temps with
+    | r :: rest ->
+      ctx.free_fp_temps <- rest;
+      { reg = r; rty = F; is_temp = true }
+    | [] -> error "expression too deep in %S: out of float temporaries" ctx.fname)
+
+let free ctx res =
+  if res.is_temp then
+    match res.rty with
+    | I -> ctx.free_int_temps <- res.reg :: ctx.free_int_temps
+    | F -> ctx.free_fp_temps <- res.reg :: ctx.free_fp_temps
+
+let expr_ty ctx e =
+  Check.type_of_expr
+    ~globals:(fun n -> Option.map fst (Hashtbl.find_opt ctx.globals n))
+    ~vars:(fun n -> Option.map fst (Hashtbl.find_opt ctx.vars n))
+    ~funs:(fun n -> Hashtbl.find_opt ctx.fun_sigs n)
+    e
+
+(* Normalise an integer register to 0/1 into a fresh temp: t = (r <> 0). *)
+let normalise_bool ctx r =
+  let t = alloc_temp ctx I in
+  emit ctx (I.Alu (I.Cmp_eq, t.reg, r, Reg.zero));
+  emit ctx (I.Alui (I.Xor, t.reg, t.reg, 1));
+  t
+
+let rec compile_expr ctx e : res =
+  match e with
+  | Int v ->
+    let t = alloc_temp ctx I in
+    emit ctx (I.Li (t.reg, v));
+    t
+  | Flt v ->
+    let t = alloc_temp ctx F in
+    emit ctx (I.Fli (t.reg, v));
+    t
+  | Var name -> (
+    match Hashtbl.find_opt ctx.vars name with
+    | Some (ty, Lreg r) -> { reg = r; rty = ty; is_temp = false }
+    | Some (ty, Lfreg r) -> { reg = r; rty = ty; is_temp = false }
+    | Some (I, Lspill slot) ->
+      let t = alloc_temp ctx I in
+      emit ctx (I.Load (t.reg, Reg.sp, 8 * slot));
+      t
+    | Some (F, Lspill slot) ->
+      let t = alloc_temp ctx F in
+      emit ctx (I.Fload (t.reg, Reg.sp, 8 * slot));
+      t
+    | None -> error "unknown variable %S in %S" name ctx.fname)
+  | Ld (name, idx) -> (
+    let ty, off = global_info ctx name in
+    let addr = compile_address ctx idx in
+    match ty with
+    | I ->
+      (* Reuse the address temporary as the destination. *)
+      emit ctx (I.Load (addr.reg, addr.reg, off));
+      addr
+    | F ->
+      let t = alloc_temp ctx F in
+      emit ctx (I.Fload (t.reg, addr.reg, off));
+      free ctx addr;
+      t)
+  | Bin (op, a, b) -> compile_bin ctx op a b
+  | Un (op, a) -> compile_un ctx op a
+  | Call (name, args) -> compile_call ctx name args
+  | I2f a ->
+    let ra = compile_expr ctx a in
+    let t = alloc_temp ctx F in
+    emit ctx (I.Itof (t.reg, ra.reg));
+    free ctx ra;
+    t
+  | F2i a ->
+    let ra = compile_expr ctx a in
+    let t = alloc_temp ctx I in
+    emit ctx (I.Ftoi (t.reg, ra.reg));
+    free ctx ra;
+    t
+
+and global_info ctx name =
+  match Hashtbl.find_opt ctx.globals name with
+  | Some info -> info
+  | None -> error "unknown global %S in %S" name ctx.fname
+
+(* Compute [gp + 8 * idx] into a fresh integer temp; the caller adds the
+   global's byte offset as a load/store displacement. *)
+and compile_address ctx idx =
+  let ri = compile_expr ctx idx in
+  let t = alloc_temp ctx I in
+  emit ctx (I.Alui (I.Sll, t.reg, ri.reg, 3));
+  emit ctx (I.Alu (I.Add, t.reg, t.reg, gp));
+  free ctx ri;
+  t
+
+and compile_bin ctx op a b =
+  let ra = compile_expr ctx a in
+  let rb = compile_expr ctx b in
+  let result =
+    match (ra.rty, op) with
+    | I, (Add | Sub | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr) ->
+      let t = alloc_temp ctx I in
+      let instr =
+        match op with
+        | Add -> I.Alu (I.Add, t.reg, ra.reg, rb.reg)
+        | Sub -> I.Alu (I.Sub, t.reg, ra.reg, rb.reg)
+        | Mul -> I.Mul (t.reg, ra.reg, rb.reg)
+        | Div -> I.Div (t.reg, ra.reg, rb.reg)
+        | Mod -> I.Rem (t.reg, ra.reg, rb.reg)
+        | Band -> I.Alu (I.And, t.reg, ra.reg, rb.reg)
+        | Bor -> I.Alu (I.Or, t.reg, ra.reg, rb.reg)
+        | Bxor -> I.Alu (I.Xor, t.reg, ra.reg, rb.reg)
+        | Shl -> I.Alu (I.Sll, t.reg, ra.reg, rb.reg)
+        | Shr -> I.Alu (I.Srl, t.reg, ra.reg, rb.reg)
+        | _ -> assert false
+      in
+      emit ctx instr;
+      t
+    | I, (Eq | Ne | Lt | Le | Gt | Ge) ->
+      let t = alloc_temp ctx I in
+      (match op with
+      | Eq -> emit ctx (I.Alu (I.Cmp_eq, t.reg, ra.reg, rb.reg))
+      | Ne ->
+        emit ctx (I.Alu (I.Cmp_eq, t.reg, ra.reg, rb.reg));
+        emit ctx (I.Alui (I.Xor, t.reg, t.reg, 1))
+      | Lt -> emit ctx (I.Alu (I.Cmp_lt, t.reg, ra.reg, rb.reg))
+      | Le -> emit ctx (I.Alu (I.Cmp_le, t.reg, ra.reg, rb.reg))
+      | Gt -> emit ctx (I.Alu (I.Cmp_lt, t.reg, rb.reg, ra.reg))
+      | Ge -> emit ctx (I.Alu (I.Cmp_le, t.reg, rb.reg, ra.reg))
+      | _ -> assert false);
+      t
+    | I, (Land | Lor) ->
+      let na = normalise_bool ctx ra.reg in
+      let nb = normalise_bool ctx rb.reg in
+      let t = alloc_temp ctx I in
+      let aluop = match op with Land -> I.And | _ -> I.Or in
+      emit ctx (I.Alu (aluop, t.reg, na.reg, nb.reg));
+      free ctx na;
+      free ctx nb;
+      t
+    | F, (Add | Sub | Mul | Div) ->
+      let t = alloc_temp ctx F in
+      (match op with
+      | Add -> emit ctx (I.Falu (I.Fadd, t.reg, ra.reg, rb.reg))
+      | Sub -> emit ctx (I.Falu (I.Fsub, t.reg, ra.reg, rb.reg))
+      | Mul -> emit ctx (I.Fmul (t.reg, ra.reg, rb.reg))
+      | Div -> emit ctx (I.Fdiv (t.reg, ra.reg, rb.reg))
+      | _ -> assert false);
+      t
+    | F, (Eq | Ne | Lt | Le | Gt | Ge) ->
+      let t = alloc_temp ctx I in
+      (match op with
+      | Eq -> emit ctx (I.Fcmp (I.Fcmp_eq, t.reg, ra.reg, rb.reg))
+      | Ne ->
+        emit ctx (I.Fcmp (I.Fcmp_eq, t.reg, ra.reg, rb.reg));
+        emit ctx (I.Alui (I.Xor, t.reg, t.reg, 1))
+      | Lt -> emit ctx (I.Fcmp (I.Fcmp_lt, t.reg, ra.reg, rb.reg))
+      | Le -> emit ctx (I.Fcmp (I.Fcmp_le, t.reg, ra.reg, rb.reg))
+      | Gt -> emit ctx (I.Fcmp (I.Fcmp_lt, t.reg, rb.reg, ra.reg))
+      | Ge -> emit ctx (I.Fcmp (I.Fcmp_le, t.reg, rb.reg, ra.reg))
+      | _ -> assert false);
+      t
+    | F, (Mod | Band | Bor | Bxor | Shl | Shr | Land | Lor) ->
+      error "integer-only operator on floats in %S" ctx.fname
+  in
+  free ctx ra;
+  free ctx rb;
+  result
+
+and compile_un ctx op a =
+  let ra = compile_expr ctx a in
+  let result =
+    match (op, ra.rty) with
+    | Neg, I ->
+      let t = alloc_temp ctx I in
+      emit ctx (I.Alu (I.Sub, t.reg, Reg.zero, ra.reg));
+      t
+    | Neg, F ->
+      let t = alloc_temp ctx F in
+      emit ctx (I.Falu (I.Fsub, t.reg, fzero, ra.reg));
+      t
+    | Bnot, I ->
+      let t = alloc_temp ctx I in
+      emit ctx (I.Alui (I.Xor, t.reg, ra.reg, -1));
+      t
+    | Lnot, I ->
+      let t = alloc_temp ctx I in
+      emit ctx (I.Alu (I.Cmp_eq, t.reg, ra.reg, Reg.zero));
+      t
+    | (Bnot | Lnot), F -> error "integer-only unary operator on a float in %S" ctx.fname
+  in
+  free ctx ra;
+  result
+
+and compile_call ctx name args =
+  let ret_ty =
+    match Hashtbl.find_opt ctx.fun_sigs name with
+    | Some (_, rt) -> rt
+    | None -> error "unknown function %S called from %S" name ctx.fname
+  in
+  (* Evaluate every argument first (inner calls may clobber argument
+     registers), then move them all into place. *)
+  let results = List.map (compile_expr ctx) args in
+  let int_pos = ref 0 and fp_pos = ref 0 in
+  List.iter
+    (fun r ->
+      match r.rty with
+      | I ->
+        let dst = Reg.arg0 + !int_pos in
+        incr int_pos;
+        if dst >= Reg.arg0 + Reg.max_args then
+          error "too many integer arguments calling %S" name;
+        if dst <> r.reg then emit ctx (I.Alui (I.Add, dst, r.reg, 0))
+      | F ->
+        let dst = Reg.arg0 + !fp_pos in
+        incr fp_pos;
+        if dst >= Reg.arg0 + Reg.max_args then
+          error "too many float arguments calling %S" name;
+        if dst <> r.reg then emit ctx (I.Fmov (dst, r.reg)))
+    results;
+  List.iter (free ctx) results;
+  emit ctx (I.Call (I.Label ("fn_" ^ name)));
+  (* Copy the return value out of r1/f1 immediately. *)
+  match ret_ty with
+  | I ->
+    let t = alloc_temp ctx I in
+    emit ctx (I.Alui (I.Add, t.reg, Reg.ret, 0));
+    t
+  | F ->
+    let t = alloc_temp ctx F in
+    emit ctx (I.Fmov (t.reg, Reg.ret));
+    t
+
+let store_to_var ctx name res =
+  match Hashtbl.find_opt ctx.vars name with
+  | Some (_, Lreg r) -> if r <> res.reg then emit ctx (I.Alui (I.Add, r, res.reg, 0))
+  | Some (_, Lfreg r) -> if r <> res.reg then emit ctx (I.Fmov (r, res.reg))
+  | Some (I, Lspill slot) -> emit ctx (I.Store (res.reg, Reg.sp, 8 * slot))
+  | Some (F, Lspill slot) -> emit ctx (I.Fstore (res.reg, Reg.sp, 8 * slot))
+  | None -> error "unknown variable %S in %S" name ctx.fname
+
+let rec compile_stmt ctx ret_ty stmt =
+  match stmt with
+  | Set (name, e) ->
+    let r = compile_expr ctx e in
+    store_to_var ctx name r;
+    free ctx r
+  | St (name, idx, e) ->
+    let _, off = global_info ctx name in
+    let value = compile_expr ctx e in
+    let addr = compile_address ctx idx in
+    (match value.rty with
+    | I -> emit ctx (I.Store (value.reg, addr.reg, off))
+    | F -> emit ctx (I.Fstore (value.reg, addr.reg, off)));
+    free ctx addr;
+    free ctx value
+  | If (c, then_b, []) ->
+    let l_end = fresh_label ctx "endif" in
+    let rc = compile_expr ctx c in
+    emit ctx (I.Br (I.Eq_z, rc.reg, I.Label l_end));
+    free ctx rc;
+    List.iter (compile_stmt ctx ret_ty) then_b;
+    emit_label ctx l_end
+  | If (c, then_b, else_b) ->
+    let l_else = fresh_label ctx "else" in
+    let l_end = fresh_label ctx "endif" in
+    let rc = compile_expr ctx c in
+    emit ctx (I.Br (I.Eq_z, rc.reg, I.Label l_else));
+    free ctx rc;
+    List.iter (compile_stmt ctx ret_ty) then_b;
+    emit ctx (I.Jmp (I.Label l_end));
+    emit_label ctx l_else;
+    List.iter (compile_stmt ctx ret_ty) else_b;
+    emit_label ctx l_end
+  | While (c, body) ->
+    let l_top = fresh_label ctx "while" in
+    let l_end = fresh_label ctx "wend" in
+    emit_label ctx l_top;
+    let rc = compile_expr ctx c in
+    emit ctx (I.Br (I.Eq_z, rc.reg, I.Label l_end));
+    free ctx rc;
+    List.iter (compile_stmt ctx ret_ty) body;
+    emit ctx (I.Jmp (I.Label l_top));
+    emit_label ctx l_end
+  | For (var, lo, hi, body) ->
+    let l_top = fresh_label ctx "for" in
+    let l_end = fresh_label ctx "fend" in
+    compile_stmt ctx ret_ty (Set (var, lo));
+    emit_label ctx l_top;
+    let cond = compile_expr ctx (Bin (Lt, Var var, hi)) in
+    emit ctx (I.Br (I.Eq_z, cond.reg, I.Label l_end));
+    free ctx cond;
+    List.iter (compile_stmt ctx ret_ty) body;
+    compile_stmt ctx ret_ty (Set (var, Bin (Add, Var var, Int 1L)));
+    emit ctx (I.Jmp (I.Label l_top));
+    emit_label ctx l_end
+  | Expr e ->
+    let r = compile_expr ctx e in
+    free ctx r
+  | Ret None -> emit ctx (I.Jmp (I.Label ctx.epilogue))
+  | Ret (Some e) ->
+    let r = compile_expr ctx e in
+    (match expr_ty ctx e with
+    | I -> if r.reg <> Reg.ret then emit ctx (I.Alui (I.Add, Reg.ret, r.reg, 0))
+    | F -> if r.reg <> Reg.ret then emit ctx (I.Fmov (Reg.ret, r.reg)));
+    free ctx r;
+    emit ctx (I.Jmp (I.Label ctx.epilogue))
+
+(* Registers a function must preserve: homes and temporaries of both
+   files.  Argument and return registers are caller-managed. *)
+let save_candidate id =
+  let intr = id < 32 in
+  let n = if intr then id else id - 32 in
+  n >= 8 && n <= 28 && not (intr && n = Reg.ra)
+
+let compile_fun ~globals ~fun_sigs ~label_counter (fd : fundef) =
+  let vars = Hashtbl.create 16 in
+  let next_int_home = ref int_homes in
+  let next_fp_home = ref fp_homes in
+  let spill_count = ref 0 in
+  let assign_loc ty =
+    match ty with
+    | I -> (
+      match !next_int_home with
+      | r :: rest ->
+        next_int_home := rest;
+        Lreg r
+      | [] ->
+        let s = !spill_count in
+        incr spill_count;
+        Lspill s)
+    | F -> (
+      match !next_fp_home with
+      | r :: rest ->
+        next_fp_home := rest;
+        Lfreg r
+      | [] ->
+        let s = !spill_count in
+        incr spill_count;
+        Lspill s)
+  in
+  List.iter
+    (fun (name, ty) -> Hashtbl.replace vars name (ty, assign_loc ty))
+    (fd.params @ fd.locals);
+  let ctx =
+    {
+      items = [];
+      vars;
+      free_int_temps = int_temps;
+      free_fp_temps = fp_temps;
+      globals;
+      fun_sigs;
+      label_counter;
+      epilogue = Printf.sprintf "fn_%s_epilogue" fd.fname;
+      fname = fd.fname;
+    }
+  in
+  (* Move incoming arguments from argument registers to their homes. *)
+  let int_pos = ref 0 and fp_pos = ref 0 in
+  List.iter
+    (fun (name, ty) ->
+      let src =
+        match ty with
+        | I ->
+          let r = Reg.arg0 + !int_pos in
+          incr int_pos;
+          r
+        | F ->
+          let r = Reg.arg0 + !fp_pos in
+          incr fp_pos;
+          r
+      in
+      match Hashtbl.find vars name with
+      | I, Lreg home -> emit ctx (I.Alui (I.Add, home, src, 0))
+      | F, Lfreg home -> emit ctx (I.Fmov (home, src))
+      | I, Lspill slot -> emit ctx (I.Store (src, Reg.sp, 8 * slot))
+      | F, Lspill slot -> emit ctx (I.Fstore (src, Reg.sp, 8 * slot))
+      | I, Lfreg _ | F, Lreg _ -> assert false)
+    fd.params;
+  (* Kc semantics: locals start at zero (the interpreter guarantees it). *)
+  List.iter
+    (fun (lname, _) ->
+      match Hashtbl.find vars lname with
+      | I, Lreg home -> emit ctx (I.Li (home, 0L))
+      | F, Lfreg home -> emit ctx (I.Fli (home, 0.0))
+      | I, Lspill slot -> emit ctx (I.Store (Reg.zero, Reg.sp, 8 * slot))
+      | F, Lspill slot -> emit ctx (I.Fstore (fzero, Reg.sp, 8 * slot))
+      | I, Lfreg _ | F, Lreg _ -> assert false)
+    fd.locals;
+  List.iter (compile_stmt ctx fd.ret) fd.body;
+  let body = List.rev ctx.items in
+  (* Which preserved registers does the body write? *)
+  let written = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      match item with
+      | Asm.Label _ -> ()
+      | Asm.Ins instr -> (
+        match I.writes instr with
+        | Some id when save_candidate id -> Hashtbl.replace written id ()
+        | Some _ | None -> ()))
+    body;
+  let saved = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) written []) in
+  let n_spill = !spill_count in
+  let frame_words = n_spill + 1 + List.length saved in
+  let frame_bytes = 8 * frame_words in
+  let save_slot i = 8 * (n_spill + 1 + i) in
+  let save_instr idx id =
+    if id < 32 then I.Store (id, Reg.sp, save_slot idx)
+    else I.Fstore (id - 32, Reg.sp, save_slot idx)
+  in
+  let restore_instr idx id =
+    if id < 32 then I.Load (id, Reg.sp, save_slot idx)
+    else I.Fload (id - 32, Reg.sp, save_slot idx)
+  in
+  let prologue =
+    Asm.Label ("fn_" ^ fd.fname)
+    :: Asm.Ins (I.Alui (I.Add, Reg.sp, Reg.sp, -frame_bytes))
+    :: Asm.Ins (I.Store (Reg.ra, Reg.sp, 8 * n_spill))
+    :: List.mapi (fun i id -> Asm.Ins (save_instr i id)) saved
+  in
+  let epilogue =
+    Asm.Label ctx.epilogue
+    :: List.mapi (fun i id -> Asm.Ins (restore_instr i id)) saved
+    @ [
+        Asm.Ins (I.Load (Reg.ra, Reg.sp, 8 * n_spill));
+        Asm.Ins (I.Alui (I.Add, Reg.sp, Reg.sp, frame_bytes));
+        Asm.Ins (I.Jr Reg.ra);
+      ]
+  in
+  prologue @ body @ epilogue
+
+let layout_globals globs =
+  let _, rev =
+    List.fold_left
+      (fun (off, acc) g -> (off + (8 * g.elems), (g.gname, g.gty, off) :: acc))
+      (0, []) globs
+  in
+  List.rev rev
+
+let global_offsets (prog : prog) =
+  List.map (fun (name, _, off) -> (name, off)) (layout_globals prog.globals)
+
+let compile ~name (prog : prog) =
+  (try Check.check prog with Check.Error msg -> raise (Error msg));
+  let layout = layout_globals prog.globals in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (gname, gty, off) -> Hashtbl.replace globals gname (gty, off))
+    layout;
+  let fun_sigs = Hashtbl.create 16 in
+  List.iter
+    (fun (fd : fundef) ->
+      Hashtbl.replace fun_sigs fd.fname (List.map snd fd.params, fd.ret))
+    prog.funs;
+  let label_counter = ref 0 in
+  let entry =
+    [
+      Asm.Ins (I.Li (gp, Int64.of_int Pc_isa.Program.data_base));
+      Asm.Ins (I.Call (I.Label "fn_main"));
+      Asm.Ins I.Halt;
+    ]
+  in
+  let body =
+    List.concat_map (compile_fun ~globals ~fun_sigs ~label_counter) prog.funs
+  in
+  let data =
+    List.concat_map
+      (fun g ->
+        let _, _, off =
+          List.find (fun (n, _, _) -> n = g.gname) layout
+        in
+        let base = Pc_isa.Program.data_base + off in
+        List.init (Array.length g.ginit) (fun i -> (base + (8 * i), g.ginit.(i))))
+      prog.globals
+  in
+  let data_bytes =
+    List.fold_left (fun acc g -> acc + (8 * g.elems)) 0 prog.globals
+  in
+  Asm.assemble ~name ~data ~data_bytes (entry @ body)

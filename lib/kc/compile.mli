@@ -1,0 +1,31 @@
+(** Compiler from Kc to SRISC.
+
+    Register conventions:
+    - [r0] zero, [r1]/[f1] return values, [r2..r7]/[f2..f7] arguments,
+    - [r8..r19]/[f8..f19] homes for scalar parameters and locals (extras
+      spill to the stack frame),
+    - [r20..r27]/[f20..f27] expression temporaries,
+    - [r26] is {b not} a temporary — it is the link register; the integer
+      temporary range is [r20..r25] plus [r27..r28],
+    - [r29] stack pointer, [r30] global data pointer, [f31] always 0.0.
+
+    Every function saves the link register and every home/temporary it
+    writes, so arbitrary (including recursive) call graphs are safe and
+    expression temporaries survive calls.
+
+    Global arrays live in the data segment starting at
+    {!Pc_isa.Program.data_base}; element [i] of a global at byte offset
+    [off] is at [data_base + off + 8 * i]. *)
+
+exception Error of string
+(** Raised when a program fails {!Check.check} or exceeds a code-generator
+    limit (e.g. an expression too deep for the temporary pool). *)
+
+val compile : name:string -> Ast.prog -> Pc_isa.Program.t
+(** Type-check and compile.  Execution convention: the program runs
+    [main] and halts; [main]'s return value is left in [r1] for result
+    checking. *)
+
+val global_offsets : Ast.prog -> (string * int) list
+(** Byte offset of each global within the data segment, in layout order
+    (exposed for tests and debugging tools). *)

@@ -1,0 +1,144 @@
+module Config = Pc_uarch.Config
+module Sim = Pc_uarch.Sim
+module Cache = Pc_caches.Cache
+module Hierarchy = Pc_caches.Hierarchy
+module Predictor = Pc_branch.Predictor
+module I = Pc_isa.Instr
+
+type breakdown = {
+  icache : float;
+  dcache : float;
+  l2 : float;
+  bpred : float;
+  rename_rob : float;
+  lsq : float;
+  regfile : float;
+  window : float;
+  alu : float;
+  clock : float;
+  idle : float;
+}
+
+type report = { total : float; per_structure : breakdown }
+
+(* --- per-access energies (arbitrary units, CACTI-like scaling) --- *)
+
+(* Array energy grows with sqrt(capacity) — bitline/wordline length — and
+   mildly with associativity (parallel tag compares). *)
+let cache_access_energy (c : Cache.config) =
+  let ways = float_of_int (Cache.ways c) in
+  0.6 *. sqrt (float_of_int c.Cache.size_bytes /. 1024.0) *. (1.0 +. (0.25 *. sqrt (ways -. 1.0)))
+
+let rec bpred_access_energy = function
+  | Predictor.Taken | Predictor.Not_taken | Predictor.Perfect -> 0.05
+  | Predictor.Bimodal entries -> 0.15 *. sqrt (float_of_int entries /. 1024.0)
+  | Predictor.Gap { history_bits; tables } ->
+    let counters = float_of_int (tables * (1 lsl history_bits)) in
+    0.15 *. sqrt (counters /. 1024.0)
+  | Predictor.Gshare { entries; _ } -> 0.15 *. sqrt (float_of_int entries /. 1024.0)
+  | Predictor.Pap { history_bits; tables } ->
+    let counters = float_of_int (tables * (1 lsl history_bits)) in
+    0.15 *. sqrt (counters /. 1024.0)
+  | Predictor.Tournament { meta_entries; a; b } ->
+    (0.15 *. sqrt (float_of_int meta_entries /. 1024.0))
+    +. bpred_access_energy a +. bpred_access_energy b
+
+let rob_access_energy (cfg : Config.t) =
+  0.3 *. sqrt (float_of_int cfg.Config.rob_size) *. float_of_int cfg.Config.decode_width
+
+let lsq_access_energy (cfg : Config.t) = 0.25 *. sqrt (float_of_int cfg.Config.lsq_size)
+
+let regfile_access_energy (cfg : Config.t) =
+  (* 64 architected registers; ports scale with issue width. *)
+  0.2 *. sqrt 64.0 /. 8.0 *. (1.0 +. (0.3 *. float_of_int cfg.Config.issue_width))
+
+let window_access_energy (cfg : Config.t) =
+  (* Wakeup/select over the issue window (ROB-sized here). *)
+  0.35 *. sqrt (float_of_int cfg.Config.rob_size)
+  *. (1.0 +. (0.3 *. float_of_int cfg.Config.issue_width))
+
+let fu_energy ci =
+  let open I in
+  match class_of_index ci with
+  | C_int_alu -> 0.6
+  | C_int_mul -> 1.8
+  | C_int_div -> 2.4
+  | C_fp_alu -> 1.6
+  | C_fp_mul -> 2.6
+  | C_fp_div -> 3.2
+  | C_load | C_store -> 0.7 (* AGU *)
+  | C_branch | C_jump -> 0.4
+  | C_other -> 0.1
+
+(* Peak (per-cycle, all-active) power of each structure, used for the
+   cc3-style 10% idle floor and the clock tree. *)
+let peaks (cfg : Config.t) =
+  let l1i = cache_access_energy cfg.Config.icache.Hierarchy.l1 in
+  let l1d = cache_access_energy cfg.Config.dcache.Hierarchy.l1 in
+  let l2 =
+    match cfg.Config.dcache.Hierarchy.l2 with
+    | Some c -> cache_access_energy c
+    | None -> 0.0
+  in
+  let fw = float_of_int cfg.Config.fetch_width in
+  let iw = float_of_int cfg.Config.issue_width in
+  let fus =
+    float_of_int
+      (cfg.Config.int_alu_units + cfg.Config.int_mul_units + cfg.Config.fp_alu_units
+     + cfg.Config.fp_mul_units)
+  in
+  [
+    l1i *. fw;
+    l1d *. float_of_int cfg.Config.mem_ports;
+    l2;
+    bpred_access_energy cfg.Config.bpred *. fw;
+    rob_access_energy cfg;
+    lsq_access_energy cfg;
+    regfile_access_energy cfg *. iw;
+    window_access_energy cfg;
+    1.2 *. fus;
+  ]
+
+let estimate (cfg : Config.t) (r : Sim.result) =
+  let cycles = float_of_int (max r.Sim.cycles 1) in
+  let per_cycle count energy = float_of_int count *. energy /. cycles in
+  let icache = per_cycle r.Sim.l1i_accesses (cache_access_energy cfg.Config.icache.Hierarchy.l1) in
+  let dcache = per_cycle r.Sim.l1d_accesses (cache_access_energy cfg.Config.dcache.Hierarchy.l1) in
+  let l2 =
+    match cfg.Config.dcache.Hierarchy.l2 with
+    | Some c -> per_cycle r.Sim.l2_accesses (cache_access_energy c)
+    | None -> 0.0
+  in
+  let bpred = per_cycle r.Sim.branches (bpred_access_energy cfg.Config.bpred) in
+  (* Every instruction writes the ROB at dispatch and reads it at commit. *)
+  let rename_rob = per_cycle (2 * r.Sim.instrs) (rob_access_energy cfg) in
+  let mem_ops =
+    r.Sim.class_counts.(I.class_index I.C_load)
+    + r.Sim.class_counts.(I.class_index I.C_store)
+  in
+  let lsq = per_cycle (2 * mem_ops) (lsq_access_energy cfg) in
+  (* Two register reads and one write per instruction on average. *)
+  let regfile = per_cycle (3 * r.Sim.instrs) (regfile_access_energy cfg) in
+  let window = per_cycle (2 * r.Sim.instrs) (window_access_energy cfg) in
+  let alu =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun ci count -> acc := !acc +. (float_of_int count *. fu_energy ci))
+      r.Sim.class_counts;
+    !acc /. cycles
+  in
+  let peak_list = peaks cfg in
+  let peak_sum = List.fold_left ( +. ) 0.0 peak_list in
+  (* Clock tree: proportional to total powered capacity, always on. *)
+  let clock = 0.35 *. peak_sum in
+  let idle = 0.10 *. peak_sum in
+  let per_structure =
+    { icache; dcache; l2; bpred; rename_rob; lsq; regfile; window; alu; clock; idle }
+  in
+  let total =
+    icache +. dcache +. l2 +. bpred +. rename_rob +. lsq +. regfile +. window +. alu
+    +. clock +. idle
+  in
+  { total; per_structure }
+
+let total cfg r = (estimate cfg r).total

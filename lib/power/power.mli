@@ -1,0 +1,45 @@
+(** Wattch-style activity-based power model.
+
+    Wattch computes per-structure dynamic energies (from CACTI-style
+    capacitance models) and multiplies them by per-cycle access counts,
+    with conditional clock gating ("cc3") charging idle structures 10 %
+    of their maximum power.  This module reproduces that structure with
+    simplified analytic energy scaling:
+
+    - array structures (caches, predictor tables, register files, ROB,
+      LSQ) have energy/access growing with the square root of capacity
+      and mildly with associativity/ports,
+    - functional-unit energies are fixed per operation class,
+    - a clock-tree component scales with total structure capacity and the
+      machine's widths.
+
+    Absolute numbers are in arbitrary "energy units"; the paper only uses
+    relative power (Figures 7 and 9, Table 3), which this model preserves:
+    bigger/wider structures cost proportionally more, and activity drives
+    the dynamic component. *)
+
+type breakdown = {
+  icache : float;
+  dcache : float;
+  l2 : float;
+  bpred : float;
+  rename_rob : float;
+  lsq : float;
+  regfile : float;
+  window : float;  (** issue queue wakeup/select *)
+  alu : float;
+  clock : float;
+  idle : float;  (** cc3 clock-gating floor: 10 % of peak for all structures *)
+}
+
+type report = {
+  total : float;  (** average power in energy units / cycle *)
+  per_structure : breakdown;
+}
+
+val estimate : Pc_uarch.Config.t -> Pc_uarch.Sim.result -> report
+(** Average power for a timing-simulation result under its
+    configuration. *)
+
+val total : Pc_uarch.Config.t -> Pc_uarch.Sim.result -> float
+(** Shorthand for [(estimate cfg r).total]. *)

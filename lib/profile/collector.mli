@@ -1,0 +1,20 @@
+(** Builds a {!Profile.t} by functionally simulating a program (the
+    "Workload Profiler" box in the paper's Figure 1).
+
+    Dynamic basic blocks are runs of instructions between control
+    transfers; SFG nodes are (predecessor block, block) pairs, matching
+    the paper's per-context profiling.  Register dependency distances are
+    measured in dynamic instructions between write and read; strides are
+    measured per static load/store and summarised as the most frequent
+    stride plus a footprint-derived stream length. *)
+
+val profile : ?max_instrs:int -> Pc_isa.Program.t -> Profile.t
+(** [profile program] runs the program (default budget 10 million
+    instructions) and returns its microarchitecture-independent
+    profile. *)
+
+val single_stride_fraction : ?max_instrs:int -> Pc_isa.Program.t -> float
+(** Just Figure 3's metric: the fraction of dynamic memory references
+    covered by approximating each static memory instruction with its
+    single most frequent stride.  Equivalent to
+    [(profile p).single_stride_fraction]. *)

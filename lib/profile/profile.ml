@@ -1,0 +1,202 @@
+let dep_bounds = [| 1; 2; 4; 6; 8; 16; 32 |]
+
+type mem_op = {
+  static_pc : int;
+  is_store : bool;
+  stride : int;
+  stream_length : int;
+  footprint : int;
+  window_span : int;
+  region : int;
+  row_stride : int;
+  refs : int;
+  single_stride_refs : int;
+}
+
+type branch_behaviour = { execs : int; taken_rate : float; transition_rate : float }
+
+type node = {
+  id : int;
+  pred_start : int;
+  start : int;
+  count : int;
+  size : int;
+  mix : float array;
+  dep_fractions : float array;
+  mem_ops : mem_op array;
+  branch : branch_behaviour option;
+  successors : (int * float) array;
+}
+
+type t = {
+  name : string;
+  instr_count : int;
+  nodes : node array;
+  global_mix : float array;
+  avg_block_size : float;
+  single_stride_fraction : float;
+  unique_streams : int;
+}
+
+let node_cdf t =
+  let total =
+    Array.fold_left (fun acc n -> acc +. float_of_int n.count) 0.0 t.nodes
+  in
+  let acc = ref 0.0 in
+  Array.map
+    (fun n ->
+      acc := !acc +. (float_of_int n.count /. total);
+      !acc)
+    t.nodes
+
+let pp_summary ppf t =
+  Format.fprintf ppf "profile %s: %d dynamic instrs, %d SFG nodes@." t.name
+    t.instr_count (Array.length t.nodes);
+  Format.fprintf ppf "  avg block size %.2f, single-stride fraction %.3f, %d streams@."
+    t.avg_block_size t.single_stride_fraction t.unique_streams;
+  Format.fprintf ppf "  mix:";
+  Array.iteri
+    (fun ci frac ->
+      if frac > 0.001 then
+        Format.fprintf ppf " %s=%.3f"
+          (Pc_isa.Instr.class_name (Pc_isa.Instr.class_of_index ci))
+          frac)
+    t.global_mix;
+  Format.fprintf ppf "@."
+
+(* --- serialisation: one record per line, space-separated --- *)
+
+let write_floats oc a =
+  Array.iter (fun v -> Printf.fprintf oc " %h" v) a
+
+let save oc t =
+  Printf.fprintf oc "perfclone-profile 5\n";
+  Printf.fprintf oc "name %s\n" t.name;
+  Printf.fprintf oc "instr_count %d\n" t.instr_count;
+  Printf.fprintf oc "avg_block_size %h\n" t.avg_block_size;
+  Printf.fprintf oc "single_stride_fraction %h\n" t.single_stride_fraction;
+  Printf.fprintf oc "unique_streams %d\n" t.unique_streams;
+  Printf.fprintf oc "global_mix";
+  write_floats oc t.global_mix;
+  Printf.fprintf oc "\n";
+  Printf.fprintf oc "nodes %d\n" (Array.length t.nodes);
+  Array.iter
+    (fun n ->
+      Printf.fprintf oc "node %d %d %d %d %d\n" n.id n.pred_start n.start n.count
+        n.size;
+      Printf.fprintf oc "mix";
+      write_floats oc n.mix;
+      Printf.fprintf oc "\n";
+      Printf.fprintf oc "deps";
+      write_floats oc n.dep_fractions;
+      Printf.fprintf oc "\n";
+      Printf.fprintf oc "mem_ops %d\n" (Array.length n.mem_ops);
+      Array.iter
+        (fun m ->
+          Printf.fprintf oc "mem %d %d %d %d %d %d %d %d %d %d\n" m.static_pc
+            (if m.is_store then 1 else 0)
+            m.stride m.stream_length m.footprint m.window_span m.region
+            m.row_stride m.refs m.single_stride_refs)
+        n.mem_ops;
+      (match n.branch with
+      | None -> Printf.fprintf oc "branch none\n"
+      | Some b ->
+        Printf.fprintf oc "branch %d %h %h\n" b.execs b.taken_rate b.transition_rate);
+      Printf.fprintf oc "succs %d" (Array.length n.successors);
+      Array.iter (fun (id, p) -> Printf.fprintf oc " %d %h" id p) n.successors;
+      Printf.fprintf oc "\n")
+    t.nodes
+
+exception Parse of string
+
+let load ic =
+  let line () = try input_line ic with End_of_file -> raise (Parse "unexpected EOF") in
+  let expect_tokens expected =
+    let l = line () in
+    match String.split_on_char ' ' l with
+    | tok :: rest when tok = expected -> rest
+    | _ -> raise (Parse (Printf.sprintf "expected %S, got %S" expected l))
+  in
+  let floats_of = Array.of_list in
+  let parse_float s =
+    try float_of_string s with Failure _ -> raise (Parse ("bad float " ^ s))
+  in
+  let parse_int s =
+    try int_of_string s with Failure _ -> raise (Parse ("bad int " ^ s))
+  in
+  try
+    (match expect_tokens "perfclone-profile" with
+    | [ "5" ] -> ()
+    | _ -> raise (Parse "unsupported version"));
+    let name = String.concat " " (expect_tokens "name") in
+    let instr_count = parse_int (List.hd (expect_tokens "instr_count")) in
+    let avg_block_size = parse_float (List.hd (expect_tokens "avg_block_size")) in
+    let single_stride_fraction =
+      parse_float (List.hd (expect_tokens "single_stride_fraction"))
+    in
+    let unique_streams = parse_int (List.hd (expect_tokens "unique_streams")) in
+    let global_mix = floats_of (List.map parse_float (expect_tokens "global_mix")) in
+    let n_nodes = parse_int (List.hd (expect_tokens "nodes")) in
+    let nodes =
+      Array.init n_nodes (fun _ ->
+          let id, pred_start, start, count, size =
+            match expect_tokens "node" with
+            | [ a; b; c; d; e ] ->
+              (parse_int a, parse_int b, parse_int c, parse_int d, parse_int e)
+            | _ -> raise (Parse "bad node header")
+          in
+          let mix = floats_of (List.map parse_float (expect_tokens "mix")) in
+          let dep_fractions = floats_of (List.map parse_float (expect_tokens "deps")) in
+          let n_mem = parse_int (List.hd (expect_tokens "mem_ops")) in
+          let mem_ops =
+            Array.init n_mem (fun _ ->
+                match expect_tokens "mem" with
+                | [ a; b; c; d; e; f; g; h; k; l ] ->
+                  {
+                    static_pc = parse_int a;
+                    is_store = parse_int b = 1;
+                    stride = parse_int c;
+                    stream_length = parse_int d;
+                    footprint = parse_int e;
+                    window_span = parse_int f;
+                    region = parse_int g;
+                    row_stride = parse_int h;
+                    refs = parse_int k;
+                    single_stride_refs = parse_int l;
+                  }
+                | _ -> raise (Parse "bad mem record"))
+          in
+          let branch =
+            match expect_tokens "branch" with
+            | [ "none" ] -> None
+            | [ a; b; c ] ->
+              Some
+                {
+                  execs = parse_int a;
+                  taken_rate = parse_float b;
+                  transition_rate = parse_float c;
+                }
+            | _ -> raise (Parse "bad branch record")
+          in
+          let successors =
+            match expect_tokens "succs" with
+            | count :: rest ->
+              let n = parse_int count in
+              let arr = Array.of_list rest in
+              if Array.length arr <> 2 * n then raise (Parse "bad succs record");
+              Array.init n (fun k ->
+                  (parse_int arr.(2 * k), parse_float arr.((2 * k) + 1)))
+            | [] -> raise (Parse "bad succs record")
+          in
+          { id; pred_start; start; count; size; mix; dep_fractions; mem_ops; branch; successors })
+    in
+    {
+      name;
+      instr_count;
+      nodes;
+      global_mix;
+      avg_block_size;
+      single_stride_fraction;
+      unique_streams;
+    }
+  with Parse msg -> failwith ("Profile.load: " ^ msg)

@@ -1,0 +1,115 @@
+let mean v =
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 v /. float_of_int n
+
+let stddev v =
+  let m = mean v in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 v in
+  sqrt (acc /. float_of_int (Array.length v))
+
+let pearson x y =
+  let n = Array.length x in
+  if n = 0 || n <> Array.length y then
+    invalid_arg "Stats.pearson: arrays must have equal positive length";
+  let mx = mean x and my = mean y in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  let denom = sqrt (!sxx *. !syy) in
+  if denom = 0.0 then 0.0 else !sxy /. denom
+
+let rankings v =
+  let n = Array.length v in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare v.(a) v.(b)) order;
+  let ranks = Array.make n 0.0 in
+  (* Walk runs of equal values and give each member the average rank. *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && v.(order.(!j + 1)) = v.(order.(!i)) do incr j done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      ranks.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  ranks
+
+let spearman x y = pearson (rankings x) (rankings y)
+
+let abs_rel_error ~actual ~predicted =
+  if actual = 0.0 then invalid_arg "Stats.abs_rel_error: actual is zero";
+  abs_float (predicted -. actual) /. abs_float actual
+
+let relative_design_error ~real_base ~real_new ~synth_base ~synth_new =
+  if real_base = 0.0 || synth_base = 0.0 then
+    invalid_arg "Stats.relative_design_error: zero base metric";
+  let real_ratio = real_new /. real_base in
+  let synth_ratio = synth_new /. synth_base in
+  if real_ratio = 0.0 then
+    invalid_arg "Stats.relative_design_error: zero real ratio";
+  abs_float (synth_ratio -. real_ratio) /. abs_float real_ratio
+
+let percentile v p =
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy v in
+  Array.sort compare sorted;
+  let pos = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+module Histogram = struct
+  type t = { bounds : int array; counts : int array; mutable total : int }
+
+  let create ~bounds =
+    let n = Array.length bounds in
+    for i = 1 to n - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Histogram.create: bounds must be strictly increasing"
+    done;
+    { bounds; counts = Array.make (n + 1) 0; total = 0 }
+
+  let bucket_of t x =
+    let n = Array.length t.bounds in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x <= t.bounds.(mid) then search lo mid else search (mid + 1) hi
+    in
+    if n = 0 || x > t.bounds.(n - 1) then n else search 0 (n - 1)
+
+  let add_many t x n =
+    let b = bucket_of t x in
+    t.counts.(b) <- t.counts.(b) + n;
+    t.total <- t.total + n
+
+  let add t x = add_many t x 1
+  let counts t = Array.copy t.counts
+  let total t = t.total
+
+  let fractions t =
+    if t.total = 0 then Array.make (Array.length t.counts) 0.0
+    else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+  let merge a b =
+    if a.bounds <> b.bounds then invalid_arg "Histogram.merge: bounds differ";
+    {
+      bounds = a.bounds;
+      counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      total = a.total + b.total;
+    }
+
+  let bounds t = Array.copy t.bounds
+end

@@ -1,0 +1,72 @@
+(** Statistics used by the evaluation: correlation, rankings, error
+    metrics and small summaries.
+
+    These are exactly the metrics the paper reports: Pearson's linear
+    correlation coefficient (Figure 4), configuration rankings (Figure 5),
+    absolute and relative errors (Figures 6–9, Table 3). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val pearson : float array -> float array -> float
+(** [pearson x y] is Pearson's linear correlation coefficient
+    [S_xy / (S_x . S_y)].  The arrays must have equal positive length.
+    Returns 0 when either series is constant (undefined correlation). *)
+
+val spearman : float array -> float array -> float
+(** Rank (Spearman) correlation: Pearson over the rank vectors, with ties
+    receiving their average rank. *)
+
+val rankings : float array -> float array
+(** [rankings v] assigns rank 1 to the smallest value; ties get the
+    average of the ranks they span. *)
+
+val abs_rel_error : actual:float -> predicted:float -> float
+(** [abs_rel_error ~actual ~predicted] is [|predicted - actual| / actual].
+    Raises [Invalid_argument] when [actual = 0]. *)
+
+val relative_design_error :
+  real_base:float -> real_new:float -> synth_base:float -> synth_new:float -> float
+(** The paper's relative-accuracy metric for a design change from a base
+    configuration to a new one:
+    [| (Mx_s/My_s - My_r/Mx_r^-1 ... ) |] — concretely
+    [|(synth_new/synth_base) - (real_new/real_base)| / (real_new/real_base)].
+    It measures how well the clone tracks the *trend*. *)
+
+val percentile : float array -> float -> float
+(** [percentile v p] with [p] in [\[0,100\]]; linear interpolation. *)
+
+module Histogram : sig
+  type t
+  (** Bucketed counts over predefined upper bounds. *)
+
+  val create : bounds:int array -> t
+  (** [create ~bounds] makes a histogram whose bucket [i] counts samples
+      [x <= bounds.(i)] (and greater than the previous bound); one extra
+      overflow bucket collects the rest.  [bounds] must be strictly
+      increasing. *)
+
+  val add : t -> int -> unit
+  (** Record one sample. *)
+
+  val add_many : t -> int -> int -> unit
+  (** [add_many t x n] records [x] with multiplicity [n]. *)
+
+  val counts : t -> int array
+  (** Per-bucket counts, length [Array.length bounds + 1]. *)
+
+  val total : t -> int
+  (** Total number of recorded samples. *)
+
+  val fractions : t -> float array
+  (** Per-bucket fraction of total; all zeros when empty. *)
+
+  val merge : t -> t -> t
+  (** Bucket-wise sum; both histograms must share the same bounds. *)
+
+  val bounds : t -> int array
+  (** The bucket upper bounds the histogram was created with. *)
+end

@@ -1,0 +1,35 @@
+(** Interval analysis: a closed-form analytical IPC estimate.
+
+    The third estimator family next to detailed timing simulation and
+    trace-based statistical simulation (Eyerman, Eeckhout, Karkhanis &
+    Smith's interval model, from the same research lineage as the paper):
+    execution is a base interval of steady-state dispatch punctuated by
+    miss events, so
+
+    {v cycles = N/D + mispredicts × (depth + resolution)
+              + long-latency misses (beyond the MLP overlap) × latency v}
+
+    where [D] is the effective dispatch rate (bounded by width and by the
+    ILP the dependency-distance profile allows).
+
+    Miss-event counts come from functionally simulating the program
+    against the configuration's caches and predictor (no timing) —
+    hundreds of times cheaper than the full scheduler — or from a
+    profile via {!of_profile}. *)
+
+type estimate = {
+  ipc : float;
+  base_cycles : float;  (** dispatch-limited cycles *)
+  branch_cycles : float;  (** misprediction penalty cycles *)
+  memory_cycles : float;  (** exposed long-latency miss cycles *)
+}
+
+val of_program :
+  ?max_instrs:int -> Pc_uarch.Config.t -> Pc_isa.Program.t -> estimate
+(** Functionally simulate to count miss events under the configuration's
+    caches/predictor, then apply the interval formula. *)
+
+val of_profile :
+  ?seed:int -> ?instrs:int -> Pc_uarch.Config.t -> Pc_profile.Profile.t -> estimate
+(** Same formula, with the miss events counted on the synthetic trace the
+    statistical simulator generates from the profile. *)

@@ -1,0 +1,288 @@
+module Profile = Pc_profile.Profile
+module Machine = Pc_funcsim.Machine
+module I = Pc_isa.Instr
+module Rng = Pc_util.Rng
+module Synth = Pc_synth.Synth
+
+(* Per-stream walker state for synthetic addresses: mirrors the clone
+   generator's geometry but lives in the trace generator. *)
+type walker = {
+  w_stride : int;
+  w_length : int;
+  w_spread : int;
+  w_base : int;
+  mutable w_pos : int; (* steps taken since last wrap *)
+  mutable w_slots : int; (* ops served this round-robin cycle *)
+}
+
+(* Per-static-branch direction state (modulo counter, as in the clone). *)
+type branch_state = {
+  b_period : int;
+  b_taken_slots : int;
+  mutable b_count : int;
+}
+
+let round8_up n = (n + 7) / 8 * 8
+
+let estimate ?(seed = 1) ?(instrs = 100_000) cfg (profile : Profile.t) =
+  let rng = Rng.create seed in
+  let nodes = profile.Profile.nodes in
+  if Array.length nodes = 0 then invalid_arg "Statsim.estimate: empty profile";
+  let streams = Synth.plan_streams ~max_streams:12 profile in
+  let streams =
+    if Array.length streams = 0 then
+      [|
+        {
+          Synth.stride = 8;
+          length = 2;
+          weight = 0;
+          footprint = 64;
+          active_span = 64;
+          region = Pc_isa.Program.data_base;
+          row_stride = 0;
+        };
+      |]
+    else streams
+  in
+  let walkers =
+    Array.map
+      (fun (s : Synth.stream_info) ->
+        let stride = if s.Synth.stride = 0 then 0 else s.Synth.stride in
+        let length =
+          if stride = 0 then 1
+          else max 2 (min 4096 (s.Synth.footprint / max 8 (abs stride)))
+        in
+        let spread = round8_up (max 8 (s.Synth.active_span / 8)) in
+        {
+          w_stride = stride;
+          w_length = length;
+          w_spread = spread;
+          w_base = (if s.Synth.region >= 0 && s.Synth.region < max_int then s.Synth.region / 8 * 8 else Pc_isa.Program.data_base);
+          w_pos = 0;
+          w_slots = 0;
+        })
+      streams
+  in
+  let branch_states : (int, branch_state) Hashtbl.t = Hashtbl.create 64 in
+  let branch_state_of (node : Profile.node) (b : Profile.branch_behaviour) =
+    match Hashtbl.find_opt branch_states node.Profile.id with
+    | Some s -> s
+    | None ->
+      let t = b.Profile.transition_rate and tr = b.Profile.taken_rate in
+      let s =
+        if t <= 0.02 then
+          { b_period = 1; b_taken_slots = (if tr >= 0.5 then 1 else 0); b_count = 0 }
+        else if t >= 0.9 then { b_period = 2; b_taken_slots = 1; b_count = 0 }
+        else begin
+          let p =
+            let raw = int_of_float (Float.round (2.0 /. t)) in
+            let rec pow2 x = if x >= raw then x else pow2 (2 * x) in
+            max 2 (min 256 (pow2 2))
+          in
+          let taken =
+            max 1 (min (p - 1) (int_of_float (Float.round (tr *. float_of_int p))))
+          in
+          { b_period = p; b_taken_slots = taken; b_count = 0 }
+        end
+      in
+      Hashtbl.add branch_states node.Profile.id s;
+      s
+  in
+  (* Register-dependency machinery: ring of synthetic destination ids. *)
+  let recent = Array.make 64 (-1) in
+  let recent_count = ref 0 in
+  let next_reg = ref 1 in
+  let push_dest d =
+    recent.(!recent_count land 63) <- d;
+    incr recent_count
+  in
+  let alloc_reg () =
+    let r = !next_reg in
+    next_reg := if !next_reg >= 25 then 1 else !next_reg + 1;
+    r
+  in
+  let sample_distance fractions =
+    let bounds = Profile.dep_bounds in
+    let u = Rng.float rng 1.0 in
+    let acc = ref 0.0 in
+    let bucket = ref (Array.length fractions - 1) in
+    (try
+       Array.iteri
+         (fun i f ->
+           acc := !acc +. f;
+           if !acc >= u then begin
+             bucket := i;
+             raise Exit
+           end)
+         fractions
+     with Exit -> ());
+    if !bucket >= Array.length bounds then 33 + Rng.int rng 16
+    else
+      let hi = bounds.(!bucket) in
+      let lo = if !bucket = 0 then 1 else bounds.(!bucket - 1) + 1 in
+      lo + Rng.int rng (hi - lo + 1)
+  in
+  let src fractions =
+    let d = sample_distance fractions in
+    let at k =
+      if k < 1 || k > min !recent_count 63 then -1
+      else recent.((!recent_count - k) land 63)
+    in
+    let rec scan delta =
+      if delta > 8 then 1 + Rng.int rng 24
+      else
+        let a = at (d - delta) and b = at (d + delta) in
+        if a >= 1 then a else if b >= 1 then b else scan (delta + 1)
+    in
+    scan 0
+  in
+  (* SFG walking state. *)
+  let node_cdf = Profile.node_cdf profile in
+  let pick_start () = Rng.sample_cdf rng node_cdf in
+  let pick_successor (node : Profile.node) =
+    let succs = node.Profile.successors in
+    if Array.length succs = 0 then None
+    else begin
+      let u = Rng.float rng 1.0 in
+      let acc = ref 0.0 in
+      let result = ref (fst succs.(Array.length succs - 1)) in
+      (try
+         Array.iter
+           (fun (id, p) ->
+             acc := !acc +. p;
+             if !acc >= u then begin
+               result := id;
+               raise Exit
+             end)
+           succs
+       with Exit -> ());
+      Some !result
+    end
+  in
+  (* Event synthesis. *)
+  let comp_classes =
+    [| I.C_int_alu; I.C_int_mul; I.C_int_div; I.C_fp_alu; I.C_fp_mul; I.C_fp_div |]
+  in
+  Pc_uarch.Sim.run_events cfg (fun on_event ->
+      let ev =
+        {
+          Machine.pc = 0;
+          iclass = I.C_int_alu;
+          mem_addr = -1;
+          is_store = false;
+          is_branch = false;
+          taken = false;
+          next_pc = 0;
+          reads = [];
+          writes = -1;
+        }
+      in
+      let emitted = ref 0 in
+      let current = ref (pick_start ()) in
+      while !emitted < instrs do
+        let node = nodes.(!current) in
+        let weights =
+          Array.map (fun c -> node.Profile.mix.(I.class_index c)) comp_classes
+        in
+        let wsum = Array.fold_left ( +. ) 0.0 weights in
+        let sample_class () =
+          if wsum <= 0.0 then I.C_int_alu
+          else begin
+            let u = Rng.float rng wsum in
+            let acc = ref 0.0 in
+            let result = ref I.C_int_alu in
+            (try
+               Array.iteri
+                 (fun i w ->
+                   acc := !acc +. w;
+                   if !acc >= u then begin
+                     result := comp_classes.(i);
+                     raise Exit
+                   end)
+                 weights
+             with Exit -> ());
+            !result
+          end
+        in
+        let mem_ops = node.Profile.mem_ops in
+        let n_mem = Array.length mem_ops in
+        let body_slots = max 1 (node.Profile.size - 1) in
+        let mem_every = if n_mem = 0 then max_int else max 1 (body_slots / n_mem) in
+        let mem_taken = ref 0 in
+        for slot = 0 to body_slots - 1 do
+          let pc = node.Profile.start + slot in
+          ev.Machine.pc <- pc;
+          ev.Machine.is_branch <- false;
+          ev.Machine.mem_addr <- -1;
+          ev.Machine.is_store <- false;
+          let use_mem = !mem_taken < n_mem && slot mod mem_every = 0 in
+          if use_mem then begin
+            let m = mem_ops.(!mem_taken) in
+            incr mem_taken;
+            let k = Synth.assign_stream streams m in
+            let w = walkers.(k) in
+            (* advance the walker once per full op rotation *)
+            let slot_id = w.w_slots in
+            w.w_slots <- w.w_slots + 1;
+            let addr = w.w_base + (w.w_pos * abs w.w_stride) + (8 * (slot_id mod (max 1 (w.w_spread / 8)))) in
+            if w.w_stride <> 0 && w.w_slots mod 4 = 0 then begin
+              w.w_pos <- w.w_pos + 1;
+              if w.w_pos >= w.w_length then w.w_pos <- 0
+            end;
+            ev.Machine.iclass <- (if m.Profile.is_store then I.C_store else I.C_load);
+            ev.Machine.mem_addr <- addr;
+            ev.Machine.is_store <- m.Profile.is_store;
+            if m.Profile.is_store then begin
+              ev.Machine.reads <- [ src node.Profile.dep_fractions ];
+              ev.Machine.writes <- -1
+            end
+            else begin
+              ev.Machine.reads <- [];
+              let d = alloc_reg () in
+              push_dest d;
+              ev.Machine.writes <- d
+            end
+          end
+          else begin
+            let cls = sample_class () in
+            ev.Machine.iclass <- cls;
+            ev.Machine.reads <-
+              [ src node.Profile.dep_fractions; src node.Profile.dep_fractions ];
+            let d = alloc_reg () in
+            push_dest d;
+            ev.Machine.writes <- (if I.class_index cls >= 3 && I.class_index cls <= 5 then 32 + (d mod 25) + 1 else d)
+          end;
+          on_event ev;
+          incr emitted
+        done;
+        (* terminator *)
+        (match node.Profile.branch with
+        | Some b ->
+          let bs = branch_state_of node b in
+          let taken =
+            if bs.b_period <= 1 then bs.b_taken_slots = 1
+            else bs.b_count mod bs.b_period < bs.b_taken_slots
+          in
+          bs.b_count <- bs.b_count + 1;
+          ev.Machine.pc <- node.Profile.start + body_slots;
+          ev.Machine.iclass <- I.C_branch;
+          ev.Machine.is_branch <- true;
+          ev.Machine.taken <- taken;
+          ev.Machine.mem_addr <- -1;
+          ev.Machine.is_store <- false;
+          ev.Machine.reads <- [ src node.Profile.dep_fractions ];
+          ev.Machine.writes <- -1
+        | None ->
+          ev.Machine.pc <- node.Profile.start + body_slots;
+          ev.Machine.iclass <- I.C_jump;
+          ev.Machine.is_branch <- false;
+          ev.Machine.taken <- false;
+          ev.Machine.mem_addr <- -1;
+          ev.Machine.is_store <- false;
+          ev.Machine.reads <- [];
+          ev.Machine.writes <- -1);
+        on_event ev;
+        incr emitted;
+        current := (match pick_successor node with Some id -> id | None -> pick_start ())
+      done;
+      !emitted)

@@ -1,0 +1,28 @@
+(** Statistical simulation: estimate performance directly from a profile,
+    without synthesizing a program.
+
+    This is the technique the paper builds on (Oskin, Eeckhout, Nussbaum —
+    Section 2): a short synthetic {e trace} is generated from the
+    statistical profile and run through a processor timing model.  The
+    trace generator here walks the statistical flow graph exactly like
+    the clone generator does, but emits abstract retired-instruction
+    events instead of code; the paper's microarchitecture-independent
+    memory and branch models supply addresses and branch outcomes, and
+    the events drive the same {!Pc_uarch.Sim} scheduler used for real
+    binaries.
+
+    The comparison with the synthetic clone is the interesting ablation:
+    statistical simulation is cheaper (no code generation or functional
+    execution) and typically as accurate for a fixed configuration, but
+    the trace cannot be compiled, shipped, or run on real hardware — the
+    dissemination property that motivates performance cloning. *)
+
+val estimate :
+  ?seed:int ->
+  ?instrs:int ->
+  Pc_uarch.Config.t ->
+  Pc_profile.Profile.t ->
+  Pc_uarch.Sim.result
+(** [estimate cfg profile] synthesizes a trace of [instrs] (default
+    100 000) instructions from the profile and schedules it on [cfg].
+    Deterministic in [seed]. *)

@@ -1,0 +1,13 @@
+(** C-with-asm rendering of a synthetic clone.
+
+    The paper disseminates clones as C files whose body is a sequence of
+    [asm volatile] statements (so the compiler cannot optimise the hidden
+    workload away).  Our executable artefact is an SRISC program; this
+    module renders it in that C dissemination format for inspection and
+    sharing.  The rendering is one-way (documentation of the clone), not
+    a compilation input. *)
+
+val to_c : Pc_isa.Program.t -> string
+(** A complete C translation unit: a [main] that allocates the data
+    segment with [malloc] and executes the instruction sequence as
+    [asm volatile] statements, with labels preserved as comments. *)

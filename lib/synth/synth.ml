@@ -1,0 +1,735 @@
+module I = Pc_isa.Instr
+module Reg = Pc_isa.Reg
+module Asm = Pc_isa.Asm
+module Program = Pc_isa.Program
+module Profile = Pc_profile.Profile
+module Rng = Pc_util.Rng
+
+type options = {
+  seed : int;
+  target_blocks : int;
+  target_dynamic : int;
+  max_streams : int;
+}
+
+let default_options = { seed = 1; target_blocks = 0; target_dynamic = 100_000; max_streams = 12 }
+
+(* Register layout of generated clones (disjoint roles, no stack):
+   r1..r13   integer dataflow pool        f1..f13  FP dataflow pool
+   r14..r25  stream pointers (up to 12)
+   r26 iteration counter   r27 loop bound   r28 branch/loop scratch *)
+let int_pool = Array.init 13 (fun i -> i + 1)
+let fp_pool = Array.init 13 (fun i -> i + 1)
+let stream_reg k = 14 + k
+let iter_reg = 26
+let bound_reg = 27
+let scratch = 28
+
+type stream_info = {
+  stride : int;
+  length : int;
+  weight : int;
+  footprint : int;
+  active_span : int;  (* short-term working set of the stream's ops *)
+  region : int;  (* lowest original address of the stream's data *)
+  row_stride : int;  (* second-level stride between runs (0 = none) *)
+}
+
+let round_pow2 n =
+  let n = max 1 n in
+  let rec go p = if p >= n then p else go (p * 2) in
+  let p = go 1 in
+  (* choose the nearer power of two *)
+  if p > 1 && p - n > n - (p / 2) then p / 2 else p
+
+let round8_up n = (n + 7) / 8 * 8
+
+(* Cluster the profile's per-static-instruction streams into at most
+   [max_streams] pooled streams, keeping the highest-weight strides.  A
+   stream's footprint is the largest member footprint: static ops that
+   share a stride usually walk the same data structure. *)
+let plan_streams ~max_streams (profile : Profile.t) =
+  let by_pc = Hashtbl.create 64 in
+  Array.iter
+    (fun (n : Profile.node) ->
+      Array.iter
+        (fun (m : Profile.mem_op) ->
+          if not (Hashtbl.mem by_pc m.Profile.static_pc) then
+            Hashtbl.add by_pc m.Profile.static_pc m)
+        n.Profile.mem_ops)
+    profile.Profile.nodes;
+  (* Footprint class: powers of four, so a 320-byte re-walked array and
+     a 12 KB matrix that share a stride still become distinct streams
+     with distinct reuse behaviour. *)
+  let fp_class fp =
+    let rec go c = if c >= fp then c else go (4 * c) in
+    go 8
+  in
+  let stride_tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (m : Profile.mem_op) ->
+      let op_fp = max 8 m.Profile.footprint in
+      let region_bucket = m.Profile.region / max 1024 (fp_class op_fp / 4) in
+      let key = (m.Profile.stride, fp_class op_fp, region_bucket) in
+      let w, len_sum, fp, span_sum, reg, (row_w, row) =
+        try Hashtbl.find stride_tbl key with Not_found -> (0, 0, 8, 0, max_int, (0, 0))
+      in
+      let op_span = max 8 m.Profile.window_span in
+      let row_best =
+        if m.Profile.row_stride <> 0 && m.Profile.refs > row_w then
+          (m.Profile.refs, m.Profile.row_stride)
+        else (row_w, row)
+      in
+      Hashtbl.replace stride_tbl key
+        ( w + m.Profile.refs,
+          len_sum + (m.Profile.stream_length * m.Profile.refs),
+          max fp op_fp,
+          span_sum + (op_span * m.Profile.refs),
+          min reg m.Profile.region,
+          row_best ))
+    by_pc;
+  let all =
+    Hashtbl.fold
+      (fun (stride, _, _) (w, len_sum, fp, span_sum, reg, (_, row)) acc ->
+        let length = if w = 0 then 1 else len_sum / w in
+        (* reference-weighted average span: rare ops with huge windows
+           (e.g. one access per call site) must not blow up the stream *)
+        let active_span = max 8 (if w = 0 then 8 else span_sum / w) in
+        {
+          stride;
+          length;
+          weight = w;
+          footprint = fp;
+          active_span;
+          region = reg;
+          row_stride = row;
+        }
+        :: acc)
+      stride_tbl []
+  in
+  let sorted = List.sort (fun a b -> compare b.weight a.weight) all in
+  let chosen = List.filteri (fun i _ -> i < max_streams) sorted in
+  Array.of_list
+    (List.map
+       (fun s ->
+         let length = if s.stride = 0 then 1 else max 2 (min 4096 s.length) in
+         { s with length })
+       chosen)
+
+(* Index of the stream best matching an op's (stride, footprint):
+   stride distance dominates, footprint ratio breaks ties. *)
+let assign_stream streams (m : Profile.mem_op) =
+  let op_fp = max 8 m.Profile.footprint in
+  let score (s : stream_info) =
+    let stride_d = float_of_int (abs (s.stride - m.Profile.stride)) in
+    let fp_ratio =
+      let a = float_of_int (max s.footprint op_fp)
+      and b = float_of_int (min s.footprint op_fp) in
+      a /. b
+    in
+    stride_d +. fp_ratio
+  in
+  let best = ref 0 in
+  let best_d = ref infinity in
+  Array.iteri
+    (fun k s ->
+      let d = score s in
+      if d < !best_d then begin
+        best_d := d;
+        best := k
+      end)
+    streams;
+  !best
+
+(* --- SFG walk: steps 1 and 6-9 --- *)
+
+let walk_sfg rng (profile : Profile.t) target_blocks =
+  let nodes = profile.Profile.nodes in
+  let n = Array.length nodes in
+  if n = 0 then [||]
+  else begin
+    let total_count =
+      Array.fold_left (fun acc nd -> acc + nd.Profile.count) 0 nodes
+    in
+    (* Scale occurrences so they sum to roughly the block target. *)
+    let remaining =
+      Array.map
+        (fun nd ->
+          max 1
+            (int_of_float
+               (Float.round
+                  (float_of_int target_blocks
+                  *. float_of_int nd.Profile.count
+                  /. float_of_int (max 1 total_count)))))
+        nodes
+    in
+    let total_remaining = ref (Array.fold_left ( + ) 0 remaining) in
+    let blocks = ref [] in
+    let emitted = ref 0 in
+    let sample_start () =
+      (* CDF over remaining occurrences (step 1). *)
+      let total = float_of_int !total_remaining in
+      let u = Rng.float rng 1.0 in
+      let acc = ref 0.0 in
+      let result = ref (-1) in
+      (try
+         Array.iteri
+           (fun i r ->
+             acc := !acc +. (float_of_int r /. total);
+             if !result < 0 && !acc >= u then begin
+               result := i;
+               raise Exit
+             end)
+           remaining
+       with Exit -> ());
+      if !result >= 0 then !result
+      else
+        (* numeric fallback: first node with remaining occurrences *)
+        let rec find i = if remaining.(i) > 0 then i else find (i + 1) in
+        find 0
+    in
+    let emit i =
+      blocks := i :: !blocks;
+      incr emitted;
+      remaining.(i) <- remaining.(i) - 1;
+      decr total_remaining
+    in
+    while !emitted < target_blocks && !total_remaining > 0 do
+      let cur = ref (sample_start ()) in
+      let continue = ref true in
+      while !continue && !emitted < target_blocks && !total_remaining > 0 do
+        emit !cur;
+        (* Step 8: follow an outgoing edge with remaining occurrences. *)
+        let succs =
+          Array.to_list nodes.(!cur).Profile.successors
+          |> List.filter (fun (id, _) -> remaining.(id) > 0)
+        in
+        match succs with
+        | [] -> continue := false (* step 8: no outgoing edges -> restart *)
+        | succs ->
+          let total_p = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 succs in
+          let u = Rng.float rng total_p in
+          let rec pick acc = function
+            | [ (id, _) ] -> id
+            | (id, p) :: rest -> if acc +. p >= u then id else pick (acc +. p) rest
+            | [] -> assert false
+          in
+          cur := pick 0.0 succs
+      done
+    done;
+    Array.of_list (List.rev !blocks)
+  end
+
+(* --- dependency-distance register assignment: steps 3 and 10 --- *)
+
+(* Ring of recent destination registers; slot i land mask holds the
+   destination of the i-th generated instruction (reg id in the shared
+   int/fp space, or -1 when the instruction has no pool destination). *)
+module Recent = struct
+  let size = 64
+
+  type t = { dests : int array; mutable count : int }
+
+  let create () = { dests = Array.make size (-1); count = 0 }
+
+  let push t dest =
+    t.dests.(t.count land (size - 1)) <- dest;
+    t.count <- t.count + 1
+
+  (* Find a source register of the wanted kind at (approximately) the
+     requested dependency distance, scanning outwards a few slots. *)
+  let find t ~is_fp ~distance ~fallback =
+    let matches id = id >= 0 && (if is_fp then id >= 32 else id < 32) in
+    let at d =
+      if d < 1 || d > min t.count (size - 1) then -1
+      else t.dests.((t.count - d) land (size - 1))
+    in
+    let rec scan delta =
+      if delta > 8 then fallback
+      else
+        let a = at (distance - delta) and b = at (distance + delta) in
+        if matches a then (if a >= 32 then a - 32 else a)
+        else if matches b then (if b >= 32 then b - 32 else b)
+        else scan (delta + 1)
+    in
+    scan 0
+end
+
+let dep_bounds = Profile.dep_bounds
+
+(* Sample a dependency distance from a node's bucket fractions. *)
+let sample_distance rng (fractions : float array) =
+  let n = Array.length fractions in
+  let u = Rng.float rng 1.0 in
+  let bucket =
+    let acc = ref 0.0 in
+    let result = ref (n - 1) in
+    (try
+       Array.iteri
+         (fun i f ->
+           acc := !acc +. f;
+           if !acc >= u then begin
+             result := i;
+             raise Exit
+           end)
+         fractions
+     with Exit -> ());
+    !result
+  in
+  if bucket >= Array.length dep_bounds then 33 + Rng.int rng 16
+  else
+    let hi = dep_bounds.(bucket) in
+    let lo = if bucket = 0 then 1 else dep_bounds.(bucket - 1) + 1 in
+    lo + Rng.int rng (hi - lo + 1)
+
+(* --- the generator --- *)
+
+type gen_state = {
+  rng : Rng.t;
+  recent : Recent.t;
+  mutable next_int : int; (* round-robin index into int_pool *)
+  mutable next_fp : int;
+  mutable stream_op_counts : int array; (* per stream: ops placed so far *)
+}
+
+(* Realised stream geometry: each synthetic op on a stream owns a shard
+   of the stream's footprint, walked with the effective stride and reset
+   every [g_length] iterations, so the aggregate clone footprint matches
+   the profiled one even when the loop iterates far fewer times than the
+   original ran. *)
+type geom = {
+  g_stride : int;  (* effective per-iteration stride (bytes, signed) *)
+  g_length : int;  (* iterations before the pointer wraps back *)
+  g_spread : int;  (* byte spacing between ops sharing the stream *)
+  g_init : int;  (* initial pointer value *)
+  g_row_mask : int;  (* 0 = plain 1-D walk; else 2-D: jump every mask+1 iters *)
+  g_row_jump : int;  (* extra displacement applied at each row boundary *)
+}
+
+let alloc_int st =
+  let r = int_pool.(st.next_int) in
+  st.next_int <- (st.next_int + 1) mod Array.length int_pool;
+  r
+
+let alloc_fp st =
+  let r = fp_pool.(st.next_fp) in
+  st.next_fp <- (st.next_fp + 1) mod Array.length fp_pool;
+  r
+
+let int_src st node_deps =
+  let d = sample_distance st.rng node_deps in
+  Recent.find st.recent ~is_fp:false ~distance:d
+    ~fallback:int_pool.(Rng.int st.rng (Array.length int_pool))
+
+let fp_src st node_deps =
+  let d = sample_distance st.rng node_deps in
+  Recent.find st.recent ~is_fp:true ~distance:d
+    ~fallback:fp_pool.(Rng.int st.rng (Array.length fp_pool))
+
+let int_alu_ops = [| I.Add; I.Sub; I.Xor; I.And; I.Or |]
+
+(* Generate one computational instruction of the given class (step 2-4). *)
+let gen_instr st (node : Profile.node) cls streams geoms mem_queue =
+  let deps = node.Profile.dep_fractions in
+  match cls with
+  | I.C_int_alu ->
+    let op = int_alu_ops.(Rng.int st.rng (Array.length int_alu_ops)) in
+    let a = int_src st deps and b = int_src st deps in
+    let d = alloc_int st in
+    Recent.push st.recent d;
+    I.Alu (op, d, a, b)
+  | I.C_int_mul ->
+    let a = int_src st deps and b = int_src st deps in
+    let d = alloc_int st in
+    Recent.push st.recent d;
+    I.Mul (d, a, b)
+  | I.C_int_div ->
+    let a = int_src st deps and b = int_src st deps in
+    let d = alloc_int st in
+    Recent.push st.recent d;
+    I.Div (d, a, b)
+  | I.C_fp_alu ->
+    let a = fp_src st deps and b = fp_src st deps in
+    let d = alloc_fp st in
+    Recent.push st.recent (32 + d);
+    I.Falu ((if Rng.bool st.rng then I.Fadd else I.Fsub), d, a, b)
+  | I.C_fp_mul ->
+    let a = fp_src st deps and b = fp_src st deps in
+    let d = alloc_fp st in
+    Recent.push st.recent (32 + d);
+    I.Fmul (d, a, b)
+  | I.C_fp_div ->
+    let a = fp_src st deps and b = fp_src st deps in
+    let d = alloc_fp st in
+    Recent.push st.recent (32 + d);
+    I.Fdiv (d, a, b)
+  | I.C_load | I.C_store -> (
+    (* Take the next profiled memory op of this block (step 4). *)
+    match Queue.take_opt mem_queue with
+    | Some (m : Profile.mem_op) ->
+      let k = assign_stream streams m in
+      let slot = st.stream_op_counts.(k) in
+      st.stream_op_counts.(k) <- slot + 1;
+      let off = geoms.(k).g_spread * slot in
+      if m.Profile.is_store then begin
+        let src = int_src st deps in
+        Recent.push st.recent (-1);
+        I.Store (src, stream_reg k, off)
+      end
+      else begin
+        let d = alloc_int st in
+        Recent.push st.recent d;
+        I.Load (d, stream_reg k, off)
+      end
+    | None ->
+      (* mix sampled a memory class but the block's op list is empty *)
+      let d = alloc_int st in
+      Recent.push st.recent d;
+      I.Alu (I.Add, d, int_src st deps, int_src st deps))
+  | I.C_branch | I.C_jump | I.C_other ->
+    let d = alloc_int st in
+    Recent.push st.recent d;
+    I.Alu (I.Xor, d, int_src st deps, int_src st deps)
+
+(* The terminating branch of a synthetic block (step 5).  Returns the
+   instructions; the branch always targets [next_label]. *)
+let gen_branch st (node : Profile.node) ~next_label =
+  match node.Profile.branch with
+  | None ->
+    (* Original block ended in an unconditional transfer. *)
+    [ I.Jmp (I.Label next_label) ]
+  | Some b ->
+    let t = b.Profile.transition_rate in
+    let tr = b.Profile.taken_rate in
+    if t <= 0.02 then
+      (* Strongly biased: a fixed direction, no counter needed. *)
+      if tr >= 0.5 then [ I.Br (I.Eq_z, Reg.zero, I.Label next_label) ]
+      else [ I.Br (I.Ne_z, Reg.zero, I.Label next_label) ]
+    else if t >= 0.9 then
+      (* Toggles nearly every execution: alternate on the counter. *)
+      [
+        I.Alui (I.And, scratch, iter_reg, 1);
+        I.Br (I.Ne_z, scratch, I.Label next_label);
+      ]
+    else begin
+      (* Period P ~ 2/t (power of two so the modulo is one AND), taken
+         for the first T slots of each period. *)
+      let p = max 2 (min 256 (round_pow2 (int_of_float (Float.round (2.0 /. t))))) in
+      let taken_slots =
+        max 1 (min (p - 1) (int_of_float (Float.round (tr *. float_of_int p))))
+      in
+      Recent.push st.recent (-1);
+      Recent.push st.recent (-1);
+      [
+        I.Alui (I.And, scratch, iter_reg, p - 1);
+        I.Alui (I.Cmp_lt, scratch, scratch, taken_slots);
+        I.Br (I.Ne_z, scratch, I.Label next_label);
+      ]
+    end
+
+let generate ?(options = default_options) (profile : Profile.t) =
+  let rng = Rng.create options.seed in
+  let n_nodes = Array.length profile.Profile.nodes in
+  if n_nodes = 0 then invalid_arg "Synth.generate: empty profile";
+  let target_blocks =
+    if options.target_blocks > 0 then options.target_blocks
+    else min 400 (max 40 (2 * n_nodes))
+  in
+  let streams = plan_streams ~max_streams:options.max_streams profile in
+  let streams =
+    if Array.length streams = 0 then
+      [|
+        {
+          stride = 8;
+          length = 2;
+          weight = 0;
+          footprint = 64;
+          active_span = 64;
+          region = Program.data_base;
+          row_stride = 0;
+        };
+      |]
+    else streams
+  in
+  let block_ids = walk_sfg rng profile target_blocks in
+  let st =
+    {
+      rng;
+      recent = Recent.create ();
+      next_int = 0;
+      next_fp = 0;
+      stream_op_counts = Array.make (Array.length streams) 0;
+    }
+  in
+  (* Estimate the loop iteration count, then realise each stream's
+     geometry: per-op shards partition the profiled footprint so the
+     clone covers it within the available iterations. *)
+  let body_est =
+    Array.fold_left
+      (fun acc id -> acc + profile.Profile.nodes.(id).Profile.size)
+      0 block_ids
+    + (4 * Array.length streams) + 3
+  in
+  let iterations_est = max 2 (options.target_dynamic / max 1 body_est) in
+  ignore iterations_est;
+  let op_counts = Array.make (Array.length streams) 0 in
+  Array.iter
+    (fun id ->
+      Array.iter
+        (fun (m : Profile.mem_op) ->
+          let k = assign_stream streams m in
+          op_counts.(k) <- op_counts.(k) + 1)
+        profile.Profile.nodes.(id).Profile.mem_ops)
+    block_ids;
+  let max_addr = ref Program.data_base in
+  let geoms =
+    Array.mapi
+      (fun k (strm : stream_info) ->
+        let c = max 1 op_counts.(k) in
+        (* Anchor the stream at the original data structure's address:
+           reproducing the source layout preserves cache set conflicts
+           between structures (a microarchitecture-independent program
+           property — the addresses come from the binary, not the
+           cache). *)
+        let base =
+          if strm.region >= 0 && strm.region < max_int then strm.region / 8 * 8
+          else Program.data_base
+        in
+        let track top = if top > !max_addr then max_addr := top in
+        if strm.stride = 0 then begin
+          (* Zero dominant stride: repeated or table-style accesses.  Ops
+             are spread across the profiled footprint so a randomly
+             indexed table occupies its true working set. *)
+          let spread =
+            if strm.footprint <= 16 then 0 else round8_up (strm.footprint / c)
+          in
+          track (base + (spread * c) + 72);
+          {
+            g_stride = 0;
+            g_length = 1;
+            g_spread = spread;
+            g_init = base;
+            g_row_mask = 0;
+            g_row_jump = 0;
+          }
+        end
+        else begin
+          (* Shared walker with run-spread phases: the op instances of a
+             stream are spaced across one profiled *run* footprint, so
+             the clone touches the same per-window working set as the
+             original, while the walker drifts through the whole
+             profiled footprint and wraps (covering capacity behaviour).
+             The profiled stride is kept exactly; it is only coarsened
+             for footprints beyond the 4096-iteration walk cap. *)
+          (* A 2-D walk when the profiled row stride is regular and the
+             rows are larger than the element stride: walk the run, then
+             jump to the next row, wrapping at the footprint. *)
+          let row = strm.row_stride in
+          let is_2d =
+            row > abs strm.stride && strm.length >= 2 && strm.length <= 512
+            && row * 2 <= strm.footprint
+          in
+          if is_2d then begin
+            let l2 =
+              let rec pow2 x = if x >= strm.length then x else pow2 (2 * x) in
+              max 2 (min 1024 (pow2 2))
+            in
+            let eff = abs strm.stride in
+            let run_span = max 8 (min strm.active_span strm.footprint) in
+            let spread = round8_up (max 8 (run_span / c)) in
+            (* after l2 element steps, land at the next row start *)
+            let g_row_jump = row - (eff * l2) in
+            let rows = max 2 (strm.footprint / row) in
+            let length = min 8192 (l2 * rows) in
+            let span = strm.footprint + run_span + (spread * c) + 64 in
+            track (base + span + 64);
+            {
+              g_stride = eff;
+              g_length = length;
+              g_spread = spread;
+              g_init = base;
+              g_row_mask = l2 - 1;
+              g_row_jump;
+            }
+          end
+          else begin
+            let len_raw = strm.footprint / max 8 (abs strm.stride) in
+            let length = max 2 (min len_raw 4096) in
+            let eff = max (abs strm.stride) (round8_up (strm.footprint / length)) in
+            let run_span = max 8 (min strm.active_span strm.footprint) in
+            let spread = round8_up (max 8 (run_span / c)) in
+            let span = (eff * (length - 1)) + (spread * c) + 64 in
+            track (base + span + 64);
+            let g_init = if strm.stride >= 0 then base else base + (eff * (length - 1)) in
+            {
+              g_stride = (if strm.stride >= 0 then eff else -eff);
+              g_length = length;
+              g_spread = spread;
+              g_init;
+              g_row_mask = 0;
+              g_row_jump = 0;
+            }
+          end
+        end)
+      streams
+  in
+  let data_bytes = max 8 (!max_addr - Program.data_base) in
+  (* --- emit code --- *)
+  let items = ref [] in
+  let emit instr = items := Asm.Ins instr :: !items in
+  let emit_label l = items := Asm.Label l :: !items in
+  (* preamble: pools, stream pointers, loop counter *)
+  Array.iteri (fun i r -> emit (I.Li (r, Int64.of_int (i + 3)))) int_pool;
+  Array.iteri (fun i r -> emit (I.Fli (r, 1.0 +. (0.5 *. float_of_int i)))) fp_pool;
+  Array.iteri (fun k _ -> emit (I.Li (stream_reg k, Int64.of_int geoms.(k).g_init))) streams;
+  emit (I.Li (iter_reg, 0L));
+  emit (I.Li (bound_reg, 1L)) (* patched below once the body size is known *);
+  let bound_patch_index = List.length !items - 1 in
+  ignore bound_patch_index;
+  emit_label "loop_top";
+  (* synthetic basic blocks *)
+  let body_instrs = ref 0 in
+  Array.iteri
+    (fun bi node_id ->
+      let node = profile.Profile.nodes.(node_id) in
+      let next_label =
+        if bi + 1 < Array.length block_ids then Printf.sprintf "bb_%d" (bi + 1)
+        else "loop_end"
+      in
+      emit_label (Printf.sprintf "bb_%d" bi);
+      let mem_queue = Queue.create () in
+      Array.iter (fun m -> Queue.add m mem_queue) node.Profile.mem_ops;
+      let n_mem = Array.length node.Profile.mem_ops in
+      let body_slots = max 0 (node.Profile.size - 1) in
+      let n_other = max 0 (body_slots - n_mem) in
+      (* Renormalised CDF over computational classes (step 2). *)
+      let comp_classes =
+        [| I.C_int_alu; I.C_int_mul; I.C_int_div; I.C_fp_alu; I.C_fp_mul; I.C_fp_div |]
+      in
+      let weights =
+        Array.map (fun c -> node.Profile.mix.(I.class_index c)) comp_classes
+      in
+      let wsum = Array.fold_left ( +. ) 0.0 weights in
+      let sample_class () =
+        if wsum <= 0.0 then I.C_int_alu
+        else begin
+          let u = Rng.float st.rng wsum in
+          let acc = ref 0.0 in
+          let result = ref I.C_int_alu in
+          (try
+             Array.iteri
+               (fun i w ->
+                 acc := !acc +. w;
+                 if !acc >= u then begin
+                   result := comp_classes.(i);
+                   raise Exit
+                 end)
+               weights
+           with Exit -> ());
+          !result
+        end
+      in
+      (* Interleave memory ops evenly among the other instructions. *)
+      let mem_positions = Array.make body_slots false in
+      if n_mem > 0 then begin
+        let step = float_of_int body_slots /. float_of_int n_mem in
+        for j = 0 to n_mem - 1 do
+          let pos = min (body_slots - 1) (int_of_float (float_of_int j *. step)) in
+          (* advance past already-claimed slots *)
+          let rec place p =
+            if p >= body_slots then ()
+            else if mem_positions.(p) then place (p + 1)
+            else mem_positions.(p) <- true
+          in
+          place pos
+        done
+      end;
+      ignore n_other;
+      for slot = 0 to body_slots - 1 do
+        let cls = if mem_positions.(slot) then I.C_load else sample_class () in
+        emit (gen_instr st node cls streams geoms mem_queue)
+      done;
+      (* any leftover memory ops (when size under-counts) are dropped *)
+      Queue.clear mem_queue;
+      List.iter emit (gen_branch st node ~next_label);
+      body_instrs := !body_instrs + node.Profile.size)
+    block_ids;
+  emit_label "loop_end";
+  (* stream advance / reset (step 11): wrap the pointer exactly at the
+     end of its walk so each stream's footprint and re-walk period match
+     the profile.  The wrap branches are rarely taken (the reset code
+     lives in trampolines after the loop) so maintenance code does not
+     bias the clone's taken rate. *)
+  Array.iteri
+    (fun k (g : geom) ->
+      if g.g_stride <> 0 then begin
+        emit (I.Alui (I.Add, stream_reg k, stream_reg k, g.g_stride));
+        if g.g_row_mask > 0 then begin
+          (* 2-D stream: at row boundaries, jump to the next row start *)
+          emit (I.Alui (I.And, scratch, iter_reg, g.g_row_mask));
+          emit (I.Br (I.Eq_z, scratch, I.Label (Printf.sprintf "do_row_%d" k)));
+          emit_label (Printf.sprintf "after_row_%d" k);
+          body_instrs := !body_instrs + 2
+        end;
+        let limit =
+          if g.g_row_mask > 0 then
+            (* wrap once the walk leaves the footprint *)
+            g.g_init + (g.g_stride * (g.g_row_mask + 1))
+            + (g.g_row_jump + (g.g_stride * (g.g_row_mask + 1)))
+              * (g.g_length / (g.g_row_mask + 1))
+          else g.g_init + (g.g_stride * g.g_length)
+        in
+        if g.g_stride > 0 then begin
+          emit (I.Alui (I.Cmp_lt, scratch, stream_reg k, limit));
+          emit (I.Br (I.Eq_z, scratch, I.Label (Printf.sprintf "do_reset_%d" k)))
+        end
+        else begin
+          emit (I.Alui (I.Cmp_le, scratch, stream_reg k, limit));
+          emit (I.Br (I.Ne_z, scratch, I.Label (Printf.sprintf "do_reset_%d" k)))
+        end;
+        emit_label (Printf.sprintf "after_reset_%d" k);
+        body_instrs := !body_instrs + 3
+      end)
+    geoms;
+  (* loop control: count down so the back-edge condition reads one
+     register and the exit is the rarely-taken direction *)
+  emit (I.Alui (I.Add, iter_reg, iter_reg, 1));
+  emit (I.Alu (I.Cmp_lt, scratch, iter_reg, bound_reg));
+  emit (I.Br (I.Ne_z, scratch, I.Label "loop_top"));
+  emit I.Halt;
+  (* reset / row-jump trampolines (cold) *)
+  Array.iteri
+    (fun k (g : geom) ->
+      if g.g_stride <> 0 then begin
+        emit_label (Printf.sprintf "do_reset_%d" k);
+        emit (I.Li (stream_reg k, Int64.of_int g.g_init));
+        emit (I.Jmp (I.Label (Printf.sprintf "after_reset_%d" k)));
+        if g.g_row_mask > 0 then begin
+          emit_label (Printf.sprintf "do_row_%d" k);
+          emit (I.Alui (I.Add, stream_reg k, stream_reg k, g.g_row_jump));
+          emit (I.Jmp (I.Label (Printf.sprintf "after_row_%d" k)))
+        end
+      end)
+    geoms;
+  body_instrs := !body_instrs + 3;
+  (* Fix the loop bound now that the body size is known: at least the
+     requested dynamic length, and enough iterations for the longest
+     stream to complete one full footprint walk. *)
+  let longest_walk =
+    Array.fold_left (fun acc g -> max acc g.g_length) 2 geoms
+  in
+  let iterations =
+    max (max 1 (options.target_dynamic / max 1 !body_instrs)) longest_walk
+  in
+  let items =
+    List.rev_map
+      (fun item ->
+        match item with
+        | Asm.Ins (I.Li (r, 1L)) when r = bound_reg ->
+          Asm.Ins (I.Li (bound_reg, Int64.of_int iterations))
+        | other -> other)
+      !items
+  in
+  Asm.assemble
+    ~name:(profile.Profile.name ^ "-clone")
+    ~data:[] ~data_bytes items

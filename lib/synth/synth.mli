@@ -1,0 +1,77 @@
+(** Synthetic benchmark clone generation — the paper's core contribution
+    (Section 3.2, steps 1–12).
+
+    From a microarchitecture-independent {!Pc_profile.Profile.t} the
+    generator:
+
+    + walks the statistical flow graph, sampling a start node from the
+      execution-frequency CDF and following transition-probability CDFs,
+      decrementing node occurrences, until the target number of synthetic
+      basic blocks is instantiated (steps 1, 6–9);
+    + fills each block to its profiled size with instructions drawn from
+      the node's instruction mix, ending in a conditional branch
+      (step 2);
+    + assigns every source operand a register so that the node's
+      dependency-distance distribution is respected (steps 3, 10);
+    + gives every static load/store a stride stream: the profile's
+      per-instruction dominant strides are clustered into at most
+      [max_streams] pooled streams, each with its own pointer register,
+      advanced once per outer-loop iteration and reset after its stream
+      length (steps 4, 11);
+    + realises each block's profiled taken rate and transition rate with
+      a modulo (bit-mask) counter test feeding the terminating branch
+      (step 5) — branches always target the next block, so the executed
+      path is fixed while the predictor sees the profiled direction
+      sequence;
+    + wraps the blocks in one big loop whose iteration count sets the
+      dynamic instruction count (step 11) and emits an executable SRISC
+      program (step 12; see {!Render} for the C-with-asm dissemination
+      rendering).
+
+    All sampling is driven by a seeded deterministic generator: the same
+    profile, options and seed always produce the identical clone. *)
+
+type options = {
+  seed : int;
+  target_blocks : int;  (** synthetic basic blocks to instantiate *)
+  target_dynamic : int;  (** approximate dynamic instructions when run *)
+  max_streams : int;  (** stream pointer registers available (<= 12) *)
+}
+
+val default_options : options
+(** seed 1, 0 target blocks (meaning: derived from the profile as
+    [min 400 (max 40 (2 * nodes))]), 100k dynamic instructions, 12
+    streams. *)
+
+val generate : ?options:options -> Pc_profile.Profile.t -> Pc_isa.Program.t
+(** Generate the synthetic benchmark clone. *)
+
+type stream_info = {
+  stride : int;  (** profiled dominant stride in bytes *)
+  length : int;  (** representative run length (accesses between stride breaks) *)
+  weight : int;  (** dynamic references it stands for in the profile *)
+  footprint : int;  (** bytes the stream's walk covers in the original *)
+  active_span : int;  (** short-term (64-access) working-set span in bytes *)
+  region : int;  (** lowest original address of the stream's data (the clone
+                     anchors its walk there to preserve layout conflicts) *)
+  row_stride : int;  (** second-level stride between runs (0 = none): the
+                         "row" advance of 2-D walks *)
+}
+
+val plan_streams : max_streams:int -> Pc_profile.Profile.t -> stream_info array
+(** The stream pool the generator would use (exposed for tests and the
+    what-if examples): profiled strides clustered by reference weight. *)
+
+(** {1 Building blocks shared with alternative back ends}
+
+    {!Portable} (and custom generators) reuse the SFG walk and the
+    stream assignment so every back end interprets the profile the same
+    way. *)
+
+val walk_sfg : Pc_util.Rng.t -> Pc_profile.Profile.t -> int -> int array
+(** [walk_sfg rng profile target_blocks] performs the paper's steps 1 and
+    6–9: returns the node ids to instantiate, in order. *)
+
+val assign_stream : stream_info array -> Pc_profile.Profile.mem_op -> int
+(** Index of the pooled stream that best matches a profiled memory op
+    (stride distance, footprint-ratio tie-break). *)

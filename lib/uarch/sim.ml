@@ -1,0 +1,216 @@
+module I = Pc_isa.Instr
+module Machine = Pc_funcsim.Machine
+module Hierarchy = Pc_caches.Hierarchy
+module Predictor = Pc_branch.Predictor
+
+type result = {
+  config_name : string;
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  class_counts : int array;
+  branches : int;
+  mispredictions : int;
+  l1i_accesses : int;
+  l1i_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  l2_accesses : int;
+  l2_misses : int;
+  mem_accesses : int;
+}
+
+(* In-order bandwidth tracker: at most [width] events per cycle, cycles
+   taken in non-decreasing order. *)
+module Slot = struct
+  type t = { width : int; mutable cycle : int; mutable used : int }
+
+  let create width = { width; cycle = -1; used = 0 }
+
+  let take t earliest =
+    if earliest > t.cycle then begin
+      t.cycle <- earliest;
+      t.used <- 1;
+      earliest
+    end
+    else if t.used < t.width then begin
+      t.used <- t.used + 1;
+      t.cycle
+    end
+    else begin
+      t.cycle <- t.cycle + 1;
+      t.used <- 1;
+      t.cycle
+    end
+end
+
+(* Out-of-order bandwidth tracker: at most [width] events per cycle, any
+   cycle order.  Backed by a tagged circular table; in-flight cycles span
+   far less than the window. *)
+module Cycle_table = struct
+  let window = 1 lsl 15
+
+  type t = { width : int; tags : int array; counts : int array }
+
+  let create width = { width; tags = Array.make window (-1); counts = Array.make window 0 }
+
+  let rec take t cycle =
+    let idx = cycle land (window - 1) in
+    if t.tags.(idx) <> cycle then begin
+      t.tags.(idx) <- cycle;
+      t.counts.(idx) <- 1;
+      cycle
+    end
+    else if t.counts.(idx) < t.width then begin
+      t.counts.(idx) <- t.counts.(idx) + 1;
+      cycle
+    end
+    else take t (cycle + 1)
+end
+
+(* A pool of identical functional units.  Pipelined units accept a new
+   operation every cycle ([occupancy] 1); divides occupy the unit for the
+   whole latency. *)
+module Fu_pool = struct
+  type t = { free_at : int array }
+
+  let create n = { free_at = Array.make (max n 1) 0 }
+
+  let acquire t ~earliest ~occupancy =
+    let best = ref 0 in
+    for u = 1 to Array.length t.free_at - 1 do
+      if t.free_at.(u) < t.free_at.(!best) then best := u
+    done;
+    let start = max earliest t.free_at.(!best) in
+    t.free_at.(!best) <- start + occupancy;
+    start
+end
+
+let run_events (cfg : Config.t) feed =
+  let icache = Hierarchy.create cfg.icache in
+  let dcache = Hierarchy.create cfg.dcache in
+  let bpred = Predictor.create cfg.bpred in
+  let fetch_slot = Slot.create cfg.fetch_width in
+  let dispatch_slot = Slot.create cfg.decode_width in
+  let commit_slot = Slot.create cfg.commit_width in
+  let issue_table = Cycle_table.create cfg.issue_width in
+  let int_alu = Fu_pool.create cfg.int_alu_units in
+  let int_mul = Fu_pool.create cfg.int_mul_units in
+  let fp_alu = Fu_pool.create cfg.fp_alu_units in
+  let fp_mul = Fu_pool.create cfg.fp_mul_units in
+  let mem_port = Fu_pool.create cfg.mem_ports in
+  (* Completion cycle of the last writer of each shared register id.
+     r0 (id 0) stays 0: it is architecturally constant. *)
+  let reg_ready = Array.make 64 0 in
+  (* Ring buffers of commit cycles for ROB / LSQ occupancy. *)
+  let rob = Array.make cfg.rob_size 0 in
+  let lsq = Array.make (max cfg.lsq_size 1) 0 in
+  let class_counts = Array.make I.class_count 0 in
+  let icache_hit_latency = cfg.icache.Hierarchy.l1_latency in
+  let index = ref 0 in
+  let mem_index = ref 0 in
+  let fetch_ready = ref 0 in
+  let last_issue = ref 0 in
+  let last_commit = ref 0 in
+  let i_lat = Array.get cfg.latencies in
+  let on_event (ev : Machine.event) =
+    let i = !index in
+    incr index;
+    let cls = ev.Machine.iclass in
+    let ci = I.class_index cls in
+    class_counts.(ci) <- class_counts.(ci) + 1;
+    (* --- fetch --- *)
+    let f0 = Slot.take fetch_slot !fetch_ready in
+    let ilat = Hierarchy.access icache (4 * ev.Machine.pc) in
+    let fc = f0 + (ilat - icache_hit_latency) in
+    if fc > !fetch_ready then fetch_ready := fc;
+    (* --- dispatch --- *)
+    let rob_free = rob.(i mod cfg.rob_size) in
+    let is_mem = cls = I.C_load || cls = I.C_store in
+    let lsq_free =
+      if is_mem then lsq.(!mem_index mod Array.length lsq) else 0
+    in
+    let d = Slot.take dispatch_slot (max (fc + cfg.frontend_depth) (max rob_free lsq_free)) in
+    (* --- register readiness --- *)
+    let ready =
+      List.fold_left (fun acc id -> max acc reg_ready.(id)) d ev.Machine.reads
+    in
+    let ready = if cfg.in_order then max ready !last_issue else ready in
+    (* --- issue: bandwidth then functional unit --- *)
+    let issue0 = Cycle_table.take issue_table ready in
+    let issue =
+      match cls with
+      | I.C_int_alu | I.C_branch | I.C_jump | I.C_other ->
+        Fu_pool.acquire int_alu ~earliest:issue0 ~occupancy:1
+      | I.C_int_mul -> Fu_pool.acquire int_mul ~earliest:issue0 ~occupancy:1
+      | I.C_int_div ->
+        Fu_pool.acquire int_mul ~earliest:issue0 ~occupancy:(i_lat ci)
+      | I.C_fp_alu -> Fu_pool.acquire fp_alu ~earliest:issue0 ~occupancy:1
+      | I.C_fp_mul -> Fu_pool.acquire fp_mul ~earliest:issue0 ~occupancy:1
+      | I.C_fp_div -> Fu_pool.acquire fp_mul ~earliest:issue0 ~occupancy:(i_lat ci)
+      | I.C_load | I.C_store -> Fu_pool.acquire mem_port ~earliest:issue0 ~occupancy:1
+    in
+    if cfg.in_order && issue > !last_issue then last_issue := issue;
+    (* --- complete --- *)
+    let complete =
+      match cls with
+      | I.C_load -> issue + Hierarchy.access dcache ev.Machine.mem_addr + i_lat ci
+      | I.C_store ->
+        (* Update tag state and counters; the store buffer hides the
+           latency from the pipeline. *)
+        ignore (Hierarchy.access dcache ev.Machine.mem_addr);
+        issue + i_lat ci
+      | _ -> issue + i_lat ci
+    in
+    (* --- writeback: wake up dependents --- *)
+    (match ev.Machine.writes with
+    | -1 -> ()
+    | 0 -> () (* r0 is constant *)
+    | id -> reg_ready.(id) <- complete);
+    (* --- branch resolution --- *)
+    if ev.Machine.is_branch then begin
+      let correct = Predictor.observe bpred ~pc:ev.Machine.pc ~taken:ev.Machine.taken in
+      if not correct then begin
+        let redirect = complete + cfg.mispredict_penalty in
+        if redirect > !fetch_ready then fetch_ready := redirect
+      end
+    end;
+    (* --- commit --- *)
+    let m = Slot.take commit_slot (max (complete + 1) !last_commit) in
+    last_commit := m;
+    rob.(i mod cfg.rob_size) <- m;
+    if is_mem then begin
+      lsq.(!mem_index mod Array.length lsq) <- m;
+      incr mem_index
+    end
+  in
+  let instrs = feed on_event in
+  let cycles = max !last_commit 1 in
+  {
+    config_name = cfg.name;
+    instrs;
+    cycles;
+    ipc = float_of_int instrs /. float_of_int cycles;
+    class_counts;
+    branches = Predictor.lookups bpred;
+    mispredictions = Predictor.mispredictions bpred;
+    l1i_accesses = Hierarchy.l1_accesses icache;
+    l1i_misses = Hierarchy.l1_misses icache;
+    l1d_accesses = Hierarchy.l1_accesses dcache;
+    l1d_misses = Hierarchy.l1_misses dcache;
+    l2_accesses = Hierarchy.l2_accesses icache + Hierarchy.l2_accesses dcache;
+    l2_misses = Hierarchy.l2_misses icache + Hierarchy.l2_misses dcache;
+    mem_accesses = Hierarchy.mem_accesses icache + Hierarchy.mem_accesses dcache;
+  }
+
+let run ?(max_instrs = 10_000_000) cfg program =
+  run_events cfg (fun on_event ->
+      let machine = Machine.load program in
+      Machine.run ~max_instrs machine on_event)
+
+let mispredict_rate r =
+  if r.branches = 0 then 0.0
+  else float_of_int r.mispredictions /. float_of_int r.branches
+
+let l1d_mpi r =
+  if r.instrs = 0 then 0.0 else float_of_int r.l1d_misses /. float_of_int r.instrs

@@ -1,0 +1,57 @@
+(** Trace-driven out-of-order timing model (the [sim-outorder] stand-in).
+
+    The functional simulator supplies the retired instruction stream; this
+    model schedules each instruction through fetch → dispatch → issue →
+    complete → commit under the configured resources:
+
+    - per-cycle fetch/decode(dispatch)/issue/commit width limits,
+    - ROB occupancy (dispatch waits for the entry of the instruction
+      [rob_size] earlier to commit) and LSQ occupancy for memory ops,
+    - register data dependencies (an instruction issues once every source
+      register's producer has completed),
+    - functional-unit contention (integer ALUs, integer multiplier/
+      divider, FP ALU, FP multiplier/divider, memory ports); divides
+      occupy their unit un-pipelined,
+    - I-cache misses delay subsequent fetch; loads see the D-cache
+      hierarchy latency at issue; stores retire through the LSQ without
+      stalling completion (store-buffer semantics),
+    - conditional-branch mispredictions stall fetch until the branch
+      completes plus a redirect penalty; in-order mode forces program-
+      order issue.
+
+    This dependence-driven scheduling is a standard trace-driven
+    approximation of an out-of-order core; it reacts to exactly the
+    parameters the paper's experiments vary. *)
+
+type result = {
+  config_name : string;
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  class_counts : int array;  (** dynamic instructions per class index *)
+  branches : int;
+  mispredictions : int;
+  l1i_accesses : int;
+  l1i_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  l2_accesses : int;
+  l2_misses : int;
+  mem_accesses : int;  (** accesses reaching main memory, both sides *)
+}
+
+val run : ?max_instrs:int -> Config.t -> Pc_isa.Program.t -> result
+(** Execute the program functionally while scheduling every retired
+    instruction through the timing model.  [max_instrs] (default 10
+    million) bounds the simulated stream. *)
+
+val run_events : Config.t -> ((Pc_funcsim.Machine.event -> unit) -> int) -> result
+(** Schedule an arbitrary retired-instruction stream: [run_events cfg
+    feed] calls [feed on_event]; [feed] must invoke [on_event] once per
+    instruction (the event record may be reused between calls) and return
+    the instruction count.  This is how statistical simulation drives the
+    same timing model with a synthetic stream. *)
+
+val mispredict_rate : result -> float
+val l1d_mpi : result -> float
+(** L1-D misses per instruction. *)

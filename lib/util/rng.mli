@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the performance-cloning pipeline flows through this
+    module so that profiles, clones and experiments are exactly
+    reproducible from a seed.  The generator is SplitMix64, which has a
+    64-bit state, passes BigCrush, and is trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val sample_cdf : t -> float array -> int
+(** [sample_cdf t cdf] draws an index from a cumulative distribution.
+    [cdf] must be non-decreasing with [cdf.(Array.length cdf - 1)]
+    approximately 1.  Returns the smallest [i] with [u <= cdf.(i)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

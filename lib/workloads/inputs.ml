@@ -1,0 +1,52 @@
+module Rng = Pc_util.Rng
+
+let ints ~seed ~n ~bound =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Int64.of_int (Rng.int rng bound))
+
+let bytes ~seed ~n = ints ~seed ~n ~bound:256
+
+let floats ~seed ~n ~scale =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.float rng scale)
+
+let waveform ~seed ~n ~amplitude =
+  let rng = Rng.create seed in
+  let amp = float_of_int amplitude in
+  Array.init n (fun i ->
+      let t = float_of_int i in
+      let s =
+        (0.6 *. sin (t /. 7.3)) +. (0.3 *. sin (t /. 1.9)) +. (0.1 *. Rng.float rng 2.0)
+        -. 0.1
+      in
+      Int64.of_int (int_of_float (s *. amp)))
+
+let image ~seed ~width ~height =
+  let rng = Rng.create seed in
+  Array.init (width * height) (fun idx ->
+      let x = idx mod width and y = idx / width in
+      (* smooth gradient + 8x8 blocks + noise, clamped to a byte *)
+      let gradient = (x * 2) + y in
+      let block = if (x / 8) + (y / 8) mod 2 = 0 then 40 else 0 in
+      let noise = Rng.int rng 16 in
+      Int64.of_int (min 255 ((gradient + block + noise) mod 256)))
+
+let text ~seed ~n =
+  let rng = Rng.create seed in
+  let buf = Array.make n 32L in
+  let i = ref 0 in
+  while !i < n do
+    (* Zipf-ish word length: short words common. *)
+    let len = 1 + Rng.int rng 3 + (if Rng.int rng 4 = 0 then Rng.int rng 6 else 0) in
+    for _ = 1 to len do
+      if !i < n then begin
+        buf.(!i) <- Int64.of_int (97 + Rng.int rng 26);
+        incr i
+      end
+    done;
+    if !i < n then begin
+      buf.(!i) <- 32L;
+      incr i
+    end
+  done;
+  buf

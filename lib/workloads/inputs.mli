@@ -1,0 +1,29 @@
+(** Deterministic synthetic input data for the workload kernels.
+
+    MiBench/MediaBench inputs (images, audio, dictionaries, packet
+    traces) are not redistributable; every kernel here consumes data
+    generated from a fixed seed instead, which preserves the property the
+    experiments need: a fixed, realistic input per benchmark. *)
+
+val ints : seed:int -> n:int -> bound:int -> int64 array
+(** [n] values uniform in [\[0, bound)]. *)
+
+val bytes : seed:int -> n:int -> int64 array
+(** [n] values in [\[0, 256)]. *)
+
+val floats : seed:int -> n:int -> scale:float -> float array
+(** [n] values uniform in [\[0, scale)]. *)
+
+val waveform : seed:int -> n:int -> amplitude:int -> int64 array
+(** A smooth pseudo-audio signal: a sum of two incommensurate sinusoids
+    plus small noise, integer samples in [\[-amplitude, amplitude\]].
+    Used by the audio codecs (adpcm, gsm, g721, mad). *)
+
+val image : seed:int -> width:int -> height:int -> int64 array
+(** A synthetic grey-scale image (row-major, values 0–255) with smooth
+    gradients plus blocky structures and noise — gives the image kernels
+    (susan, jpeg, mpeg) realistic spatial correlation. *)
+
+val text : seed:int -> n:int -> int64 array
+(** Pseudo-English text as byte values: words of random lowercase letters
+    with Zipf-ish lengths separated by spaces. *)

@@ -1,0 +1,54 @@
+type entry = { name : string; domain : string; prog : Pc_kc.Ast.prog }
+
+let entry name domain prog = { name; domain; prog }
+
+let all =
+  [
+    (* automotive *)
+    entry W_basicmath.name W_basicmath.domain W_basicmath.prog;
+    entry W_bitcount.name W_bitcount.domain W_bitcount.prog;
+    entry W_qsort.name W_qsort.domain W_qsort.prog;
+    entry W_susan.name W_susan.domain W_susan.prog;
+    (* network *)
+    entry W_dijkstra.name W_dijkstra.domain W_dijkstra.prog;
+    entry W_patricia.name W_patricia.domain W_patricia.prog;
+    entry W_crc32.name W_crc32.domain W_crc32.prog;
+    (* security *)
+    entry W_blowfish.name W_blowfish.domain W_blowfish.prog;
+    entry W_rijndael.name W_rijndael.domain W_rijndael.prog;
+    entry W_sha.name W_sha.domain W_sha.prog;
+    entry W_pegwit.name W_pegwit.domain W_pegwit.prog;
+    (* telecom *)
+    entry W_adpcm.Enc.name W_adpcm.Enc.domain W_adpcm.Enc.prog;
+    entry W_adpcm.Dec.name W_adpcm.Dec.domain W_adpcm.Dec.prog;
+    entry W_gsm.name W_gsm.domain W_gsm.prog;
+    entry W_fft.name W_fft.domain W_fft.prog;
+    entry W_g721.name W_g721.domain W_g721.prog;
+    (* consumer *)
+    entry W_jpeg.Enc.name W_jpeg.Enc.domain W_jpeg.Enc.prog;
+    entry W_jpeg.Dec.name W_jpeg.Dec.domain W_jpeg.Dec.prog;
+    entry W_mpeg.name W_mpeg.domain W_mpeg.prog;
+    entry W_typeset.name W_typeset.domain W_typeset.prog;
+    entry W_mad.name W_mad.domain W_mad.prog;
+    (* office *)
+    entry W_stringsearch.name W_stringsearch.domain W_stringsearch.prog;
+    entry W_ispell.name W_ispell.domain W_ispell.prog;
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name = List.find (fun e -> e.name = name) all
+
+let compiled_cache : (string, Pc_isa.Program.t) Hashtbl.t = Hashtbl.create 32
+
+let compile e =
+  match Hashtbl.find_opt compiled_cache e.name with
+  | Some p -> p
+  | None ->
+    let p = Pc_kc.Compile.compile ~name:e.name e.prog in
+    Hashtbl.add compiled_cache e.name p;
+    p
+
+let domains =
+  let order = [ "automotive"; "network"; "security"; "telecom"; "consumer"; "office" ] in
+  List.map (fun d -> (d, List.filter_map (fun e -> if e.domain = d then Some e.name else None) all)) order

@@ -1,0 +1,23 @@
+(** The benchmark registry: the 23 embedded workload kernels standing in
+    for the paper's MiBench/MediaBench programs (Table 1), grouped by the
+    same application domains. *)
+
+type entry = {
+  name : string;
+  domain : string;  (** automotive / network / security / telecom / consumer / office *)
+  prog : Pc_kc.Ast.prog;
+}
+
+val all : entry list
+(** All 23 benchmarks, in Table-1 order (grouped by domain). *)
+
+val names : string list
+
+val find : string -> entry
+(** Raises [Not_found] for unknown names. *)
+
+val compile : entry -> Pc_isa.Program.t
+(** Compile the benchmark to an SRISC binary (memoised per entry name). *)
+
+val domains : (string * string list) list
+(** Domain -> benchmark names, in registry order (the paper's Table 1). *)

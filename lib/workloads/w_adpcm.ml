@@ -1,0 +1,175 @@
+(* adpcm: IMA ADPCM speech compression.  Two kernels share the step-size
+   table and the synthetic waveform: [enc_prog] compresses samples to
+   4-bit codes, [dec_prog] reconstructs them — the MiBench telecom pair.
+   Tight loops with table lookups and saturating, branchy quantisation. *)
+
+open Pc_kc.Ast
+
+let n_samples = 4096
+
+(* The standard IMA step-size table (89 entries). *)
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41; 45;
+    50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190; 209; 230;
+    253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724; 796; 876; 963;
+    1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272; 2499; 2749; 3024; 3327;
+    3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132; 7845; 8630; 9493; 10442;
+    11487; 12635; 13899; 15289; 16818; 18500; 20350; 22385; 24623; 27086; 29794;
+    32767;
+  |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let globals_common =
+  [
+    garr "steps" ~init:(Array.map Int64.of_int step_table) 89;
+    garr "index_adj" ~init:(Array.map Int64.of_int index_table) 16;
+    garr "pcm" ~init:(Inputs.waveform ~seed:61 ~n:n_samples ~amplitude:12_000) n_samples;
+    garr "codes" n_samples;
+    garr "out" n_samples;
+  ]
+
+(* Shared encoder function: quantise one sample given predictor state
+   packed in globals to keep the parameter count small. *)
+let state_globals = [ garr "pred" 1; garr "idx" 1 ]
+
+let encoder_fn =
+  fn "encode_sample" ~params:[ ("sample", I) ]
+    ~locals:[ ("diff", I); ("step", I); ("code", I); ("delta", I); ("p", I); ("ix", I) ]
+    [
+      set "p" (ld "pred" (i 0));
+      set "ix" (ld "idx" (i 0));
+      set "step" (ld "steps" (v "ix"));
+      set "diff" (v "sample" -: v "p");
+      set "code" (i 0);
+      if_ (v "diff" <: i 0) [ set "code" (i 8); set "diff" (i 0 -: v "diff") ] [];
+      if_ (v "diff" >=: v "step")
+        [ set "code" (v "code" |: i 4); set "diff" (v "diff" -: v "step") ]
+        [];
+      if_ (v "diff" >=: (v "step" >>: i 1))
+        [ set "code" (v "code" |: i 2); set "diff" (v "diff" -: (v "step" >>: i 1)) ]
+        [];
+      if_ (v "diff" >=: (v "step" >>: i 2)) [ set "code" (v "code" |: i 1) ] [];
+      (* reconstruct like the decoder to keep predictor state in sync *)
+      set "delta" (v "step" >>: i 3);
+      if_ ((v "code" &: i 4) <>: i 0) [ set "delta" (v "delta" +: v "step") ] [];
+      if_ ((v "code" &: i 2) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>: i 1)) ] [];
+      if_ ((v "code" &: i 1) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>: i 2)) ] [];
+      if_ ((v "code" &: i 8) <>: i 0)
+        [ set "p" (v "p" -: v "delta") ]
+        [ set "p" (v "p" +: v "delta") ];
+      if_ (v "p" >: i 32767) [ set "p" (i 32767) ] [];
+      if_ (v "p" <: i (-32768)) [ set "p" (i (-32768)) ] [];
+      set "ix" (v "ix" +: ld "index_adj" (v "code"));
+      if_ (v "ix" <: i 0) [ set "ix" (i 0) ] [];
+      if_ (v "ix" >: i 88) [ set "ix" (i 88) ] [];
+      st "pred" (i 0) (v "p");
+      st "idx" (i 0) (v "ix");
+      ret (v "code");
+    ]
+
+let decoder_fn =
+  fn "decode_code" ~params:[ ("code", I) ]
+    ~locals:[ ("step", I); ("delta", I); ("p", I); ("ix", I) ]
+    [
+      set "p" (ld "pred" (i 0));
+      set "ix" (ld "idx" (i 0));
+      set "step" (ld "steps" (v "ix"));
+      set "delta" (v "step" >>: i 3);
+      if_ ((v "code" &: i 4) <>: i 0) [ set "delta" (v "delta" +: v "step") ] [];
+      if_ ((v "code" &: i 2) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>: i 1)) ] [];
+      if_ ((v "code" &: i 1) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>: i 2)) ] [];
+      if_ ((v "code" &: i 8) <>: i 0)
+        [ set "p" (v "p" -: v "delta") ]
+        [ set "p" (v "p" +: v "delta") ];
+      if_ (v "p" >: i 32767) [ set "p" (i 32767) ] [];
+      if_ (v "p" <: i (-32768)) [ set "p" (i (-32768)) ] [];
+      set "ix" (v "ix" +: ld "index_adj" (v "code"));
+      if_ (v "ix" <: i 0) [ set "ix" (i 0) ] [];
+      if_ (v "ix" >: i 88) [ set "ix" (i 88) ] [];
+      st "pred" (i 0) (v "p");
+      st "idx" (i 0) (v "ix");
+      ret (v "p");
+    ]
+
+(* Precomputed encoded stream for the decoder benchmark (computed in
+   OCaml with the same algorithm, so dec_prog is self-contained). *)
+let encoded_stream =
+  let pcm = Inputs.waveform ~seed:61 ~n:n_samples ~amplitude:12_000 in
+  let pred = ref 0 and idx = ref 0 in
+  Array.map
+    (fun sample64 ->
+      let sample = Int64.to_int sample64 in
+      let step = step_table.(!idx) in
+      let diff = sample - !pred in
+      let code = ref 0 in
+      let diff = if diff < 0 then (code := 8; -diff) else diff in
+      let diff = if diff >= step then (code := !code lor 4; diff - step) else diff in
+      let diff =
+        if diff >= step asr 1 then (code := !code lor 2; diff - (step asr 1)) else diff
+      in
+      if diff >= step asr 2 then code := !code lor 1;
+      let delta = ref (step asr 3) in
+      if !code land 4 <> 0 then delta := !delta + step;
+      if !code land 2 <> 0 then delta := !delta + (step asr 1);
+      if !code land 1 <> 0 then delta := !delta + (step asr 2);
+      pred := (if !code land 8 <> 0 then !pred - !delta else !pred + !delta);
+      if !pred > 32767 then pred := 32767;
+      if !pred < -32768 then pred := -32768;
+      idx := !idx + index_table.(!code);
+      if !idx < 0 then idx := 0;
+      if !idx > 88 then idx := 88;
+      Int64.of_int !code)
+    pcm
+
+module Enc = struct
+  let name = "adpcm_enc"
+  let domain = "telecom"
+
+  let prog =
+    {
+      globals = globals_common @ state_globals;
+      funs =
+        [
+          encoder_fn;
+          fn "main" ~locals:[ ("j", I); ("acc", I) ]
+            [
+              for_ "j" (i 0) (i n_samples)
+                [ st "codes" (v "j") (call "encode_sample" [ ld "pcm" (v "j") ]) ];
+              for_ "j" (i 0) (i n_samples)
+                [ set "acc" ((v "acc" *: i 17) +: ld "codes" (v "j") &: i 0xFFFFFFF) ];
+              ret (v "acc");
+            ];
+        ];
+    }
+end
+
+module Dec = struct
+  let name = "adpcm_dec"
+  let domain = "telecom"
+
+  let prog =
+    {
+      globals =
+        [
+          garr "steps" ~init:(Array.map Int64.of_int step_table) 89;
+          garr "index_adj" ~init:(Array.map Int64.of_int index_table) 16;
+          garr "codes" ~init:encoded_stream n_samples;
+          garr "out" n_samples;
+        ]
+        @ state_globals;
+      funs =
+        [
+          decoder_fn;
+          fn "main" ~locals:[ ("j", I); ("acc", I) ]
+            [
+              for_ "j" (i 0) (i n_samples)
+                [ st "out" (v "j") (call "decode_code" [ ld "codes" (v "j") ]) ];
+              for_ "j" (i 0) (i n_samples)
+                [ set "acc" ((v "acc" +: ld "out" (v "j")) &: i 0xFFFFFFFF) ];
+              ret (v "acc");
+            ];
+        ];
+    }
+end

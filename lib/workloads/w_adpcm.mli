@@ -1,0 +1,15 @@
+(** IMA ADPCM speech codec pair: {!Enc} compresses a synthetic waveform
+    to 4-bit codes, {!Dec} reconstructs a pre-encoded stream — the
+    MiBench telecom adpcm benchmarks. *)
+
+module Enc : sig
+  val name : string
+  val domain : string
+  val prog : Pc_kc.Ast.prog
+end
+
+module Dec : sig
+  val name : string
+  val domain : string
+  val prog : Pc_kc.Ast.prog
+end

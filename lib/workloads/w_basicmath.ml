@@ -1,0 +1,77 @@
+(* basicmath: integer square roots, FP square roots (Newton's method) and
+   cubic root finding — the MiBench automotive math kernel's shape:
+   FP-heavy with short data-dependent iteration counts. *)
+
+open Pc_kc.Ast
+
+let name = "basicmath"
+let domain = "automotive"
+let n = 192
+
+let prog =
+  {
+    globals = [ garr "nums" ~init:(Inputs.ints ~seed:11 ~n ~bound:1_000_000) n ];
+    funs =
+      [
+        (* Integer square root by Newton iteration. *)
+        fn "isqrt" ~params:[ ("x", I) ] ~locals:[ ("g", I); ("next", I) ]
+          [
+            if_ (v "x" <=: i 1) [ ret (v "x") ] [];
+            set "g" (v "x");
+            set "next" ((v "g" +: (v "x" /: v "g")) /: i 2);
+            while_ (v "next" <: v "g")
+              [ set "g" (v "next"); set "next" ((v "g" +: (v "x" /: v "g")) /: i 2) ];
+            ret (v "g");
+          ];
+        (* FP square root, fixed 18 Newton steps. *)
+        fn "fsqrt" ~params:[ ("x", F) ] ~ret:F ~locals:[ ("g", F); ("k", I) ]
+          [
+            set "g" ((v "x" /: f 2.0) +: f 1.0);
+            for_ "k" (i 0) (i 18)
+              [ set "g" (f 0.5 *: (v "g" +: (v "x" /: v "g"))) ];
+            ret (v "g");
+          ];
+        (* One real root of x^3 + a x^2 + b x + c by Newton iteration. *)
+        fn "cubic_root" ~params:[ ("a", F); ("b", F); ("c", F) ] ~ret:F
+          ~locals:[ ("x", F); ("k", I); ("fx", F); ("dfx", F) ]
+          [
+            set "x" (f 1.0);
+            for_ "k" (i 0) (i 24)
+              [
+                set "fx"
+                  ((((v "x" +: v "a") *: v "x" +: v "b") *: v "x") +: v "c");
+                set "dfx"
+                  (((f 3.0 *: v "x" +: (f 2.0 *: v "a")) *: v "x") +: v "b");
+                if_ (v "dfx" <>: f 0.0) [ set "x" (v "x" -: (v "fx" /: v "dfx")) ] [];
+              ];
+            ret (v "x");
+          ];
+        fn "main"
+          ~locals:[ ("j", I); ("acc", I); ("x", F); ("r", F) ]
+          [
+            (* integer square roots over the whole input *)
+            for_ "j" (i 0) (i n)
+              [ set "acc" (v "acc" +: call "isqrt" [ ld "nums" (v "j") ]) ];
+            (* FP square roots of scaled inputs *)
+            for_ "j" (i 0) (i n)
+              [
+                set "x" (I2f (ld "nums" (v "j") %: i 10_000) +: f 1.0);
+                set "r" (call "fsqrt" [ v "x" ]);
+                set "acc" (v "acc" +: F2i (v "r" *: f 16.0));
+              ];
+            (* a few cubic solves with input-derived coefficients *)
+            for_ "j" (i 0) (i 32)
+              [
+                set "x"
+                  (call "cubic_root"
+                     [
+                       I2f (ld "nums" (v "j") %: i 7) -: f 3.0;
+                       I2f (ld "nums" (v "j" +: i 1) %: i 5) -: f 2.0;
+                       I2f (ld "nums" (v "j" +: i 2) %: i 9) -: f 4.0;
+                     ]);
+                set "acc" (v "acc" +: F2i (v "x" *: f 256.0));
+              ];
+            ret (v "acc");
+          ];
+      ];
+  }

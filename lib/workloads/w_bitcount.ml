@@ -1,0 +1,67 @@
+(* bitcount: four population-count algorithms over random words — the
+   MiBench automotive bit-twiddling kernel: integer-only, branchy in one
+   variant, table-driven in another. *)
+
+open Pc_kc.Ast
+
+let name = "bitcount"
+let domain = "automotive"
+let n = 1024
+
+let prog =
+  {
+    globals =
+      [
+        garr "data" ~init:(Inputs.ints ~seed:13 ~n ~bound:(1 lsl 30)) n;
+        garr "tbl" 256 (* byte popcount table, built at startup *);
+      ];
+    funs =
+      [
+        (* naive: test each of 30 bits *)
+        fn "count_naive" ~params:[ ("x", I) ] ~locals:[ ("k", I); ("c", I) ]
+          [
+            for_ "k" (i 0) (i 30)
+              [ if_ (((v "x" >>: v "k") &: i 1) =: i 1) [ set "c" (v "c" +: i 1) ] [] ];
+            ret (v "c");
+          ];
+        (* Kernighan: clear lowest set bit; data-dependent trip count *)
+        fn "count_kernighan" ~params:[ ("x", I) ] ~locals:[ ("c", I); ("w", I) ]
+          [
+            set "w" (v "x");
+            while_ (v "w" <>: i 0)
+              [ set "w" (v "w" &: (v "w" -: i 1)); set "c" (v "c" +: i 1) ];
+            ret (v "c");
+          ];
+        (* table: four byte lookups *)
+        fn "count_table" ~params:[ ("x", I) ]
+          [
+            ret
+              (ld "tbl" (v "x" &: i 255)
+              +: ld "tbl" ((v "x" >>: i 8) &: i 255)
+              +: ld "tbl" ((v "x" >>: i 16) &: i 255)
+              +: ld "tbl" ((v "x" >>: i 24) &: i 255));
+          ];
+        (* SWAR: parallel reduction with masks *)
+        fn "count_swar" ~params:[ ("x", I) ] ~locals:[ ("w", I) ]
+          [
+            set "w" (v "x" -: ((v "x" >>: i 1) &: i 0x55555555));
+            set "w" ((v "w" &: i 0x33333333) +: ((v "w" >>: i 2) &: i 0x33333333));
+            set "w" ((v "w" +: (v "w" >>: i 4)) &: i 0x0F0F0F0F);
+            ret ((v "w" *: i 0x01010101) >>: i 24 &: i 255);
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I) ]
+          [
+            (* build the byte table with the Kernighan variant *)
+            for_ "j" (i 0) (i 256)
+              [ st "tbl" (v "j") (call "count_kernighan" [ v "j" ]) ];
+            for_ "j" (i 0) (i n)
+              [
+                set "acc" (v "acc" +: call "count_naive" [ ld "data" (v "j") ]);
+                set "acc" (v "acc" +: call "count_kernighan" [ ld "data" (v "j") ]);
+                set "acc" (v "acc" +: call "count_table" [ ld "data" (v "j") ]);
+                set "acc" (v "acc" -: call "count_swar" [ ld "data" (v "j") ]);
+              ];
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,69 @@
+(* blowfish: a 16-round Feistel cipher with four 256-entry S-boxes and a
+   P-array, run in ECB over a message buffer — table-lookup-dominated
+   integer crypto like the MiBench security kernel. *)
+
+open Pc_kc.Ast
+
+let name = "blowfish"
+let domain = "security"
+let blocks = 384 (* 64-bit blocks, as (hi, lo) 32-bit word pairs *)
+
+let mask32 = 0xFFFFFFFF
+
+let prog =
+  {
+    globals =
+      [
+        garr "sbox0" ~init:(Inputs.ints ~seed:41 ~n:256 ~bound:(1 lsl 30)) 256;
+        garr "sbox1" ~init:(Inputs.ints ~seed:42 ~n:256 ~bound:(1 lsl 30)) 256;
+        garr "sbox2" ~init:(Inputs.ints ~seed:43 ~n:256 ~bound:(1 lsl 30)) 256;
+        garr "sbox3" ~init:(Inputs.ints ~seed:44 ~n:256 ~bound:(1 lsl 30)) 256;
+        garr "parray" ~init:(Inputs.ints ~seed:45 ~n:18 ~bound:(1 lsl 30)) 18;
+        garr "msg" ~init:(Inputs.ints ~seed:46 ~n:(2 * blocks) ~bound:(1 lsl 30)) (2 * blocks);
+      ];
+    funs =
+      [
+        (* The Blowfish F function: split into bytes, S-box mix. *)
+        fn "feistel" ~params:[ ("x", I) ] ~locals:[ ("a", I); ("b", I); ("c", I); ("d", I) ]
+          [
+            set "a" ((v "x" >>: i 24) &: i 255);
+            set "b" ((v "x" >>: i 16) &: i 255);
+            set "c" ((v "x" >>: i 8) &: i 255);
+            set "d" (v "x" &: i 255);
+            ret
+              (((((ld "sbox0" (v "a") +: ld "sbox1" (v "b")) &: i mask32)
+                ^: ld "sbox2" (v "c"))
+                +: ld "sbox3" (v "d"))
+              &: i mask32);
+          ];
+        (* Encrypt the block at index [b] in place. *)
+        fn "encrypt_block" ~params:[ ("b", I) ]
+          ~locals:[ ("l", I); ("r", I); ("round", I); ("t", I) ]
+          [
+            set "l" (ld "msg" (v "b" *: i 2));
+            set "r" (ld "msg" ((v "b" *: i 2) +: i 1));
+            for_ "round" (i 0) (i 16)
+              [
+                set "l" ((v "l" ^: ld "parray" (v "round")) &: i mask32);
+                set "r" ((v "r" ^: call "feistel" [ v "l" ]) &: i mask32);
+                set "t" (v "l");
+                set "l" (v "r");
+                set "r" (v "t");
+              ];
+            (* final swap and whitening *)
+            set "t" (v "l");
+            set "l" ((v "r" ^: ld "parray" (i 17)) &: i mask32);
+            set "r" ((v "t" ^: ld "parray" (i 16)) &: i mask32);
+            st "msg" (v "b" *: i 2) (v "l");
+            st "msg" ((v "b" *: i 2) +: i 1) (v "r");
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I) ]
+          [
+            for_ "j" (i 0) (i blocks) [ Expr (call "encrypt_block" [ v "j" ]) ];
+            for_ "j" (i 0) (i (2 * blocks))
+              [ set "acc" ((v "acc" +: ld "msg" (v "j")) &: i mask32) ];
+            ret (v "acc");
+          ];
+      ];
+  }

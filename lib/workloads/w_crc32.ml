@@ -1,0 +1,61 @@
+(* crc32: table-driven CRC-32 over a byte stream — the classic telecom/
+   network checksum: sequential byte loads plus a 256-entry table with
+   data-dependent indices. *)
+
+open Pc_kc.Ast
+
+let name = "crc32"
+let domain = "network"
+let n = 16_384
+
+let prog =
+  {
+    globals =
+      [
+        garr "stream" ~init:(Inputs.bytes ~seed:37 ~n) n;
+        garr "crc_table" 256;
+      ];
+    funs =
+      [
+        (* build the reflected CRC-32 table (polynomial 0xEDB88320) *)
+        fn "build_table" ~locals:[ ("j", I); ("k", I); ("c", I) ]
+          [
+            for_ "j" (i 0) (i 256)
+              [
+                set "c" (v "j");
+                for_ "k" (i 0) (i 8)
+                  [
+                    if_ ((v "c" &: i 1) =: i 1)
+                      [ set "c" (i 0xEDB88320 ^: (v "c" >>: i 1)) ]
+                      [ set "c" (v "c" >>: i 1) ];
+                  ];
+                st "crc_table" (v "j") (v "c");
+              ];
+            ret (i 0);
+          ];
+        fn "crc_of_stream" ~params:[ ("from", I); ("until", I) ] ~locals:[ ("j", I); ("c", I) ]
+          [
+            set "c" (i 0xFFFFFFFF);
+            for_ "j" (v "from") (v "until")
+              [
+                set "c"
+                  (ld "crc_table" ((v "c" ^: ld "stream" (v "j")) &: i 255)
+                  ^: (v "c" >>: i 8));
+              ];
+            ret (v "c" ^: i 0xFFFFFFFF);
+          ];
+        fn "main" ~locals:[ ("acc", I); ("block", I) ]
+          [
+            Expr (call "build_table" []);
+            (* checksum the stream in four blocks, then whole *)
+            for_ "block" (i 0) (i 4)
+              [
+                set "acc"
+                  (v "acc"
+                  ^: call "crc_of_stream"
+                       [ v "block" *: i (n / 4); (v "block" +: i 1) *: i (n / 4) ]);
+              ];
+            ret ((v "acc" ^: call "crc_of_stream" [ i 0; i n ]) &: i 0xFFFFFFFF);
+          ];
+      ];
+  }

@@ -1,0 +1,82 @@
+(* dijkstra: all-pairs-ish shortest paths over a dense random graph with
+   the O(n^2) scan-for-minimum formulation MiBench uses — integer
+   compares and row-strided matrix walks. *)
+
+open Pc_kc.Ast
+
+let name = "dijkstra"
+let domain = "network"
+let nodes = 40
+let infinity_w = 1_000_000
+
+(* Dense weight matrix: ~thirty percent of edges absent (infinity). *)
+let adjacency =
+  let raw = Inputs.ints ~seed:23 ~n:(nodes * nodes) ~bound:100 in
+  Array.mapi
+    (fun idx w ->
+      let a = idx / nodes and b = idx mod nodes in
+      if a = b then 0L
+      else if Int64.to_int w < 30 then Int64.of_int infinity_w
+      else Int64.add w 1L)
+    raw
+
+let prog =
+  {
+    globals =
+      [
+        garr "adj" ~init:adjacency (nodes * nodes);
+        garr "dist" nodes;
+        garr "visited" nodes;
+      ];
+    funs =
+      [
+        fn "shortest_paths" ~params:[ ("source", I) ]
+          ~locals:
+            [ ("j", I); ("k", I); ("best", I); ("best_node", I); ("alt", I); ("acc", I) ]
+          [
+            for_ "j" (i 0) (i nodes)
+              [ st "dist" (v "j") (i infinity_w); st "visited" (v "j") (i 0) ];
+            st "dist" (v "source") (i 0);
+            for_ "k" (i 0) (i nodes)
+              [
+                (* pick the unvisited node with the smallest distance *)
+                set "best" (i (infinity_w + 1));
+                set "best_node" (i (-1));
+                for_ "j" (i 0) (i nodes)
+                  [
+                    if_
+                      ((ld "visited" (v "j") =: i 0) &&: (ld "dist" (v "j") <: v "best"))
+                      [ set "best" (ld "dist" (v "j")); set "best_node" (v "j") ]
+                      [];
+                  ];
+                if_ (v "best_node" >=: i 0)
+                  [
+                    st "visited" (v "best_node") (i 1);
+                    (* relax all outgoing edges *)
+                    for_ "j" (i 0) (i nodes)
+                      [
+                        set "alt"
+                          (v "best" +: ld "adj" ((v "best_node" *: i nodes) +: v "j"));
+                        if_ (v "alt" <: ld "dist" (v "j"))
+                          [ st "dist" (v "j") (v "alt") ]
+                          [];
+                      ];
+                  ]
+                  [];
+              ];
+            for_ "j" (i 0) (i nodes)
+              [
+                if_ (ld "dist" (v "j") <: i infinity_w)
+                  [ set "acc" (v "acc" +: ld "dist" (v "j")) ]
+                  [];
+              ];
+            ret (v "acc");
+          ];
+        fn "main" ~locals:[ ("s", I); ("acc", I) ]
+          [
+            for_ "s" (i 0) (i 16)
+              [ set "acc" (v "acc" +: call "shortest_paths" [ v "s" ]) ];
+            ret (v "acc");
+          ];
+      ];
+  }

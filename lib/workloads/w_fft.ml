@@ -1,0 +1,115 @@
+(* fft: iterative radix-2 Cooley-Tukey FFT over 256 complex points, with
+   bit-reversal permutation and trig recurrence twiddles — FP-multiply
+   heavy with power-of-two strided access, like the MiBench telecom
+   kernel. *)
+
+open Pc_kc.Ast
+
+let name = "fft"
+let domain = "telecom"
+let size = 256
+let log2_size = 8
+
+let prog =
+  {
+    globals =
+      [
+        gfarr "re" ~init:(Array.map (fun x -> x -. 0.5) (Inputs.floats ~seed:67 ~n:size ~scale:1.0)) size;
+        gfarr "im" size;
+        gfarr "re2" size;
+        gfarr "im2" size;
+      ];
+    funs =
+      [
+        (* bit-reverse the low [log2_size] bits of x *)
+        fn "bit_reverse" ~params:[ ("x", I) ] ~locals:[ ("r", I); ("k", I); ("w", I) ]
+          [
+            set "w" (v "x");
+            for_ "k" (i 0) (i log2_size)
+              [
+                set "r" ((v "r" <<: i 1) |: (v "w" &: i 1));
+                set "w" (v "w" >>: i 1);
+              ];
+            ret (v "r");
+          ];
+        (* in-place FFT over (re, im) *)
+        fn "fft_run"
+          ~locals:
+            [
+              ("j", I); ("k", I); ("m", I); ("half", I); ("step", I); ("pos", I);
+              ("wr", F); ("wi", F); ("ur", F); ("ui", F); ("tr", F); ("ti", F);
+              ("ang_r", F); ("ang_i", F); ("t", F);
+            ]
+          [
+            (* bit-reversal permutation via scratch arrays *)
+            for_ "j" (i 0) (i size)
+              [
+                st "re2" (call "bit_reverse" [ v "j" ]) (ld "re" (v "j"));
+                st "im2" (call "bit_reverse" [ v "j" ]) (ld "im" (v "j"));
+              ];
+            for_ "j" (i 0) (i size)
+              [ st "re" (v "j") (ld "re2" (v "j")); st "im" (v "j") (ld "im2" (v "j")) ];
+            (* butterfly stages *)
+            set "half" (i 1);
+            for_ "m" (i 0) (i log2_size)
+              [
+                set "step" (v "half" *: i 2);
+                (* stage twiddle rotation: e^{-i pi / half}, by recurrence
+                   seeded from a polynomial approximation of cos/sin *)
+                set "t" (f 3.14159265358979 /: I2f (v "half"));
+                (* cos(t) ~ 1 - t^2/2 + t^4/24 - t^6/720; accurate enough
+                   for t <= pi and identical in interp and compiled code *)
+                set "ang_r"
+                  (f 1.0 -: (v "t" *: v "t" /: f 2.0)
+                  +: (v "t" *: v "t" *: v "t" *: v "t" /: f 24.0)
+                  -: (v "t" *: v "t" *: v "t" *: v "t" *: v "t" *: v "t" /: f 720.0));
+                set "ang_i"
+                  (f 0.0
+                  -: (v "t" -: (v "t" *: v "t" *: v "t" /: f 6.0)
+                     +: (v "t" *: v "t" *: v "t" *: v "t" *: v "t" /: f 120.0)));
+                for_ "k" (i 0) (v "half")
+                  [
+                    if_ (v "k" =: i 0)
+                      [ set "wr" (f 1.0); set "wi" (f 0.0) ]
+                      [
+                        set "t" (v "wr");
+                        set "wr" ((v "wr" *: v "ang_r") -: (v "wi" *: v "ang_i"));
+                        set "wi" ((v "t" *: v "ang_i") +: (v "wi" *: v "ang_r"));
+                      ];
+                    set "pos" (v "k");
+                    while_ (v "pos" <: i size)
+                      [
+                        set "ur" (ld "re" (v "pos"));
+                        set "ui" (ld "im" (v "pos"));
+                        set "tr"
+                          ((v "wr" *: ld "re" (v "pos" +: v "half"))
+                          -: (v "wi" *: ld "im" (v "pos" +: v "half")));
+                        set "ti"
+                          ((v "wr" *: ld "im" (v "pos" +: v "half"))
+                          +: (v "wi" *: ld "re" (v "pos" +: v "half")));
+                        st "re" (v "pos") (v "ur" +: v "tr");
+                        st "im" (v "pos") (v "ui" +: v "ti");
+                        st "re" (v "pos" +: v "half") (v "ur" -: v "tr");
+                        st "im" (v "pos" +: v "half") (v "ui" -: v "ti");
+                        set "pos" (v "pos" +: v "step");
+                      ];
+                  ];
+                set "half" (v "step");
+              ];
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I); ("mag", F) ]
+          [
+            Expr (call "fft_run" []);
+            (* power spectrum checksum *)
+            for_ "j" (i 0) (i size)
+              [
+                set "mag"
+                  ((ld "re" (v "j") *: ld "re" (v "j"))
+                  +: (ld "im" (v "j") *: ld "im" (v "j")));
+                set "acc" (v "acc" +: F2i (v "mag" *: f 100.0));
+              ];
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,120 @@
+(* g721: G.721-shaped ADPCM with an adaptive pole/zero predictor — a
+   2-pole, 6-zero filter updated by sign-sign LMS, plus an adaptive
+   quantiser scale.  Serial recurrences with branchy coefficient
+   clamping; distinctly different control flow from the IMA codec. *)
+
+open Pc_kc.Ast
+
+let name = "g721"
+let domain = "telecom"
+let n_samples = 3000
+
+let prog =
+  {
+    globals =
+      [
+        garr "pcm" ~init:(Inputs.waveform ~seed:73 ~n:n_samples ~amplitude:10_000) n_samples;
+        garr "dq" 6 (* last six quantised differences (zero taps) *);
+        garr "zeros" 6 (* zero coefficients, Q12 *);
+        garr "poles" 2 (* pole coefficients, Q12 *);
+        garr "sr" 2 (* last two reconstructed samples *);
+        garr "scale" 1 (* adaptive quantiser scale *);
+        garr "codes" n_samples;
+      ];
+    funs =
+      [
+        (* predictor output from poles and zeros *)
+        fn "predict" ~locals:[ ("j", I); ("s", I) ]
+          [
+            set "s"
+              (((ld "poles" (i 0) *: ld "sr" (i 0))
+               +: (ld "poles" (i 1) *: ld "sr" (i 1)))
+              /: i 4096);
+            for_ "j" (i 0) (i 6)
+              [
+                set "s" (v "s" +: ((ld "zeros" (v "j") *: ld "dq" (v "j")) /: i 4096));
+              ];
+            ret (v "s");
+          ];
+        (* quantise a difference to a signed 4-bit code *)
+        fn "quantise" ~params:[ ("diff", I) ] ~locals:[ ("mag", I); ("code", I); ("sc", I) ]
+          [
+            set "sc" (ld "scale" (i 0));
+            set "mag" (v "diff");
+            if_ (v "mag" <: i 0) [ set "mag" (i 0 -: v "mag") ] [];
+            set "code" ((v "mag" *: i 4) /: v "sc");
+            if_ (v "code" >: i 7) [ set "code" (i 7) ] [];
+            if_ (v "diff" <: i 0) [ set "code" (v "code" |: i 8) ] [];
+            ret (v "code");
+          ];
+        (* inverse quantiser *)
+        fn "dequantise" ~params:[ ("code", I) ] ~locals:[ ("mag", I) ]
+          [
+            set "mag" (((v "code" &: i 7) *: ld "scale" (i 0)) /: i 4 +: (ld "scale" (i 0) /: i 8));
+            if_ ((v "code" &: i 8) <>: i 0) [ ret (i 0 -: v "mag") ] [];
+            ret (v "mag");
+          ];
+        (* sign-sign LMS update of all coefficients, with clamping *)
+        fn "adapt" ~params:[ ("dqv", I); ("err", I) ] ~locals:[ ("j", I); ("c", I); ("s1", I); ("s2", I) ]
+          [
+            set "s1" (i 1);
+            if_ (v "err" <: i 0) [ set "s1" (i (-1)) ] [];
+            (* zeros *)
+            for_ "j" (i 0) (i 6)
+              [
+                set "s2" (i 1);
+                if_ (ld "dq" (v "j") <: i 0) [ set "s2" (i (-1)) ] [];
+                set "c" (ld "zeros" (v "j") +: (v "s1" *: v "s2" *: i 12));
+                if_ (v "c" >: i 3072) [ set "c" (i 3072) ] [];
+                if_ (v "c" <: i (-3072)) [ set "c" (i (-3072)) ] [];
+                st "zeros" (v "j") (v "c");
+              ];
+            (* poles *)
+            for_ "j" (i 0) (i 2)
+              [
+                set "s2" (i 1);
+                if_ (ld "sr" (v "j") <: i 0) [ set "s2" (i (-1)) ] [];
+                set "c" (ld "poles" (v "j") +: (v "s1" *: v "s2" *: i 8));
+                if_ (v "c" >: i 2048) [ set "c" (i 2048) ] [];
+                if_ (v "c" <: i (-2048)) [ set "c" (i (-2048)) ] [];
+                st "poles" (v "j") (v "c");
+              ];
+            (* shift the tapped delay lines *)
+            for_ "j" (i 0) (i 5)
+              [ st "dq" (i 5 -: v "j") (ld "dq" (i 4 -: v "j")) ];
+            st "dq" (i 0) (v "dqv");
+            st "sr" (i 1) (ld "sr" (i 0));
+            ret (i 0);
+          ];
+        (* adaptive scale: expand on large codes, contract on small *)
+        fn "rescale" ~params:[ ("code", I) ] ~locals:[ ("sc", I) ]
+          [
+            set "sc" (ld "scale" (i 0));
+            if_ ((v "code" &: i 7) >=: i 4)
+              [ set "sc" (v "sc" +: (v "sc" /: i 8)) ]
+              [ set "sc" (v "sc" -: (v "sc" /: i 16)) ];
+            if_ (v "sc" <: i 32) [ set "sc" (i 32) ] [];
+            if_ (v "sc" >: i 8192) [ set "sc" (i 8192) ] [];
+            st "scale" (i 0) (v "sc");
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I); ("pred", I); ("code", I); ("dqv", I); ("recon", I); ("acc", I) ]
+          [
+            st "scale" (i 0) (i 64);
+            for_ "j" (i 0) (i n_samples)
+              [
+                set "pred" (call "predict" []);
+                set "code" (call "quantise" [ ld "pcm" (v "j") -: v "pred" ]);
+                st "codes" (v "j") (v "code");
+                set "dqv" (call "dequantise" [ v "code" ]);
+                set "recon" (v "pred" +: v "dqv");
+                Expr (call "adapt" [ v "dqv"; ld "pcm" (v "j") -: v "recon" ]);
+                st "sr" (i 0) (v "recon");
+                Expr (call "rescale" [ v "code" ]);
+              ];
+            for_ "j" (i 0) (i n_samples)
+              [ set "acc" ((v "acc" *: i 23) +: ld "codes" (v "j") &: i 0xFFFFFFF) ];
+            ret (v "acc");
+          ];
+      ];
+  }

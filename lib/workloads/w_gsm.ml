@@ -1,0 +1,105 @@
+(* gsm: GSM-full-rate-shaped speech coding front end — per-frame
+   fixed-point autocorrelation, reflection coefficients by a Schur-like
+   recursion, and an LTP-style cross-correlation lag search.  Integer
+   multiply dominated with nested loops. *)
+
+open Pc_kc.Ast
+
+let name = "gsm"
+let domain = "telecom"
+let frame = 160
+let n_frames = 12
+let order = 8
+let samples = frame * n_frames
+
+let prog =
+  {
+    globals =
+      [
+        garr "speech" ~init:(Inputs.waveform ~seed:71 ~n:samples ~amplitude:8_000) samples;
+        garr "autoc" (order + 1);
+        garr "refl" order;
+        garr "err_buf" (order + 1);
+      ];
+    funs =
+      [
+        (* autocorrelation of one frame, lags 0..order *)
+        fn "autocorrelate" ~params:[ ("base", I) ] ~locals:[ ("lag", I); ("j", I); ("s", I) ]
+          [
+            for_ "lag" (i 0) (i (order + 1))
+              [
+                set "s" (i 0);
+                for_ "j" (v "lag") (i frame)
+                  [
+                    set "s"
+                      (v "s"
+                      +: ((ld "speech" (v "base" +: v "j")
+                          *: ld "speech" (v "base" +: v "j" -: v "lag"))
+                         /: i 64));
+                  ];
+                st "autoc" (v "lag") (v "s");
+              ];
+            ret (ld "autoc" (i 0));
+          ];
+        (* Schur-like fixed-point recursion for reflection coefficients. *)
+        fn "reflections" ~locals:[ ("m", I); ("j", I); ("k", I); ("num", I); ("den", I) ]
+          [
+            for_ "j" (i 0) (i (order + 1)) [ st "err_buf" (v "j") (ld "autoc" (v "j")) ];
+            for_ "m" (i 0) (i order)
+              [
+                set "num" (ld "err_buf" (v "m" +: i 1));
+                set "den" (ld "err_buf" (i 0));
+                if_ (v "den" =: i 0)
+                  [ set "k" (i 0) ]
+                  [ set "k" ((v "num" *: i 4096) /: v "den") ];
+                if_ (v "k" >: i 4095) [ set "k" (i 4095) ] [];
+                if_ (v "k" <: i (-4095)) [ set "k" (i (-4095)) ] [];
+                st "refl" (v "m") (v "k");
+                (* propagate the prediction error through this stage *)
+                for_ "j" (i 0) (i order -: v "m")
+                  [
+                    st "err_buf" (v "j")
+                      (ld "err_buf" (v "j" +: i 1)
+                      -: ((v "k" *: ld "err_buf" (v "j" +: i 1)) /: i 4096));
+                  ];
+              ];
+            ret (i 0);
+          ];
+        (* long-term-prediction lag search over the previous frame *)
+        fn "ltp_lag" ~params:[ ("base", I) ]
+          ~locals:[ ("lag", I); ("j", I); ("corr", I); ("best", I); ("best_lag", I) ]
+          [
+            set "best" (i (-1));
+            set "best_lag" (i 40);
+            for_ "lag" (i 40) (i 120)
+              [
+                set "corr" (i 0);
+                for_ "j" (i 0) (i 40)
+                  [
+                    set "corr"
+                      (v "corr"
+                      +: ((ld "speech" (v "base" +: v "j")
+                          *: ld "speech" (v "base" +: v "j" -: v "lag"))
+                         /: i 64));
+                  ];
+                if_ (v "corr" >: v "best")
+                  [ set "best" (v "corr"); set "best_lag" (v "lag") ]
+                  [];
+              ];
+            ret (v "best_lag");
+          ];
+        fn "main" ~locals:[ ("fidx", I); ("base", I); ("acc", I); ("j", I) ]
+          [
+            for_ "fidx" (i 1) (i n_frames)
+              [
+                set "base" (v "fidx" *: i frame);
+                set "acc" ((v "acc" +: call "autocorrelate" [ v "base" ]) &: i 0xFFFFFFFF);
+                Expr (call "reflections" []);
+                for_ "j" (i 0) (i order)
+                  [ set "acc" ((v "acc" *: i 13) +: ld "refl" (v "j") &: i 0xFFFFFFFF) ];
+                set "acc" (v "acc" +: call "ltp_lag" [ v "base" ]);
+              ];
+            ret (v "acc" &: i 0xFFFFFFFF);
+          ];
+      ];
+  }

@@ -1,0 +1,106 @@
+(* ispell: spell-checker core — an open-addressing hash dictionary built
+   from a word list, then lookups for every word of a document, with a
+   one-edit "suggestion" probe for misses.  Hash loops and dependent
+   probes, like the MiBench office kernel. *)
+
+open Pc_kc.Ast
+
+let name = "ispell"
+let domain = "office"
+let dict_words = 480
+let word_len = 6 (* fixed-width packed words *)
+let table_size = 2048 (* power of two *)
+let doc_words = 900
+
+let dict_init = Inputs.ints ~seed:109 ~n:(dict_words * word_len) ~bound:26
+
+(* Document: 60% dictionary words, 40% corrupted/random. *)
+let doc_init =
+  let rng = Pc_util.Rng.create 113 in
+  Array.init (doc_words * word_len) (fun idx ->
+      let w = idx / word_len and k = idx mod word_len in
+      let kind = w mod 5 in
+      if kind < 3 then dict_init.(((w * 37) mod dict_words * word_len) + k)
+      else if kind = 3 then
+        (* one corrupted letter *)
+        let base = dict_init.(((w * 53) mod dict_words * word_len) + k) in
+        if k = w mod word_len then Int64.of_int ((Int64.to_int base + 1) mod 26) else base
+      else Int64.of_int (Pc_util.Rng.int rng 26))
+
+let prog =
+  {
+    globals =
+      [
+        garr "dict" ~init:dict_init (dict_words * word_len);
+        garr "doc" ~init:doc_init (doc_words * word_len);
+        garr "table" table_size (* 0 = empty, else 1 + dict word index *);
+      ];
+    funs =
+      [
+        (* FNV-ish hash of the word at [base] in array choice [src]:
+           0 = dict, 1 = doc *)
+        fn "hash_word" ~params:[ ("src", I); ("base", I) ] ~locals:[ ("h", I); ("k", I); ("c", I) ]
+          [
+            set "h" (i 2166136261);
+            for_ "k" (i 0) (i word_len)
+              [
+                if_ (v "src" =: i 0)
+                  [ set "c" (ld "dict" (v "base" +: v "k")) ]
+                  [ set "c" (ld "doc" (v "base" +: v "k")) ];
+                set "h" ((v "h" ^: v "c") *: i 16777619 &: i 0xFFFFFFFF);
+              ];
+            ret (v "h");
+          ];
+        (* do doc word [w] and dict word [d] match exactly? *)
+        fn "words_equal" ~params:[ ("w", I); ("d", I) ] ~locals:[ ("k", I); ("ok", I) ]
+          [
+            set "ok" (i 1);
+            for_ "k" (i 0) (i word_len)
+              [
+                if_
+                  (ld "doc" ((v "w" *: i word_len) +: v "k")
+                  <>: ld "dict" ((v "d" *: i word_len) +: v "k"))
+                  [ set "ok" (i 0) ]
+                  [];
+              ];
+            ret (v "ok");
+          ];
+        fn "insert" ~params:[ ("d", I) ] ~locals:[ ("slot", I) ]
+          [
+            set "slot" (call "hash_word" [ i 0; v "d" *: i word_len ] &: i (table_size - 1));
+            while_ (ld "table" (v "slot") <>: i 0)
+              [ set "slot" ((v "slot" +: i 1) &: i (table_size - 1)) ];
+            st "table" (v "slot") (v "d" +: i 1);
+            ret (i 0);
+          ];
+        (* look up doc word [w]; 1 if present *)
+        fn "lookup" ~params:[ ("w", I) ] ~locals:[ ("slot", I); ("entry", I); ("res", I); ("going", I) ]
+          [
+            set "slot" (call "hash_word" [ i 1; v "w" *: i word_len ] &: i (table_size - 1));
+            set "going" (i 1);
+            while_ (v "going" =: i 1)
+              [
+                set "entry" (ld "table" (v "slot"));
+                if_ (v "entry" =: i 0)
+                  [ set "going" (i 0) ]
+                  [
+                    if_ (call "words_equal" [ v "w"; v "entry" -: i 1 ] =: i 1)
+                      [ set "res" (i 1); set "going" (i 0) ]
+                      [ set "slot" ((v "slot" +: i 1) &: i (table_size - 1)) ];
+                  ];
+              ];
+            ret (v "res");
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I); ("missed", I) ]
+          [
+            for_ "j" (i 0) (i dict_words) [ Expr (call "insert" [ v "j" ]) ];
+            for_ "j" (i 0) (i doc_words)
+              [
+                if_ (call "lookup" [ v "j" ] =: i 1)
+                  [ set "acc" (v "acc" +: i 1) ]
+                  [ set "missed" (v "missed" +: i 1) ];
+              ];
+            ret ((v "acc" *: i 10_000) +: v "missed");
+          ];
+      ];
+  }

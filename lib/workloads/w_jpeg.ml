@@ -1,0 +1,298 @@
+(* jpeg: JPEG-shaped image codec pair.  [Enc.prog] runs a separable 8x8
+   forward DCT, quantisation, zig-zag ordering and a run-length count
+   over a synthetic image; [Dec.prog] dequantises and runs the inverse
+   DCT with clamping.  FP multiply dominated with blocked 2D access. *)
+
+open Pc_kc.Ast
+
+let width = 64
+let height = 64
+let pixels = width * height
+let blocks_x = width / 8
+let blocks_y = height / 8
+
+(* DCT basis matrix: cosmat[u*8+x] = c(u)/2 * cos((2x+1) u pi / 16). *)
+let cosmat =
+  Array.init 64 (fun idx ->
+      let u = idx / 8 and x = idx mod 8 in
+      let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+      cu /. 2.0 *. cos ((2.0 *. float_of_int x +. 1.0) *. float_of_int u *. Float.pi /. 16.0))
+
+(* A standard-luminance-like quantisation table. *)
+let quant =
+  [|
+    16; 11; 10; 16; 24; 40; 51; 61; 12; 12; 14; 19; 26; 58; 60; 55; 14; 13; 16;
+    24; 40; 57; 69; 56; 14; 17; 22; 29; 51; 87; 80; 62; 18; 22; 37; 56; 68; 109;
+    103; 77; 24; 35; 55; 64; 81; 104; 113; 92; 49; 64; 78; 87; 103; 121; 120;
+    101; 72; 92; 95; 98; 112; 100; 103; 99;
+  |]
+
+let zigzag =
+  [|
+    0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5; 12; 19; 26; 33; 40;
+    48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28; 35; 42; 49; 56; 57; 50; 43; 36;
+    29; 22; 15; 23; 30; 37; 44; 51; 58; 59; 52; 45; 38; 31; 39; 46; 53; 60; 61;
+    54; 47; 55; 62; 63;
+  |]
+
+let image_init = Inputs.image ~seed:79 ~width ~height
+
+(* Forward transform of one 8x8 block: img -> coef (both global). *)
+let dct_funs =
+  [
+    (* load a block into the f-workspace, centred on zero *)
+    fn "load_block" ~params:[ ("bx", I); ("by", I) ] ~locals:[ ("r", I); ("c", I) ]
+      [
+        for_ "r" (i 0) (i 8)
+          [
+            for_ "c" (i 0) (i 8)
+              [
+                st "work" ((v "r" *: i 8) +: v "c")
+                  (I2f (ld "img" (((v "by" *: i 8 +: v "r") *: i width)
+                                 +: (v "bx" *: i 8) +: v "c"))
+                  -: f 128.0);
+              ];
+          ];
+        ret (i 0);
+      ];
+    (* rows pass: tmp = cosmat . work^T per row *)
+    fn "dct_rows" ~locals:[ ("r", I); ("u", I); ("x", I); ("s", F) ]
+      [
+        for_ "r" (i 0) (i 8)
+          [
+            for_ "u" (i 0) (i 8)
+              [
+                set "s" (f 0.0);
+                for_ "x" (i 0) (i 8)
+                  [
+                    set "s"
+                      (v "s"
+                      +: (ld "cosmat" ((v "u" *: i 8) +: v "x")
+                         *: ld "work" ((v "r" *: i 8) +: v "x")));
+                  ];
+                st "wtmp" ((v "r" *: i 8) +: v "u") (v "s");
+              ];
+          ];
+        ret (i 0);
+      ];
+    (* columns pass: work = cosmat . wtmp per column *)
+    fn "dct_cols" ~locals:[ ("c", I); ("u", I); ("y", I); ("s", F) ]
+      [
+        for_ "c" (i 0) (i 8)
+          [
+            for_ "u" (i 0) (i 8)
+              [
+                set "s" (f 0.0);
+                for_ "y" (i 0) (i 8)
+                  [
+                    set "s"
+                      (v "s"
+                      +: (ld "cosmat" ((v "u" *: i 8) +: v "y")
+                         *: ld "wtmp" ((v "y" *: i 8) +: v "c")));
+                  ];
+                st "work" ((v "u" *: i 8) +: v "c") (v "s");
+              ];
+          ];
+        ret (i 0);
+      ];
+  ]
+
+module Enc = struct
+  let name = "jpeg_enc"
+  let domain = "consumer"
+
+  let prog =
+    {
+      globals =
+        [
+          garr "img" ~init:image_init pixels;
+          gfarr "cosmat" ~init:cosmat 64;
+          garr "quant" ~init:(Array.map Int64.of_int quant) 64;
+          garr "zigzag" ~init:(Array.map Int64.of_int zigzag) 64;
+          gfarr "work" 64;
+          gfarr "wtmp" 64;
+          garr "coef" pixels;
+        ];
+      funs =
+        dct_funs
+        @ [
+            fn "encode_block" ~params:[ ("bx", I); ("by", I) ]
+              ~locals:[ ("k", I); ("q", I); ("base", I) ]
+              [
+                Expr (call "load_block" [ v "bx"; v "by" ]);
+                Expr (call "dct_rows" []);
+                Expr (call "dct_cols" []);
+                set "base" (((v "by" *: i blocks_x) +: v "bx") *: i 64);
+                (* quantise in zig-zag order *)
+                for_ "k" (i 0) (i 64)
+                  [
+                    set "q"
+                      (F2i (ld "work" (ld "zigzag" (v "k")))
+                      /: ld "quant" (ld "zigzag" (v "k")));
+                    st "coef" (v "base" +: v "k") (v "q");
+                  ];
+                ret (i 0);
+              ];
+            fn "main" ~locals:[ ("bx", I); ("by", I); ("k", I); ("acc", I); ("zrun", I) ]
+              [
+                for_ "by" (i 0) (i blocks_y)
+                  [
+                    for_ "bx" (i 0) (i blocks_x)
+                      [ Expr (call "encode_block" [ v "bx"; v "by" ]) ];
+                  ];
+                (* run-length statistics as the entropy-coding stand-in *)
+                for_ "k" (i 0) (i pixels)
+                  [
+                    if_ (ld "coef" (v "k") =: i 0)
+                      [ set "zrun" (v "zrun" +: i 1) ]
+                      [
+                        set "acc" ((v "acc" *: i 31) +: ld "coef" (v "k") &: i 0xFFFFFF);
+                        set "acc" (v "acc" +: v "zrun");
+                        set "zrun" (i 0);
+                      ];
+                  ];
+                ret (v "acc" +: v "zrun");
+              ];
+          ];
+    }
+end
+
+(* Encoded coefficients for the decoder, computed in OCaml with the same
+   arithmetic shape (float DCT + integer quantisation). *)
+let encoded_coefs =
+  let img = Array.map Int64.to_int image_init in
+  let coef = Array.make pixels 0L in
+  let work = Array.make 64 0.0 and wtmp = Array.make 64 0.0 in
+  for by = 0 to blocks_y - 1 do
+    for bx = 0 to blocks_x - 1 do
+      for r = 0 to 7 do
+        for c = 0 to 7 do
+          work.((r * 8) + c) <-
+            float_of_int img.((((by * 8) + r) * width) + (bx * 8) + c) -. 128.0
+        done
+      done;
+      for r = 0 to 7 do
+        for u = 0 to 7 do
+          let s = ref 0.0 in
+          for x = 0 to 7 do
+            s := !s +. (cosmat.((u * 8) + x) *. work.((r * 8) + x))
+          done;
+          wtmp.((r * 8) + u) <- !s
+        done
+      done;
+      for c = 0 to 7 do
+        for u = 0 to 7 do
+          let s = ref 0.0 in
+          for y = 0 to 7 do
+            s := !s +. (cosmat.((u * 8) + y) *. wtmp.((y * 8) + c))
+          done;
+          work.((u * 8) + c) <- !s
+        done
+      done;
+      let base = ((by * blocks_x) + bx) * 64 in
+      for k = 0 to 63 do
+        let z = zigzag.(k) in
+        coef.(base + k) <- Int64.of_int (Int64.to_int (Int64.of_float work.(z)) / quant.(z))
+      done
+    done
+  done;
+  coef
+
+module Dec = struct
+  let name = "jpeg_dec"
+  let domain = "consumer"
+
+  let prog =
+    {
+      globals =
+        [
+          garr "coef" ~init:encoded_coefs pixels;
+          gfarr "cosmat" ~init:cosmat 64;
+          garr "quant" ~init:(Array.map Int64.of_int quant) 64;
+          garr "zigzag" ~init:(Array.map Int64.of_int zigzag) 64;
+          gfarr "work" 64;
+          gfarr "wtmp" 64;
+          garr "out" pixels;
+        ];
+      funs =
+        [
+          (* inverse rows pass: wtmp[x] = sum_u cosmat[u][x] work[u] *)
+          fn "idct_rows" ~locals:[ ("r", I); ("u", I); ("x", I); ("s", F) ]
+            [
+              for_ "r" (i 0) (i 8)
+                [
+                  for_ "x" (i 0) (i 8)
+                    [
+                      set "s" (f 0.0);
+                      for_ "u" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld "cosmat" ((v "u" *: i 8) +: v "x")
+                               *: ld "work" ((v "r" *: i 8) +: v "u")));
+                        ];
+                      st "wtmp" ((v "r" *: i 8) +: v "x") (v "s");
+                    ];
+                ];
+              ret (i 0);
+            ];
+          fn "idct_cols" ~locals:[ ("c", I); ("u", I); ("y", I); ("s", F) ]
+            [
+              for_ "c" (i 0) (i 8)
+                [
+                  for_ "y" (i 0) (i 8)
+                    [
+                      set "s" (f 0.0);
+                      for_ "u" (i 0) (i 8)
+                        [
+                          set "s"
+                            (v "s"
+                            +: (ld "cosmat" ((v "u" *: i 8) +: v "y")
+                               *: ld "wtmp" ((v "u" *: i 8) +: v "c")));
+                        ];
+                      st "work" ((v "y" *: i 8) +: v "c") (v "s");
+                    ];
+                ];
+              ret (i 0);
+            ];
+          fn "decode_block" ~params:[ ("bx", I); ("by", I) ]
+            ~locals:[ ("k", I); ("p", I); ("r", I); ("c", I); ("base", I) ]
+            [
+              set "base" (((v "by" *: i blocks_x) +: v "bx") *: i 64);
+              (* dequantise out of zig-zag order *)
+              for_ "k" (i 0) (i 64)
+                [
+                  st "work" (ld "zigzag" (v "k"))
+                    (I2f (ld "coef" (v "base" +: v "k") *: ld "quant" (ld "zigzag" (v "k"))));
+                ];
+              Expr (call "idct_rows" []);
+              Expr (call "idct_cols" []);
+              (* clamp to bytes and store *)
+              for_ "r" (i 0) (i 8)
+                [
+                  for_ "c" (i 0) (i 8)
+                    [
+                      set "p" (F2i (ld "work" ((v "r" *: i 8) +: v "c")) +: i 128);
+                      if_ (v "p" <: i 0) [ set "p" (i 0) ] [];
+                      if_ (v "p" >: i 255) [ set "p" (i 255) ] [];
+                      st "out"
+                        (((v "by" *: i 8 +: v "r") *: i width) +: (v "bx" *: i 8) +: v "c")
+                        (v "p");
+                    ];
+                ];
+              ret (i 0);
+            ];
+          fn "main" ~locals:[ ("bx", I); ("by", I); ("k", I); ("acc", I) ]
+            [
+              for_ "by" (i 0) (i blocks_y)
+                [
+                  for_ "bx" (i 0) (i blocks_x)
+                    [ Expr (call "decode_block" [ v "bx"; v "by" ]) ];
+                ];
+              for_ "k" (i 0) (i pixels)
+                [ set "acc" ((v "acc" +: ld "out" (v "k")) &: i 0xFFFFFFFF) ];
+              ret (v "acc");
+            ];
+        ];
+    }
+end

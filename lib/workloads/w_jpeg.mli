@@ -1,0 +1,15 @@
+(** JPEG-shaped image codec pair: {!Enc} runs forward DCT + quantisation
+    + zig-zag/run-length; {!Dec} dequantises and runs the inverse DCT —
+    the MediaBench jpeg benchmarks. *)
+
+module Enc : sig
+  val name : string
+  val domain : string
+  val prog : Pc_kc.Ast.prog
+end
+
+module Dec : sig
+  val name : string
+  val domain : string
+  val prog : Pc_kc.Ast.prog
+end

@@ -1,0 +1,78 @@
+(* mad: the polyphase subband synthesis filter at the heart of an MP3
+   decoder — windowed dot products of 32 subband samples against a
+   512-tap window, with a shifting FIFO of past granules.  Long FP
+   multiply-accumulate chains over two strided arrays. *)
+
+open Pc_kc.Ast
+
+let name = "mad"
+let domain = "consumer"
+let n_granules = 48
+let subbands = 32
+let fifo_len = 512
+
+(* A raised-cosine-ish synthesis window. *)
+let window =
+  Array.init fifo_len (fun k ->
+      let t = float_of_int k /. float_of_int fifo_len in
+      0.5 *. (1.0 -. cos (2.0 *. Float.pi *. t)) *. (1.0 -. t))
+
+let granules =
+  Array.init (n_granules * subbands) (fun k ->
+      let t = float_of_int k in
+      (0.4 *. sin (t /. 3.1)) +. (0.2 *. sin (t /. 11.7)))
+
+let prog =
+  {
+    globals =
+      [
+        gfarr "window" ~init:window fifo_len;
+        gfarr "granule" ~init:granules (n_granules * subbands);
+        gfarr "fifo" fifo_len;
+        gfarr "pcm" (n_granules * subbands);
+      ];
+    funs =
+      [
+        (* shift the FIFO by 32 and insert the new subband samples *)
+        fn "fifo_insert" ~params:[ ("g", I) ] ~locals:[ ("k", I) ]
+          [
+            for_ "k" (i 0) (i (fifo_len - subbands))
+              [
+                st "fifo"
+                  (i (fifo_len - 1) -: v "k")
+                  (ld "fifo" (i (fifo_len - 1) -: v "k" -: i subbands));
+              ];
+            for_ "k" (i 0) (i subbands)
+              [ st "fifo" (v "k") (ld "granule" ((v "g" *: i subbands) +: v "k")) ];
+            ret (i 0);
+          ];
+        (* one output sample per subband: 16-phase windowed MAC *)
+        fn "synthesize" ~params:[ ("g", I) ] ~locals:[ ("sb", I); ("ph", I); ("s", F) ]
+          [
+            for_ "sb" (i 0) (i subbands)
+              [
+                set "s" (f 0.0);
+                for_ "ph" (i 0) (i 16)
+                  [
+                    set "s"
+                      (v "s"
+                      +: (ld "window" ((v "ph" *: i subbands) +: v "sb")
+                         *: ld "fifo" ((v "ph" *: i subbands) +: v "sb")));
+                  ];
+                st "pcm" ((v "g" *: i subbands) +: v "sb") (v "s");
+              ];
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("g", I); ("k", I); ("acc", I) ]
+          [
+            for_ "g" (i 0) (i n_granules)
+              [
+                Expr (call "fifo_insert" [ v "g" ]);
+                Expr (call "synthesize" [ v "g" ]);
+              ];
+            for_ "k" (i 0) (i (n_granules * subbands))
+              [ set "acc" (v "acc" +: F2i (ld "pcm" (v "k") *: f 10_000.0)) ];
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,99 @@
+(* mpeg_decode: the P-frame reconstruction core of an MPEG-style video
+   decoder — motion-compensated block copy from a reference frame at a
+   per-block motion vector, plus an integer IDCT-approximation residual
+   add and saturation.  Mixed strided/offset access patterns. *)
+
+open Pc_kc.Ast
+
+let name = "mpeg_decode"
+let domain = "consumer"
+let width = 64
+let height = 48
+let pixels = width * height
+let blocks_x = width / 8
+let blocks_y = height / 8
+let n_blocks = blocks_x * blocks_y
+
+(* Motion vectors: small signed offsets per block. *)
+let vectors =
+  let raw = Inputs.ints ~seed:83 ~n:(2 * n_blocks) ~bound:9 in
+  Array.map (fun d -> Int64.sub d 4L) raw
+
+(* Sparse residual coefficients per block (most are zero, like real
+   bitstreams). *)
+let residuals =
+  let raw = Inputs.ints ~seed:89 ~n:(64 * n_blocks) ~bound:100 in
+  Array.map (fun x -> if Int64.to_int x < 80 then 0L else Int64.sub x 90L) raw
+
+let prog =
+  {
+    globals =
+      [
+        garr "reference" ~init:(Inputs.image ~seed:97 ~width ~height) pixels;
+        garr "frame" pixels;
+        garr "mv" ~init:vectors (2 * n_blocks);
+        garr "resid" ~init:residuals (64 * n_blocks);
+      ];
+    funs =
+      [
+        (* clamped reference fetch (edge replication) *)
+        fn "ref_pixel" ~params:[ ("x", I); ("y", I) ] ~locals:[ ("cx", I); ("cy", I) ]
+          [
+            set "cx" (v "x");
+            set "cy" (v "y");
+            if_ (v "cx" <: i 0) [ set "cx" (i 0) ] [];
+            if_ (v "cx" >=: i width) [ set "cx" (i (width - 1)) ] [];
+            if_ (v "cy" <: i 0) [ set "cy" (i 0) ] [];
+            if_ (v "cy" >=: i height) [ set "cy" (i (height - 1)) ] [];
+            ret (ld "reference" ((v "cy" *: i width) +: v "cx"));
+          ];
+        (* integer butterfly pass standing in for the residual IDCT *)
+        fn "residual_value" ~params:[ ("block", I); ("r", I); ("c", I) ]
+          ~locals:[ ("base", I); ("a", I); ("b", I) ]
+          [
+            set "base" (v "block" *: i 64);
+            set "a" (ld "resid" (v "base" +: (v "r" *: i 8) +: v "c"));
+            set "b" (ld "resid" (v "base" +: (v "c" *: i 8) +: v "r"));
+            ret ((v "a" *: i 3 +: v "b") /: i 4);
+          ];
+        fn "decode_block" ~params:[ ("bx", I); ("by", I) ]
+          ~locals:
+            [ ("block", I); ("dx", I); ("dy", I); ("r", I); ("c", I); ("p", I); ("x", I); ("y", I) ]
+          [
+            set "block" ((v "by" *: i blocks_x) +: v "bx");
+            set "dx" (ld "mv" (v "block" *: i 2));
+            set "dy" (ld "mv" ((v "block" *: i 2) +: i 1));
+            for_ "r" (i 0) (i 8)
+              [
+                for_ "c" (i 0) (i 8)
+                  [
+                    set "x" ((v "bx" *: i 8) +: v "c");
+                    set "y" ((v "by" *: i 8) +: v "r");
+                    set "p"
+                      (call "ref_pixel" [ v "x" +: v "dx"; v "y" +: v "dy" ]
+                      +: call "residual_value" [ v "block"; v "r"; v "c" ]);
+                    if_ (v "p" <: i 0) [ set "p" (i 0) ] [];
+                    if_ (v "p" >: i 255) [ set "p" (i 255) ] [];
+                    st "frame" ((v "y" *: i width) +: v "x") (v "p");
+                  ];
+              ];
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("bx", I); ("by", I); ("k", I); ("acc", I); ("passes", I) ]
+          [
+            (* decode three dependent P-frames: frame becomes reference *)
+            for_ "passes" (i 0) (i 3)
+              [
+                for_ "by" (i 0) (i blocks_y)
+                  [
+                    for_ "bx" (i 0) (i blocks_x)
+                      [ Expr (call "decode_block" [ v "bx"; v "by" ]) ];
+                  ];
+                for_ "k" (i 0) (i pixels) [ st "reference" (v "k") (ld "frame" (v "k")) ];
+              ];
+            for_ "k" (i 0) (i pixels)
+              [ set "acc" ((v "acc" *: i 7) +: ld "frame" (v "k") &: i 0xFFFFFFF) ];
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,88 @@
+(* patricia: binary radix-trie insertion and lookup of random 24-bit
+   keys, nodes stored in parallel arrays — the pointer-chasing routing-
+   table kernel, with irregular dependent loads. *)
+
+open Pc_kc.Ast
+
+let name = "patricia"
+let domain = "network"
+let n_keys = 600
+let max_nodes = 16384
+let key_bits = 24
+
+let prog =
+  {
+    globals =
+      [
+        garr "keys" ~init:(Inputs.ints ~seed:29 ~n:n_keys ~bound:(1 lsl key_bits)) n_keys;
+        garr "probe" ~init:(Inputs.ints ~seed:31 ~n:n_keys ~bound:(1 lsl key_bits)) n_keys;
+        garr "left" max_nodes;
+        garr "right" max_nodes;
+        garr "leaf_key" max_nodes;
+        garr "n_nodes" 1;
+      ];
+    funs =
+      [
+        (* Insert a key: walk bits from the top, allocating nodes. *)
+        fn "insert" ~params:[ ("key", I) ]
+          ~locals:[ ("cur", I); ("bit", I); ("next", I); ("fresh", I) ]
+          [
+            set "cur" (i 0);
+            set "bit" (i (key_bits - 1));
+            while_ (v "bit" >=: i 0)
+              [
+                if_ (((v "key" >>: v "bit") &: i 1) =: i 1)
+                  [ set "next" (ld "right" (v "cur")) ]
+                  [ set "next" (ld "left" (v "cur")) ];
+                if_ (v "next" =: i 0)
+                  [
+                    (* allocate *)
+                    set "fresh" (ld "n_nodes" (i 0));
+                    st "n_nodes" (i 0) (v "fresh" +: i 1);
+                    if_ (((v "key" >>: v "bit") &: i 1) =: i 1)
+                      [ st "right" (v "cur") (v "fresh") ]
+                      [ st "left" (v "cur") (v "fresh") ];
+                    set "cur" (v "fresh");
+                  ]
+                  [ set "cur" (v "next") ];
+                set "bit" (v "bit" -: i 1);
+              ];
+            st "leaf_key" (v "cur") (v "key");
+            ret (v "cur");
+          ];
+        (* Lookup: walk until a zero child; report match depth. *)
+        fn "lookup" ~params:[ ("key", I) ]
+          ~locals:[ ("cur", I); ("bit", I); ("next", I); ("depth", I) ]
+          [
+            set "cur" (i 0);
+            set "bit" (i (key_bits - 1));
+            while_ (v "bit" >=: i 0)
+              [
+                if_ (((v "key" >>: v "bit") &: i 1) =: i 1)
+                  [ set "next" (ld "right" (v "cur")) ]
+                  [ set "next" (ld "left" (v "cur")) ];
+                if_ (v "next" =: i 0)
+                  [ set "bit" (i (-1)) ]
+                  [
+                    set "cur" (v "next");
+                    set "depth" (v "depth" +: i 1);
+                    set "bit" (v "bit" -: i 1);
+                  ];
+              ];
+            if_ (ld "leaf_key" (v "cur") =: v "key") [ ret (v "depth" +: i 1000) ] [];
+            ret (v "depth");
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I) ]
+          [
+            st "n_nodes" (i 0) (i 1) (* node 0 is the root *);
+            for_ "j" (i 0) (i n_keys) [ Expr (call "insert" [ ld "keys" (v "j") ]) ];
+            (* half the probes are inserted keys (hits), half random *)
+            for_ "j" (i 0) (i n_keys)
+              [
+                set "acc" (v "acc" +: call "lookup" [ ld "keys" (v "j") ]);
+                set "acc" (v "acc" +: call "lookup" [ ld "probe" (v "j") ]);
+              ];
+            ret (v "acc" +: ld "n_nodes" (i 0));
+          ];
+      ];
+  }

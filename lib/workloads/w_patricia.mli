@@ -1,0 +1,7 @@
+(** One of the 23 embedded workload kernels (see {!Registry} for the full
+    Table-1 list).  The implementation comment describes the algorithm
+    and which MiBench/MediaBench program it stands in for. *)
+
+val name : string
+val domain : string
+val prog : Pc_kc.Ast.prog

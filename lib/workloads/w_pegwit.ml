@@ -1,0 +1,70 @@
+(* pegwit: public-key-style arithmetic — modular exponentiation by
+   square-and-multiply over a 31-bit prime modulus, used for a toy
+   Diffie-Hellman-like exchange plus a keyed digest.  Long dependent
+   multiply/divide chains with data-dependent branching on exponent
+   bits. *)
+
+open Pc_kc.Ast
+
+let name = "pegwit"
+let domain = "security"
+let n_msgs = 96
+let modulus = 2_147_483_647 (* 2^31 - 1, prime *)
+
+let prog =
+  {
+    globals =
+      [
+        garr "exponents" ~init:(Inputs.ints ~seed:59 ~n:n_msgs ~bound:(1 lsl 24)) n_msgs;
+        garr "payload" ~init:(Inputs.ints ~seed:60 ~n:n_msgs ~bound:modulus) n_msgs;
+        garr "signatures" n_msgs;
+      ];
+    funs =
+      [
+        (* (a * b) mod m — products of 31-bit values fit in 62 bits *)
+        fn "mulmod" ~params:[ ("a", I); ("b", I) ]
+          [ ret ((v "a" *: v "b") %: i modulus) ];
+        fn "powmod" ~params:[ ("base", I); ("e", I) ]
+          ~locals:[ ("result", I); ("acc", I); ("k", I) ]
+          [
+            set "result" (i 1);
+            set "acc" (v "base" %: i modulus);
+            set "k" (v "e");
+            while_ (v "k" >: i 0)
+              [
+                if_ ((v "k" &: i 1) =: i 1)
+                  [ set "result" (call "mulmod" [ v "result"; v "acc" ]) ]
+                  [];
+                set "acc" (call "mulmod" [ v "acc"; v "acc" ]);
+                set "k" (v "k" >>: i 1);
+              ];
+            ret (v "result");
+          ];
+        (* keyed digest: fold payload through mulmod with the shared key *)
+        fn "sign" ~params:[ ("msg", I); ("key", I) ] ~locals:[ ("d", I) ]
+          [
+            set "d" (v "key");
+            set "d" (call "mulmod" [ v "d"; v "msg" +: i 1 ]);
+            set "d" ((v "d" +: call "powmod" [ v "msg" +: i 2; i 65537 ]) %: i modulus);
+            ret (v "d");
+          ];
+        fn "main" ~locals:[ ("j", I); ("shared", I); ("acc", I) ]
+          [
+            (* Diffie-Hellman-ish: both sides exponentiate generator 7 *)
+            set "shared"
+              (call "powmod" [ call "powmod" [ i 7; i 123_457 ]; i 654_321 ]);
+            for_ "j" (i 0) (i n_msgs)
+              [
+                st "signatures" (v "j")
+                  (call "sign"
+                     [
+                       call "powmod" [ ld "payload" (v "j"); ld "exponents" (v "j") ];
+                       v "shared";
+                     ]);
+              ];
+            for_ "j" (i 0) (i n_msgs)
+              [ set "acc" ((v "acc" ^: ld "signatures" (v "j")) %: i modulus) ];
+            ret (v "acc");
+          ];
+      ];
+  }

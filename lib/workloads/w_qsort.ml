@@ -1,0 +1,67 @@
+(* qsort: recursive quicksort (Lomuto partition) over random words, then
+   a verification sweep — data-dependent branches and swap-heavy memory
+   traffic, like the MiBench automotive sort. *)
+
+open Pc_kc.Ast
+
+let name = "qsort"
+let domain = "automotive"
+let n = 1200
+
+let prog =
+  {
+    globals = [ garr "arr" ~init:(Inputs.ints ~seed:17 ~n ~bound:1_000_000) n ];
+    funs =
+      [
+        fn "swap" ~params:[ ("a", I); ("b", I) ] ~locals:[ ("t", I) ]
+          [
+            set "t" (ld "arr" (v "a"));
+            st "arr" (v "a") (ld "arr" (v "b"));
+            st "arr" (v "b") (v "t");
+            ret (i 0);
+          ];
+        fn "partition" ~params:[ ("lo", I); ("hi", I) ]
+          ~locals:[ ("pivot", I); ("store", I); ("j", I) ]
+          [
+            set "pivot" (ld "arr" (v "hi"));
+            set "store" (v "lo");
+            for_ "j" (v "lo") (v "hi")
+              [
+                if_ (ld "arr" (v "j") <: v "pivot")
+                  [
+                    Expr (call "swap" [ v "store"; v "j" ]);
+                    set "store" (v "store" +: i 1);
+                  ]
+                  [];
+              ];
+            Expr (call "swap" [ v "store"; v "hi" ]);
+            ret (v "store");
+          ];
+        fn "quicksort" ~params:[ ("lo", I); ("hi", I) ] ~locals:[ ("p", I) ]
+          [
+            if_ (v "lo" <: v "hi")
+              [
+                set "p" (call "partition" [ v "lo"; v "hi" ]);
+                Expr (call "quicksort" [ v "lo"; v "p" -: i 1 ]);
+                Expr (call "quicksort" [ v "p" +: i 1; v "hi" ]);
+              ]
+              [];
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I); ("sorted", I) ]
+          [
+            Expr (call "quicksort" [ i 0; i (n - 1) ]);
+            (* verify order and fold a checksum *)
+            set "sorted" (i 1);
+            for_ "j" (i 1) (i n)
+              [
+                if_ (ld "arr" (v "j" -: i 1) >: ld "arr" (v "j"))
+                  [ set "sorted" (i 0) ]
+                  [];
+              ];
+            for_ "j" (i 0) (i n)
+              [ set "acc" ((v "acc" *: i 31) +: ld "arr" (v "j") %: i 65536) ];
+            ret ((v "acc" &: i 0xFFFFFFF) +: v "sorted");
+          ];
+      ];
+  }

@@ -1,0 +1,104 @@
+(* rijndael: an AES-shaped block cipher — byte substitution through an
+   S-box, row rotation, a GF(2^8)-style column mix via an xtime table,
+   and round-key XOR, 10 rounds per 16-byte block. *)
+
+open Pc_kc.Ast
+
+let name = "rijndael"
+let domain = "security"
+let blocks = 192
+let rounds = 10
+
+(* A bijective byte S-box: affine-ish scramble of the identity. *)
+let sbox_init =
+  Array.init 256 (fun b ->
+      let v = (b * 7 + 99) land 255 in
+      let v = v lxor (v lsr 4) lxor 0x63 in
+      Int64.of_int (v land 255))
+
+let xtime_init =
+  Array.init 256 (fun b ->
+      let d = b lsl 1 in
+      Int64.of_int (if d land 0x100 <> 0 then (d lxor 0x11B) land 255 else d))
+
+let prog =
+  {
+    globals =
+      [
+        garr "sbox" ~init:sbox_init 256;
+        garr "xtime" ~init:xtime_init 256;
+        garr "state" ~init:(Inputs.bytes ~seed:47 ~n:(16 * blocks)) (16 * blocks);
+        garr "round_keys" ~init:(Inputs.bytes ~seed:48 ~n:(16 * (rounds + 1))) (16 * (rounds + 1));
+        garr "tmp" 16;
+      ];
+    funs =
+      [
+        fn "sub_and_shift" ~params:[ ("base", I) ] ~locals:[ ("r", I); ("c", I) ]
+          [
+            (* SubBytes + ShiftRows into tmp: tmp[r + 4c] = S(state[r + 4((c + r) mod 4)]) *)
+            for_ "r" (i 0) (i 4)
+              [
+                for_ "c" (i 0) (i 4)
+                  [
+                    st "tmp"
+                      (v "r" +: (i 4 *: v "c"))
+                      (ld "sbox"
+                         (ld "state" (v "base" +: v "r" +: (i 4 *: ((v "c" +: v "r") %: i 4)))));
+                  ];
+              ];
+            ret (i 0);
+          ];
+        fn "mix_columns" ~params:[ ("base", I); ("key_base", I) ]
+          ~locals:[ ("c", I); ("a0", I); ("a1", I); ("a2", I); ("a3", I); ("o", I) ]
+          [
+            for_ "c" (i 0) (i 4)
+              [
+                set "a0" (ld "tmp" (i 4 *: v "c"));
+                set "a1" (ld "tmp" ((i 4 *: v "c") +: i 1));
+                set "a2" (ld "tmp" ((i 4 *: v "c") +: i 2));
+                set "a3" (ld "tmp" ((i 4 *: v "c") +: i 3));
+                set "o" (i 4 *: v "c");
+                st "state"
+                  (v "base" +: v "o")
+                  (ld "xtime" (v "a0") ^: (ld "xtime" (v "a1") ^: v "a1") ^: v "a2" ^: v "a3"
+                  ^: ld "round_keys" (v "key_base" +: v "o"));
+                st "state"
+                  (v "base" +: v "o" +: i 1)
+                  (v "a0" ^: ld "xtime" (v "a1") ^: (ld "xtime" (v "a2") ^: v "a2") ^: v "a3"
+                  ^: ld "round_keys" (v "key_base" +: v "o" +: i 1));
+                st "state"
+                  (v "base" +: v "o" +: i 2)
+                  (v "a0" ^: v "a1" ^: ld "xtime" (v "a2") ^: (ld "xtime" (v "a3") ^: v "a3")
+                  ^: ld "round_keys" (v "key_base" +: v "o" +: i 2));
+                st "state"
+                  (v "base" +: v "o" +: i 3)
+                  ((ld "xtime" (v "a0") ^: v "a0") ^: v "a1" ^: v "a2" ^: ld "xtime" (v "a3")
+                  ^: ld "round_keys" (v "key_base" +: v "o" +: i 3));
+              ];
+            ret (i 0);
+          ];
+        fn "encrypt_block" ~params:[ ("b", I) ] ~locals:[ ("base", I); ("round", I); ("k", I) ]
+          [
+            set "base" (v "b" *: i 16);
+            (* initial AddRoundKey *)
+            for_ "k" (i 0) (i 16)
+              [
+                st "state" (v "base" +: v "k")
+                  (ld "state" (v "base" +: v "k") ^: ld "round_keys" (v "k"));
+              ];
+            for_ "round" (i 1) (i (rounds + 1))
+              [
+                Expr (call "sub_and_shift" [ v "base" ]);
+                Expr (call "mix_columns" [ v "base"; v "round" *: i 16 ]);
+              ];
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I); ("acc", I) ]
+          [
+            for_ "j" (i 0) (i blocks) [ Expr (call "encrypt_block" [ v "j" ]) ];
+            for_ "j" (i 0) (i (16 * blocks))
+              [ set "acc" ((v "acc" *: i 131) +: ld "state" (v "j") &: i 0xFFFFFFFF) ];
+            ret (v "acc");
+          ];
+      ];
+  }

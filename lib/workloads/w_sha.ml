@@ -1,0 +1,92 @@
+(* sha: SHA-1-shaped message digest — 16-word schedule expanded to 80,
+   then 80 rounds of rotate/add/select over five chaining words per
+   block.  Long serial dependency chains, all-integer. *)
+
+open Pc_kc.Ast
+
+let name = "sha"
+let domain = "security"
+let n_blocks = 48
+let mask32 = 0xFFFFFFFF
+
+(* rotate-left within 32 bits *)
+let rotl x k = ((x <<: i k) |: (x >>: i (32 - k))) &: i mask32
+
+let prog =
+  {
+    globals =
+      [
+        garr "message"
+          ~init:(Inputs.ints ~seed:53 ~n:(16 * n_blocks) ~bound:(1 lsl 30))
+          (16 * n_blocks);
+        garr "w" 80;
+        garr "h" ~init:[| 0x67452301L; 0xEFCDAB89L; 0x98BADCFEL; 0x10325476L; 0xC3D2E1F0L |] 5;
+      ];
+    funs =
+      [
+        fn "process_block" ~params:[ ("block", I) ]
+          ~locals:
+            [ ("t", I); ("a", I); ("b", I); ("c", I); ("d", I); ("e", I); ("f", I); ("k", I); ("temp", I) ]
+          [
+            (* schedule: first 16 from the message *)
+            for_ "t" (i 0) (i 16)
+              [ st "w" (v "t") (ld "message" ((v "block" *: i 16) +: v "t")) ];
+            for_ "t" (i 16) (i 80)
+              [
+                set "temp"
+                  (ld "w" (v "t" -: i 3)
+                  ^: ld "w" (v "t" -: i 8)
+                  ^: ld "w" (v "t" -: i 14)
+                  ^: ld "w" (v "t" -: i 16));
+                st "w" (v "t") (rotl (v "temp") 1);
+              ];
+            set "a" (ld "h" (i 0));
+            set "b" (ld "h" (i 1));
+            set "c" (ld "h" (i 2));
+            set "d" (ld "h" (i 3));
+            set "e" (ld "h" (i 4));
+            for_ "t" (i 0) (i 80)
+              [
+                if_ (v "t" <: i 20)
+                  [
+                    set "f" ((v "b" &: v "c") |: ((v "b" ^: i mask32) &: v "d"));
+                    set "k" (i 0x5A827999);
+                  ]
+                  [
+                    if_ (v "t" <: i 40)
+                      [ set "f" (v "b" ^: v "c" ^: v "d"); set "k" (i 0x6ED9EBA1) ]
+                      [
+                        if_ (v "t" <: i 60)
+                          [
+                            set "f"
+                              ((v "b" &: v "c") |: ((v "b" &: v "d") |: (v "c" &: v "d")));
+                            set "k" (i 0x8F1BBCDC);
+                          ]
+                          [ set "f" (v "b" ^: v "c" ^: v "d"); set "k" (i 0xCA62C1D6) ];
+                      ];
+                  ];
+                set "temp"
+                  ((rotl (v "a") 5 +: v "f" +: v "e" +: v "k" +: ld "w" (v "t"))
+                  &: i mask32);
+                set "e" (v "d");
+                set "d" (v "c");
+                set "c" (rotl (v "b") 30);
+                set "b" (v "a");
+                set "a" (v "temp");
+              ];
+            st "h" (i 0) ((ld "h" (i 0) +: v "a") &: i mask32);
+            st "h" (i 1) ((ld "h" (i 1) +: v "b") &: i mask32);
+            st "h" (i 2) ((ld "h" (i 2) +: v "c") &: i mask32);
+            st "h" (i 3) ((ld "h" (i 3) +: v "d") &: i mask32);
+            st "h" (i 4) ((ld "h" (i 4) +: v "e") &: i mask32);
+            ret (i 0);
+          ];
+        fn "main" ~locals:[ ("j", I) ]
+          [
+            for_ "j" (i 0) (i n_blocks) [ Expr (call "process_block" [ v "j" ]) ];
+            ret
+              ((ld "h" (i 0) ^: ld "h" (i 1) ^: ld "h" (i 2) ^: ld "h" (i 3) ^: ld "h" (i 4))
+              &: i mask32);
+          ];
+      ];
+  }

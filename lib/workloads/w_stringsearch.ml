@@ -1,0 +1,71 @@
+(* stringsearch: Boyer-Moore-Horspool substring search of several
+   patterns over pseudo-English text — skip-table driven with irregular
+   jumps through the text, like the MiBench office kernel. *)
+
+open Pc_kc.Ast
+
+let name = "stringsearch"
+let domain = "office"
+let text_len = 8192
+let n_patterns = 8
+let pat_len = 6
+
+let text_init = Inputs.text ~seed:103 ~n:text_len
+
+(* Patterns: half sampled from the text (guaranteed hits), half random. *)
+let patterns_init =
+  let rng = Pc_util.Rng.create 107 in
+  Array.init (n_patterns * pat_len) (fun idx ->
+      let p = idx / pat_len and k = idx mod pat_len in
+      if p < n_patterns / 2 then
+        let start = 500 + (p * 1111) in
+        text_init.(start + k)
+      else Int64.of_int (97 + Pc_util.Rng.int rng 26))
+
+let prog =
+  {
+    globals =
+      [
+        garr "text" ~init:text_init text_len;
+        garr "patterns" ~init:patterns_init (n_patterns * pat_len);
+        garr "skip" 256;
+      ];
+    funs =
+      [
+        (* Horspool search for pattern [p]; returns the match count. *)
+        fn "search" ~params:[ ("p", I) ]
+          ~locals:[ ("k", I); ("pos", I); ("j", I); ("ok", I); ("found", I); ("base", I); ("c", I) ]
+          [
+            set "base" (v "p" *: i pat_len);
+            (* build the bad-character skip table *)
+            for_ "k" (i 0) (i 256) [ st "skip" (v "k") (i pat_len) ];
+            for_ "k" (i 0) (i (pat_len - 1))
+              [
+                st "skip" (ld "patterns" (v "base" +: v "k")) (i (pat_len - 1) -: v "k");
+              ];
+            set "pos" (i 0);
+            while_ (v "pos" <=: i (text_len - pat_len))
+              [
+                set "ok" (i 1);
+                set "j" (i (pat_len - 1));
+                while_ ((v "j" >=: i 0) &&: (v "ok" =: i 1))
+                  [
+                    if_
+                      (ld "text" (v "pos" +: v "j") <>: ld "patterns" (v "base" +: v "j"))
+                      [ set "ok" (i 0) ]
+                      [ set "j" (v "j" -: i 1) ];
+                  ];
+                if_ (v "ok" =: i 1) [ set "found" (v "found" +: i 1) ] [];
+                set "c" (ld "text" (v "pos" +: i (pat_len - 1)));
+                set "pos" (v "pos" +: ld "skip" (v "c"));
+              ];
+            ret (v "found");
+          ];
+        fn "main" ~locals:[ ("p", I); ("acc", I) ]
+          [
+            for_ "p" (i 0) (i n_patterns)
+              [ set "acc" ((v "acc" *: i 100) +: call "search" [ v "p" ]) ];
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,98 @@
+(* susan: image smoothing and edge detection on a synthetic grey-scale
+   image — 2D strided access with a 3x3 neighbourhood and data-dependent
+   thresholding, like the MiBench automotive vision kernel. *)
+
+open Pc_kc.Ast
+
+let name = "susan"
+let domain = "automotive"
+let width = 64
+let height = 48
+let pixels = width * height
+
+let prog =
+  {
+    globals =
+      [
+        garr "img" ~init:(Inputs.image ~seed:19 ~width ~height) pixels;
+        garr "smooth" pixels;
+      ];
+    funs =
+      [
+        (* 3x3 box smoothing into [smooth] *)
+        fn "smooth_pass" ~locals:[ ("x", I); ("y", I); ("s", I); ("dx", I); ("dy", I) ]
+          [
+            for_ "y" (i 1) (i (height - 1))
+              [
+                for_ "x" (i 1) (i (width - 1))
+                  [
+                    set "s" (i 0);
+                    for_ "dy" (i 0) (i 3)
+                      [
+                        for_ "dx" (i 0) (i 3)
+                          [
+                            set "s"
+                              (v "s"
+                              +: ld "img"
+                                   (((v "y" +: v "dy" -: i 1) *: i width)
+                                   +: v "x" +: v "dx" -: i 1));
+                          ];
+                      ];
+                    st "smooth" ((v "y" *: i width) +: v "x") (v "s" /: i 9);
+                  ];
+              ];
+            ret (i 0);
+          ];
+        (* USAN-style edge response: count similar neighbours *)
+        fn "edge_count" ~params:[ ("threshold", I) ]
+          ~locals:
+            [ ("x", I); ("y", I); ("centre", I); ("similar", I); ("k", I); ("d", I); ("edges", I) ]
+          [
+            for_ "y" (i 1) (i (height - 1))
+              [
+                for_ "x" (i 1) (i (width - 1))
+                  [
+                    set "centre" (ld "smooth" ((v "y" *: i width) +: v "x"));
+                    set "similar" (i 0);
+                    (* 4-neighbourhood difference test *)
+                    for_ "k" (i 0) (i 4)
+                      [
+                        if_ (v "k" =: i 0)
+                          [ set "d" (ld "smooth" ((v "y" *: i width) +: v "x" -: i 1)) ]
+                          [
+                            if_ (v "k" =: i 1)
+                              [ set "d" (ld "smooth" ((v "y" *: i width) +: v "x" +: i 1)) ]
+                              [
+                                if_ (v "k" =: i 2)
+                                  [
+                                    set "d"
+                                      (ld "smooth" (((v "y" -: i 1) *: i width) +: v "x"));
+                                  ]
+                                  [
+                                    set "d"
+                                      (ld "smooth" (((v "y" +: i 1) *: i width) +: v "x"));
+                                  ];
+                              ];
+                          ];
+                        if_
+                          ((v "d" -: v "centre" <: v "threshold")
+                          &&: (v "centre" -: v "d" <: v "threshold"))
+                          [ set "similar" (v "similar" +: i 1) ]
+                          [];
+                      ];
+                    if_ (v "similar" <=: i 2) [ set "edges" (v "edges" +: i 1) ] [];
+                  ];
+              ];
+            ret (v "edges");
+          ];
+        fn "main" ~locals:[ ("e1", I); ("e2", I); ("j", I); ("acc", I) ]
+          [
+            Expr (call "smooth_pass" []);
+            set "e1" (call "edge_count" [ i 8 ]);
+            set "e2" (call "edge_count" [ i 20 ]);
+            for_ "j" (i 0) (i pixels)
+              [ set "acc" (v "acc" +: ld "smooth" (v "j")) ];
+            ret ((v "e1" *: i 100_000) +: (v "e2" *: i 1000) +: (v "acc" %: i 1000));
+          ];
+      ];
+  }

@@ -1,0 +1,113 @@
+(* typeset: greedy paragraph line breaking with badness minimisation and
+   hyphenation points — the branch-heavy, integer decision kernel of a
+   typesetting engine (the MiBench office/consumer "typeset" role). *)
+
+open Pc_kc.Ast
+
+let name = "typeset"
+let domain = "consumer"
+let n_words = 2200
+let line_width = 66
+
+(* Word lengths with a natural-language-like distribution. *)
+let word_lengths =
+  let raw = Inputs.ints ~seed:101 ~n:n_words ~bound:100 in
+  Array.map
+    (fun r ->
+      let r = Int64.to_int r in
+      let len =
+        if r < 15 then 2
+        else if r < 35 then 3
+        else if r < 55 then 4
+        else if r < 70 then 6
+        else if r < 82 then 8
+        else if r < 92 then 11
+        else 14
+      in
+      Int64.of_int len)
+    raw
+
+let prog =
+  {
+    globals =
+      [
+        garr "words" ~init:word_lengths n_words;
+        garr "line_of" n_words (* line number assigned to each word *);
+        garr "badness" 512 (* per-line badness *);
+      ];
+    funs =
+      [
+        (* badness of a line with [used] characters: cube-ish penalty *)
+        fn "line_badness" ~params:[ ("used", I) ] ~locals:[ ("slack", I) ]
+          [
+            set "slack" (i line_width -: v "used");
+            if_ (v "slack" <: i 0) [ ret (i 100_000) ] [];
+            ret (v "slack" *: v "slack" *: v "slack" /: i 8);
+          ];
+        (* greedy fill with lookahead: hyphenate long words when the
+           penalty beats pushing the whole word to the next line *)
+        fn "break_paragraph" ~params:[ ("from", I); ("until", I) ]
+          ~locals:
+            [ ("j", I); ("used", I); ("line", I); ("w", I); ("fit", I); ("half", I); ("total_bad", I) ]
+          [
+            set "used" (i 0);
+            set "line" (i 0);
+            for_ "j" (v "from") (v "until")
+              [
+                set "w" (ld "words" (v "j"));
+                set "fit" (v "used" +: v "w" +: i 1);
+                if_ (v "fit" <=: i line_width)
+                  [ set "used" (v "fit"); st "line_of" (v "j") (v "line") ]
+                  [
+                    (* try hyphenating words of 8+ characters *)
+                    set "half" (v "w" /: i 2);
+                    if_
+                      ((v "w" >=: i 8)
+                      &&: (v "used" +: v "half" +: i 2 <=: i line_width))
+                      [
+                        (* first half stays, second half opens the next line *)
+                        if_ (v "line" <: i 512)
+                          [
+                            st "badness" (v "line")
+                              (call "line_badness" [ v "used" +: v "half" +: i 2 ]);
+                          ]
+                          [];
+                        set "line" (v "line" +: i 1);
+                        set "used" (v "w" -: v "half" +: i 1);
+                        st "line_of" (v "j") (v "line");
+                      ]
+                      [
+                        if_ (v "line" <: i 512)
+                          [ st "badness" (v "line") (call "line_badness" [ v "used" ]) ]
+                          [];
+                        set "line" (v "line" +: i 1);
+                        set "used" (v "w" +: i 1);
+                        st "line_of" (v "j") (v "line");
+                      ];
+                  ];
+              ];
+            set "total_bad" (i 0);
+            for_ "j" (i 0) (v "line")
+              [
+                if_ (v "j" <: i 512)
+                  [ set "total_bad" (v "total_bad" +: ld "badness" (v "j")) ]
+                  [];
+              ];
+            ret (v "total_bad" +: (v "line" *: i 1000));
+          ];
+        fn "main" ~locals:[ ("p", I); ("acc", I); ("chunk", I) ]
+          [
+            set "chunk" (i (n_words / 8));
+            (* typeset eight "paragraphs", then re-typeset the whole text *)
+            for_ "p" (i 0) (i 8)
+              [
+                set "acc"
+                  (v "acc"
+                  +: call "break_paragraph"
+                       [ v "p" *: v "chunk"; (v "p" +: i 1) *: v "chunk" ]);
+              ];
+            set "acc" (v "acc" +: call "break_paragraph" [ i 0; i n_words ]);
+            ret (v "acc");
+          ];
+      ];
+  }

@@ -1,0 +1,157 @@
+(* End-to-end tests of the perfclone library: the pipeline and every
+   experiment driver, run at reduced scale, checking the paper's
+   qualitative claims (the "shape" of each result). *)
+
+module Pipeline = Perfclone.Pipeline
+module E = Perfclone.Experiments
+module Stats = Pc_stats.Stats
+
+let settings =
+  {
+    E.seed = 1;
+    profile_instrs = 400_000;
+    sim_instrs = 600_000;
+    clone_dynamic = 60_000;
+    benchmarks = [ "crc32"; "sha"; "dijkstra"; "qsort" ];
+  }
+
+(* Shared across tests (expensive to build). *)
+let pipelines = lazy (E.prepare settings)
+
+let test_prepare () =
+  let ps = Lazy.force pipelines in
+  Alcotest.(check int) "4 pipelines" 4 (List.length ps);
+  List.iter
+    (fun (p : Pipeline.t) ->
+      Alcotest.(check bool) "profile nonempty" true
+        (Array.length p.Pipeline.profile.Pc_profile.Profile.nodes > 0);
+      Alcotest.(check bool) "clone nonempty" true
+        (Pc_isa.Program.length p.Pipeline.clone > 10))
+    ps
+
+let test_pipeline_determinism () =
+  let p1 = Pipeline.clone_benchmark ~seed:7 ~profile_instrs:100_000 "crc32" in
+  let p2 = Pipeline.clone_benchmark ~seed:7 ~profile_instrs:100_000 "crc32" in
+  Alcotest.(check bool) "same clone" true
+    (p1.Pipeline.clone.Pc_isa.Program.code = p2.Pipeline.clone.Pc_isa.Program.code)
+
+let test_fig3 () =
+  let rows = E.fig3 (Lazy.force pipelines) in
+  Alcotest.(check int) "one row per benchmark" 4 (List.length rows);
+  List.iter
+    (fun (name, frac) ->
+      if frac < 0.0 || frac > 1.0 then Alcotest.failf "%s fraction out of range" name)
+    rows;
+  (* sha is an almost pure strided workload *)
+  Alcotest.(check bool) "sha mostly single-stride" true (List.assoc "sha" rows > 0.9)
+
+let test_fig4_correlations () =
+  let studies = E.cache_studies settings (Lazy.force pipelines) in
+  Alcotest.(check int) "one study per benchmark" 4 (List.length studies);
+  List.iter
+    (fun (s : E.cache_study) ->
+      Alcotest.(check int) "28 MPI points" 28 (Array.length s.E.orig_mpi);
+      if s.E.correlation < 0.3 then
+        Alcotest.failf "%s: correlation %.3f too low" s.E.bench s.E.correlation)
+    studies;
+  (* the headline claim: high average correlation *)
+  Alcotest.(check bool) "average correlation > 0.7" true
+    (E.average_correlation studies > 0.7)
+
+let test_fig5_rankings () =
+  let studies = E.cache_studies settings (Lazy.force pipelines) in
+  let scatter = E.rankings_scatter studies in
+  Alcotest.(check int) "28 points" 28 (Array.length scatter);
+  (* points near the diagonal: strong rank correlation *)
+  let xs = Array.map fst scatter and ys = Array.map snd scatter in
+  Alcotest.(check bool) "rank correlation > 0.8" true (Stats.spearman xs ys > 0.8)
+
+let test_fig6_fig7_errors () =
+  let runs = E.base_runs settings (Lazy.force pipelines) in
+  List.iter
+    (fun (r : E.base_run) ->
+      Alcotest.(check bool) "IPC positive" true (r.E.ipc_orig > 0.0 && r.E.ipc_clone > 0.0);
+      Alcotest.(check bool) "power positive" true
+        (r.E.power_orig > 0.0 && r.E.power_clone > 0.0))
+    runs;
+  Alcotest.(check bool) "avg IPC error below 25%" true
+    (E.avg_abs_error E.ipc_of runs < 0.25);
+  Alcotest.(check bool) "avg power error below 25%" true
+    (E.avg_abs_error E.power_of runs < 0.25)
+
+let test_design_changes_structure () =
+  let changes = E.design_changes () in
+  Alcotest.(check int) "five changes" 5 (List.length changes);
+  (* distinct configurations *)
+  let names = List.map (fun (c : E.design_change) -> c.E.config.Pc_uarch.Config.name) changes in
+  Alcotest.(check int) "distinct configs" 5 (List.length (List.sort_uniq compare names))
+
+let test_table3_relative_errors () =
+  let results = E.run_design_changes settings (Lazy.force pipelines) in
+  Alcotest.(check int) "five results" 5 (List.length results);
+  List.iter
+    (fun (r : E.change_result) ->
+      Alcotest.(check int) "per-bench rows" 4 (List.length r.E.per_bench);
+      (* the paper's key claim: relative errors are small *)
+      if r.E.avg_ipc_error > 0.25 then
+        Alcotest.failf "%s: relative IPC error %.1f%%" r.E.change_name
+          (100.0 *. r.E.avg_ipc_error);
+      if r.E.avg_power_error > 0.25 then
+        Alcotest.failf "%s: relative power error %.1f%%" r.E.change_name
+          (100.0 *. r.E.avg_power_error))
+    results
+
+let test_width_change_speedups_tracked () =
+  let results = E.run_design_changes settings (Lazy.force pipelines) in
+  let width = List.nth results 2 in
+  (* doubling the width speeds up both real and clone *)
+  List.iter
+    (fun (name, io, ic, _, _) ->
+      if io < 1.0 then Alcotest.failf "%s: real slowdown from width?" name;
+      if ic < 1.0 then Alcotest.failf "%s: clone slowdown from width?" name;
+      ())
+    width.E.per_bench
+
+let test_ablation_indep_beats_dep () =
+  let rows = E.ablation settings (Lazy.force pipelines) in
+  Alcotest.(check int) "4 rows" 4 (List.length rows);
+  let avg f = Stats.mean (Array.of_list (List.map f rows)) in
+  let indep = avg (fun r -> r.E.indep_correlation) in
+  let dep = avg (fun r -> r.E.dep_correlation) in
+  Alcotest.(check bool)
+    "microarchitecture-independent clones track caches better" true (indep > dep)
+
+let test_microdep_baseline_runs () =
+  let p = List.hd (Lazy.force pipelines) in
+  let baseline = Pipeline.microdep_baseline ~reference:Pc_uarch.Config.base p in
+  let m = Pc_funcsim.Machine.load baseline in
+  let _ = Pc_funcsim.Machine.run ~max_instrs:3_000_000 m (fun _ -> ()) in
+  Alcotest.(check bool) "halts" true (Pc_funcsim.Machine.halted m)
+
+let test_c_source () =
+  let p = List.hd (Lazy.force pipelines) in
+  let c = Pipeline.c_source p in
+  Alcotest.(check bool) "non-trivial C artefact" true (String.length c > 1000)
+
+let () =
+  Alcotest.run "perfclone"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "prepare" `Slow test_prepare;
+          Alcotest.test_case "determinism" `Slow test_pipeline_determinism;
+          Alcotest.test_case "C dissemination artefact" `Slow test_c_source;
+          Alcotest.test_case "microdep baseline runs" `Slow test_microdep_baseline_runs;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "figure 3" `Slow test_fig3;
+          Alcotest.test_case "figure 4 correlations" `Slow test_fig4_correlations;
+          Alcotest.test_case "figure 5 rankings" `Slow test_fig5_rankings;
+          Alcotest.test_case "figures 6/7 errors" `Slow test_fig6_fig7_errors;
+          Alcotest.test_case "design change list" `Quick test_design_changes_structure;
+          Alcotest.test_case "table 3 relative errors" `Slow test_table3_relative_errors;
+          Alcotest.test_case "figure 8 speedups" `Slow test_width_change_speedups_tracked;
+          Alcotest.test_case "ablation" `Slow test_ablation_indep_beats_dep;
+        ] );
+    ]

@@ -1,0 +1,320 @@
+(* Tests for pc_isa (instruction metadata, assembler, program validation)
+   and pc_funcsim (memory, machine execution). *)
+
+module I = Pc_isa.Instr
+module Reg = Pc_isa.Reg
+module Asm = Pc_isa.Asm
+module Program = Pc_isa.Program
+module Memory = Pc_funcsim.Memory
+module Machine = Pc_funcsim.Machine
+
+(* --- instruction metadata --- *)
+
+let test_classify () =
+  let checks =
+    [
+      (I.Alu (I.Add, 1, 2, 3), I.C_int_alu);
+      (I.Li (1, 5L), I.C_int_alu);
+      (I.Mul (1, 2, 3), I.C_int_mul);
+      (I.Div (1, 2, 3), I.C_int_div);
+      (I.Rem (1, 2, 3), I.C_int_div);
+      (I.Falu (I.Fadd, 1, 2, 3), I.C_fp_alu);
+      (I.Fmov (1, 2), I.C_fp_alu);
+      (I.Fmul (1, 2, 3), I.C_fp_mul);
+      (I.Fdiv (1, 2, 3), I.C_fp_div);
+      (I.Load (1, 2, 0), I.C_load);
+      (I.Fload (1, 2, 0), I.C_load);
+      (I.Store (1, 2, 0), I.C_store);
+      (I.Fstore (1, 2, 0), I.C_store);
+      (I.Br (I.Eq_z, 1, I.Abs 0), I.C_branch);
+      (I.Jmp (I.Abs 0), I.C_jump);
+      (I.Jr 26, I.C_jump);
+      (I.Call (I.Abs 0), I.C_jump);
+      (I.Halt, I.C_other);
+    ]
+  in
+  List.iter
+    (fun (instr, expected) ->
+      Alcotest.(check string)
+        (Format.asprintf "%a" I.pp instr)
+        (I.class_name expected)
+        (I.class_name (I.classify instr)))
+    checks
+
+let test_class_index_roundtrip () =
+  for i = 0 to I.class_count - 1 do
+    Alcotest.(check int) "roundtrip" i (I.class_index (I.class_of_index i))
+  done
+
+let test_reads_writes () =
+  Alcotest.(check (list int)) "alu reads" [ 2; 3 ] (I.reads (I.Alu (I.Add, 1, 2, 3)));
+  Alcotest.(check (option int)) "alu writes" (Some 1) (I.writes (I.Alu (I.Add, 1, 2, 3)));
+  Alcotest.(check (list int)) "fp reads are offset" [ 34; 35 ]
+    (I.reads (I.Falu (I.Fadd, 1, 2, 3)));
+  Alcotest.(check (option int)) "fp writes are offset" (Some 33)
+    (I.writes (I.Falu (I.Fadd, 1, 2, 3)));
+  Alcotest.(check (list int)) "store reads value and base" [ 4; 5 ]
+    (I.reads (I.Store (4, 5, 8)));
+  Alcotest.(check (option int)) "store writes nothing" None (I.writes (I.Store (4, 5, 8)));
+  Alcotest.(check (option int)) "call writes ra" (Some Reg.ra) (I.writes (I.Call (I.Abs 0)))
+
+(* --- assembler --- *)
+
+let test_assemble_resolves_labels () =
+  let p =
+    Asm.assemble ~name:"t"
+      [
+        Asm.Ins (I.Jmp (I.Label "end"));
+        Asm.Label "mid";
+        Asm.Ins (I.Li (1, 1L));
+        Asm.Label "end";
+        Asm.Ins I.Halt;
+      ]
+  in
+  (match p.Program.code.(0) with
+  | I.Jmp (I.Abs 2) -> ()
+  | other -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" I.pp other));
+  Alcotest.(check int) "length" 3 (Program.length p)
+
+let test_assemble_duplicate_label () =
+  Alcotest.(check bool) "duplicate label rejected" true
+    (try
+       ignore (Asm.assemble ~name:"t" [ Asm.Label "a"; Asm.Label "a"; Asm.Ins I.Halt ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_assemble_undefined_label () =
+  Alcotest.(check bool) "undefined label rejected" true
+    (try
+       ignore (Asm.assemble ~name:"t" [ Asm.Ins (I.Jmp (I.Label "nowhere")) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_program_rejects_out_of_range_target () =
+  Alcotest.(check bool) "out-of-range target rejected" true
+    (try
+       ignore (Program.v ~name:"t" ~code:[| I.Jmp (I.Abs 99) |] ~data:[] ~data_bytes:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_program_rejects_bad_data () =
+  Alcotest.(check bool) "unaligned data rejected" true
+    (try
+       ignore
+         (Program.v ~name:"t" ~code:[| I.Halt |]
+            ~data:[ (Program.data_base + 4, 0L) ]
+            ~data_bytes:64);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- memory --- *)
+
+let test_memory_rw () =
+  let m = Memory.create () in
+  Alcotest.(check int64) "uninitialised reads zero" 0L (Memory.read m 0x1000);
+  Memory.write m 0x1000 42L;
+  Alcotest.(check int64) "read back" 42L (Memory.read m 0x1000);
+  Memory.write m 0x7F_0000 7L;
+  Alcotest.(check int64) "sparse pages" 7L (Memory.read m 0x7F_0000);
+  Alcotest.(check int64) "neighbour untouched" 0L (Memory.read m 0x1008)
+
+let test_memory_floats () =
+  let m = Memory.create () in
+  Memory.write_float m 0x2000 3.14159;
+  Alcotest.(check (float 0.0)) "float roundtrip" 3.14159 (Memory.read_float m 0x2000)
+
+let test_memory_alignment () =
+  let m = Memory.create () in
+  Alcotest.(check bool) "unaligned rejected" true
+    (try
+       ignore (Memory.read m 0x1001);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- machine execution --- *)
+
+let run_program items =
+  let p = Asm.assemble ~name:"t" items in
+  let m = Machine.load p in
+  let _ = Machine.run m (fun _ -> ()) in
+  m
+
+let test_machine_arith () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Li (1, 20L));
+        Asm.Ins (I.Li (2, 22L));
+        Asm.Ins (I.Alu (I.Add, 3, 1, 2));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check int64) "20+22" 42L (Machine.ireg m 3)
+
+let test_machine_r0_is_zero () =
+  let m = run_program [ Asm.Ins (I.Li (0, 99L)); Asm.Ins I.Halt ] in
+  Alcotest.(check int64) "write to r0 discarded" 0L (Machine.ireg m 0)
+
+let test_machine_div_by_zero () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Li (1, 10L));
+        Asm.Ins (I.Div (2, 1, 0));
+        Asm.Ins (I.Rem (3, 1, 0));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check int64) "div by zero yields 0" 0L (Machine.ireg m 2);
+  Alcotest.(check int64) "rem by zero yields 0" 0L (Machine.ireg m 3)
+
+let test_machine_loop () =
+  (* sum 1..10 *)
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Li (1, 0L)) (* sum *);
+        Asm.Ins (I.Li (2, 10L)) (* i *);
+        Asm.Label "loop";
+        Asm.Ins (I.Alu (I.Add, 1, 1, 2));
+        Asm.Ins (I.Alui (I.Add, 2, 2, -1));
+        Asm.Ins (I.Br (I.Gt_z, 2, I.Label "loop"));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check int64) "sum 1..10" 55L (Machine.ireg m 1)
+
+let test_machine_call_ret () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Call (I.Label "double"));
+        Asm.Ins I.Halt;
+        Asm.Label "double";
+        Asm.Ins (I.Li (1, 21L));
+        Asm.Ins (I.Alu (I.Add, 1, 1, 1));
+        Asm.Ins (I.Jr Reg.ra);
+      ]
+  in
+  Alcotest.(check int64) "call/return" 42L (Machine.ireg m 1)
+
+let test_machine_memory_ops () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Li (1, Int64.of_int Program.data_base));
+        Asm.Ins (I.Li (2, 123L));
+        Asm.Ins (I.Store (2, 1, 16));
+        Asm.Ins (I.Load (3, 1, 16));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check int64) "store/load roundtrip" 123L (Machine.ireg m 3)
+
+let test_machine_float_ops () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Fli (1, 1.5));
+        Asm.Ins (I.Fli (2, 2.25));
+        Asm.Ins (I.Falu (I.Fadd, 3, 1, 2));
+        Asm.Ins (I.Fmul (4, 1, 2));
+        Asm.Ins (I.Fcmp (I.Fcmp_lt, 5, 1, 2));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check (float 1e-12)) "fadd" 3.75 (Machine.freg m 3);
+  Alcotest.(check (float 1e-12)) "fmul" 3.375 (Machine.freg m 4);
+  Alcotest.(check int64) "fcmp" 1L (Machine.ireg m 5)
+
+let test_event_stream () =
+  let p =
+    Asm.assemble ~name:"t"
+      [
+        Asm.Ins (I.Li (1, Int64.of_int Program.data_base));
+        Asm.Ins (I.Load (2, 1, 0));
+        Asm.Ins (I.Br (I.Eq_z, 0, I.Label "next")) (* r0 = 0: taken *);
+        Asm.Label "next";
+        Asm.Ins I.Halt;
+      ]
+  in
+  let m = Machine.load p in
+  let events = ref [] in
+  let _ =
+    Machine.run m (fun ev ->
+        events := (ev.Machine.pc, ev.Machine.mem_addr, ev.Machine.is_branch, ev.Machine.taken) :: !events)
+  in
+  let events = List.rev !events in
+  Alcotest.(check int) "4 events" 4 (List.length events);
+  (match events with
+  | [ (0, -1, false, _); (1, addr, false, _); (2, -1, true, taken); (3, -1, false, _) ] ->
+    Alcotest.(check int) "load address" Program.data_base addr;
+    Alcotest.(check bool) "branch on zero register taken" true taken
+  | _ -> Alcotest.fail "unexpected event shapes");
+  Alcotest.(check int) "instruction count" 4 (Machine.instruction_count m)
+
+let test_run_budget () =
+  (* An infinite loop must stop at the budget. *)
+  let p =
+    Asm.assemble ~name:"t" [ Asm.Label "spin"; Asm.Ins (I.Jmp (I.Label "spin")) ]
+  in
+  let m = Machine.load p in
+  let n = Machine.run ~max_instrs:1000 m (fun _ -> ()) in
+  Alcotest.(check int) "budget respected" 1000 n;
+  Alcotest.(check bool) "not halted" false (Machine.halted m)
+
+let test_machine_shift_semantics () =
+  let m =
+    run_program
+      [
+        Asm.Ins (I.Li (1, -16L));
+        Asm.Ins (I.Alui (I.Sra, 2, 1, 2));
+        Asm.Ins (I.Alui (I.Srl, 3, 1, 60));
+        Asm.Ins (I.Alui (I.Sll, 4, 1, 1));
+        Asm.Ins I.Halt;
+      ]
+  in
+  Alcotest.(check int64) "sra" (-4L) (Machine.ireg m 2);
+  Alcotest.(check int64) "srl" 15L (Machine.ireg m 3);
+  Alcotest.(check int64) "sll" (-32L) (Machine.ireg m 4)
+
+let () =
+  Alcotest.run "pc_isa"
+    [
+      ( "instr",
+        [
+          Alcotest.test_case "classification" `Quick test_classify;
+          Alcotest.test_case "class index roundtrip" `Quick test_class_index_roundtrip;
+          Alcotest.test_case "reads/writes metadata" `Quick test_reads_writes;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "label resolution" `Quick test_assemble_resolves_labels;
+          Alcotest.test_case "duplicate labels rejected" `Quick
+            test_assemble_duplicate_label;
+          Alcotest.test_case "undefined labels rejected" `Quick
+            test_assemble_undefined_label;
+          Alcotest.test_case "out-of-range targets rejected" `Quick
+            test_program_rejects_out_of_range_target;
+          Alcotest.test_case "bad data rejected" `Quick test_program_rejects_bad_data;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "float views" `Quick test_memory_floats;
+          Alcotest.test_case "alignment enforced" `Quick test_memory_alignment;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_machine_arith;
+          Alcotest.test_case "r0 hardwired to zero" `Quick test_machine_r0_is_zero;
+          Alcotest.test_case "division by zero" `Quick test_machine_div_by_zero;
+          Alcotest.test_case "loop with branch" `Quick test_machine_loop;
+          Alcotest.test_case "call and return" `Quick test_machine_call_ret;
+          Alcotest.test_case "loads and stores" `Quick test_machine_memory_ops;
+          Alcotest.test_case "float operations" `Quick test_machine_float_ops;
+          Alcotest.test_case "event stream contents" `Quick test_event_stream;
+          Alcotest.test_case "run budget" `Quick test_run_budget;
+          Alcotest.test_case "shift semantics" `Quick test_machine_shift_semantics;
+        ] );
+    ]

@@ -1,0 +1,349 @@
+(* Tests for pc_profile: SFG construction, instruction mix, dependency
+   distances, stride/footprint/run detection, branch rates, and profile
+   serialisation. *)
+
+module I = Pc_isa.Instr
+module Asm = Pc_isa.Asm
+module Program = Pc_isa.Program
+module Profile = Pc_profile.Profile
+module Collector = Pc_profile.Collector
+
+let loop ?(iters = 100) body =
+  Asm.assemble ~name:"t"
+    ([ Asm.Ins (I.Li (20, Int64.of_int iters)); Asm.Label "top" ]
+    @ List.map (fun i -> Asm.Ins i) body
+    @ [
+        Asm.Ins (I.Alui (I.Add, 20, 20, -1));
+        Asm.Ins (I.Br (I.Gt_z, 20, I.Label "top"));
+        Asm.Ins I.Halt;
+      ])
+
+(* --- global mix --- *)
+
+let test_global_mix () =
+  let p = loop [ I.Alu (I.Add, 1, 2, 3); I.Fmul (1, 2, 3); I.Load (4, 29, 0) ] in
+  let prof = Collector.profile p in
+  let frac c = prof.Profile.global_mix.(I.class_index c) in
+  (* body of 6 per iteration: add, fmul, load, addi, branch (+Li, Halt once) *)
+  Alcotest.(check bool) "mix sums to 1" true
+    (abs_float (Array.fold_left ( +. ) 0.0 prof.Profile.global_mix -. 1.0) < 1e-9);
+  Alcotest.(check bool) "int_alu ~2/5" true (abs_float (frac I.C_int_alu -. 0.4) < 0.02);
+  Alcotest.(check bool) "fp_mul ~1/5" true (abs_float (frac I.C_fp_mul -. 0.2) < 0.02);
+  Alcotest.(check bool) "load ~1/5" true (abs_float (frac I.C_load -. 0.2) < 0.02);
+  Alcotest.(check bool) "branch ~1/5" true (abs_float (frac I.C_branch -. 0.2) < 0.02)
+
+(* --- SFG structure --- *)
+
+let test_sfg_nodes_and_successors () =
+  (* if/else alternating by parity: two distinct successor blocks *)
+  let p =
+    Asm.assemble ~name:"t"
+      [
+        Asm.Ins (I.Li (20, 100L));
+        Asm.Label "top";
+        Asm.Ins (I.Alui (I.And, 1, 20, 1));
+        Asm.Ins (I.Br (I.Eq_z, 1, I.Label "even"));
+        Asm.Ins (I.Alu (I.Add, 2, 2, 2));
+        Asm.Ins (I.Jmp (I.Label "join"));
+        Asm.Label "even";
+        Asm.Ins (I.Alu (I.Sub, 2, 2, 2));
+        Asm.Label "join";
+        Asm.Ins (I.Alui (I.Add, 20, 20, -1));
+        Asm.Ins (I.Br (I.Gt_z, 20, I.Label "top"));
+        Asm.Ins I.Halt;
+      ]
+  in
+  let prof = Collector.profile p in
+  Alcotest.(check bool) "several nodes" true (Array.length prof.Profile.nodes >= 4);
+  (* the header block (ending in the parity branch) must have 2 successors *)
+  let header =
+    Array.to_list prof.Profile.nodes
+    |> List.filter (fun (n : Profile.node) ->
+           Array.length n.Profile.successors = 2 && n.Profile.count > 40)
+  in
+  Alcotest.(check bool) "a hot 2-successor node exists" true (header <> []);
+  Array.iter
+    (fun (n : Profile.node) ->
+      let total = Array.fold_left (fun a (_, p) -> a +. p) 0.0 n.Profile.successors in
+      if Array.length n.Profile.successors > 0 then
+        Alcotest.(check (float 1e-6)) "successor probabilities sum to 1" 1.0 total)
+    prof.Profile.nodes
+
+let test_node_counts_sum_to_blocks () =
+  let p = loop ~iters:50 [ I.Alu (I.Add, 1, 2, 3) ] in
+  let prof = Collector.profile p in
+  let total = Array.fold_left (fun a n -> a + n.Profile.count) 0 prof.Profile.nodes in
+  (* 50 loop bodies + preamble/halt block *)
+  Alcotest.(check bool) "block executions counted" true (total >= 50)
+
+(* --- dependency distances --- *)
+
+let test_dep_distance_short_chain () =
+  (* each instruction reads the previous one's result: distance 1 *)
+  let p = loop [ I.Alu (I.Add, 1, 1, 0); I.Alu (I.Add, 1, 1, 0); I.Alu (I.Add, 1, 1, 0) ] in
+  let prof = Collector.profile p in
+  (* body nodes: most dependencies fall in bucket 0 (distance 1) *)
+  let hot =
+    Array.to_list prof.Profile.nodes
+    |> List.filter (fun n -> n.Profile.count > 50)
+  in
+  Alcotest.(check bool) "found hot node" true (hot <> []);
+  List.iter
+    (fun (n : Profile.node) ->
+      Alcotest.(check bool) "distance-1 dominates" true (n.Profile.dep_fractions.(0) > 0.5))
+    hot
+
+let test_dep_distance_long () =
+  (* producers separated by 16 filler instructions reading r9 only *)
+  let body =
+    [ I.Alu (I.Add, 1, 2, 3) ]
+    @ List.init 16 (fun _ -> I.Alu (I.Add, 9, 10, 11))
+    @ [ I.Alu (I.Add, 4, 1, 1) ] (* reads r1: distance 17 -> bucket <=32 *)
+  in
+  let p = loop body in
+  let prof = Collector.profile p in
+  let hot =
+    Array.to_list prof.Profile.nodes |> List.find (fun n -> n.Profile.count > 50)
+  in
+  (* bucket 6 covers distances 17..32 *)
+  Alcotest.(check bool) "long-distance bucket populated" true
+    (hot.Profile.dep_fractions.(6) > 0.01)
+
+(* --- memory behaviour --- *)
+
+let walk_program ~stride ~resets =
+  Asm.assemble ~name:"walk"
+    [
+      Asm.Ins (I.Li (20, Int64.of_int resets));
+      Asm.Label "outer";
+      Asm.Ins (I.Li (21, Int64.of_int Program.data_base));
+      Asm.Ins (I.Li (22, 64L));
+      Asm.Label "top";
+      Asm.Ins (I.Load (1, 21, 0));
+      Asm.Ins (I.Alui (I.Add, 21, 21, stride));
+      Asm.Ins (I.Alui (I.Add, 22, 22, -1));
+      Asm.Ins (I.Br (I.Gt_z, 22, I.Label "top"));
+      Asm.Ins (I.Alui (I.Add, 20, 20, -1));
+      Asm.Ins (I.Br (I.Gt_z, 20, I.Label "outer"));
+      Asm.Ins I.Halt;
+    ]
+
+let find_walk_op prof =
+  let found = ref None in
+  Array.iter
+    (fun (n : Profile.node) ->
+      Array.iter
+        (fun (m : Profile.mem_op) -> if m.Profile.refs > 100 then found := Some m)
+        n.Profile.mem_ops)
+    prof.Profile.nodes;
+  match !found with Some m -> m | None -> Alcotest.fail "walk op not found"
+
+let test_stride_detection () =
+  let prof = Collector.profile (walk_program ~stride:16 ~resets:10) in
+  let m = find_walk_op prof in
+  Alcotest.(check int) "dominant stride" 16 m.Profile.stride;
+  Alcotest.(check bool) "mostly single stride" true
+    (float_of_int m.Profile.single_stride_refs /. float_of_int m.Profile.refs > 0.9)
+
+let test_footprint_and_runs () =
+  let prof = Collector.profile (walk_program ~stride:8 ~resets:10) in
+  let m = find_walk_op prof in
+  (* 64 accesses of stride 8: footprint = 64*8 bytes *)
+  Alcotest.(check int) "footprint" 512 m.Profile.footprint;
+  (* runs break at each outer reset: average run near 64 *)
+  Alcotest.(check bool) "run length near 64" true
+    (m.Profile.stream_length > 55 && m.Profile.stream_length <= 70);
+  Alcotest.(check int) "region is the array base" Program.data_base m.Profile.region
+
+let test_single_stride_fraction_pure_walk () =
+  let prof = Collector.profile (walk_program ~stride:8 ~resets:5) in
+  Alcotest.(check bool) "fraction above 0.9" true
+    (prof.Profile.single_stride_fraction > 0.9)
+
+let test_row_stride_detection () =
+  (* A 2-D walk: 16 rows of 8 elements; rows are 256 bytes apart. *)
+  let p =
+    Asm.assemble ~name:"grid"
+      [
+        Asm.Ins (I.Li (20, 16L)) (* rows *);
+        Asm.Ins (I.Li (21, Int64.of_int Program.data_base));
+        Asm.Label "row";
+        Asm.Ins (I.Li (22, 8L)) (* columns *);
+        Asm.Ins (I.Alui (I.Add, 23, 21, 0));
+        Asm.Label "col";
+        Asm.Ins (I.Load (1, 23, 0));
+        Asm.Ins (I.Alui (I.Add, 23, 23, 8));
+        Asm.Ins (I.Alui (I.Add, 22, 22, -1));
+        Asm.Ins (I.Br (I.Gt_z, 22, I.Label "col"));
+        Asm.Ins (I.Alui (I.Add, 21, 21, 256));
+        Asm.Ins (I.Alui (I.Add, 20, 20, -1));
+        Asm.Ins (I.Br (I.Gt_z, 20, I.Label "row"));
+        Asm.Ins I.Halt;
+      ]
+  in
+  let prof = Collector.profile p in
+  let m = find_walk_op prof in
+  Alcotest.(check int) "element stride" 8 m.Profile.stride;
+  Alcotest.(check int) "row stride" 256 m.Profile.row_stride;
+  Alcotest.(check bool) "run length near 8" true
+    (m.Profile.stream_length >= 6 && m.Profile.stream_length <= 9)
+
+let test_no_row_stride_for_1d () =
+  let prof = Collector.profile (walk_program ~stride:8 ~resets:10) in
+  let m = find_walk_op prof in
+  (* 1-D re-walks: the only run transition is the reset jump back, which
+     is a constant -footprint delta — acceptable as a "row", but it must
+     be the reset distance, not noise. *)
+  Alcotest.(check bool) "row stride is the reset or zero" true
+    (m.Profile.row_stride = 0 || m.Profile.row_stride < 0)
+
+let test_scalar_op () =
+  let p = loop ~iters:200 [ I.Load (1, 29, 0) ] in
+  let prof = Collector.profile p in
+  let m = find_walk_op prof in
+  Alcotest.(check int) "stride zero" 0 m.Profile.stride;
+  Alcotest.(check int) "footprint one word" 8 m.Profile.footprint
+
+(* --- branch behaviour --- *)
+
+let branch_node_of prof =
+  let best = ref None in
+  Array.iter
+    (fun (n : Profile.node) ->
+      match n.Profile.branch with
+      | Some b when b.Profile.execs > 50 -> best := Some b
+      | _ -> ())
+    prof.Profile.nodes;
+  match !best with Some b -> b | None -> Alcotest.fail "no hot branch"
+
+let test_biased_branch () =
+  let p = loop ~iters:200 [ I.Alu (I.Add, 1, 2, 3) ] in
+  let prof = Collector.profile p in
+  let b = branch_node_of prof in
+  (* loop back-edge: taken 199 of 200 *)
+  Alcotest.(check bool) "high taken rate" true (b.Profile.taken_rate > 0.95);
+  Alcotest.(check bool) "low transition rate" true (b.Profile.transition_rate < 0.05)
+
+let test_alternating_branch () =
+  let p =
+    Asm.assemble ~name:"alt"
+      [
+        Asm.Ins (I.Li (20, 200L));
+        Asm.Label "top";
+        Asm.Ins (I.Alui (I.And, 1, 20, 1));
+        Asm.Ins (I.Br (I.Eq_z, 1, I.Label "skip"));
+        Asm.Label "skip";
+        Asm.Ins (I.Alui (I.Add, 20, 20, -1));
+        Asm.Ins (I.Br (I.Gt_z, 20, I.Label "top"));
+        Asm.Ins I.Halt;
+      ]
+  in
+  let prof = Collector.profile p in
+  let alt =
+    Array.to_list prof.Profile.nodes
+    |> List.filter_map (fun (n : Profile.node) -> n.Profile.branch)
+    |> List.filter (fun (b : Profile.branch_behaviour) ->
+           b.Profile.execs > 50 && b.Profile.taken_rate > 0.3 && b.Profile.taken_rate < 0.7)
+  in
+  match alt with
+  | b :: _ ->
+    Alcotest.(check bool) "transition rate near 1" true (b.Profile.transition_rate > 0.9)
+  | [] -> Alcotest.fail "alternating branch not profiled"
+
+(* --- aggregates and serialisation --- *)
+
+let test_instr_count_and_block_size () =
+  let p = loop ~iters:10 [ I.Alu (I.Add, 1, 2, 3) ] in
+  let prof = Collector.profile p in
+  Alcotest.(check int) "instr count" (1 + (10 * 3) + 1) prof.Profile.instr_count;
+  Alcotest.(check bool) "avg block size sane" true
+    (prof.Profile.avg_block_size > 1.0 && prof.Profile.avg_block_size < 10.0)
+
+let test_profile_roundtrip () =
+  let entry = Pc_workloads.Registry.find "crc32" in
+  let prof =
+    Collector.profile ~max_instrs:100_000 (Pc_workloads.Registry.compile entry)
+  in
+  let path = Filename.temp_file "perfclone" ".profile" in
+  let oc = open_out path in
+  Profile.save oc prof;
+  close_out oc;
+  let ic = open_in path in
+  let prof2 = Profile.load ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "name" prof.Profile.name prof2.Profile.name;
+  Alcotest.(check int) "instr count" prof.Profile.instr_count prof2.Profile.instr_count;
+  Alcotest.(check int) "nodes" (Array.length prof.Profile.nodes)
+    (Array.length prof2.Profile.nodes);
+  Alcotest.(check int) "streams" prof.Profile.unique_streams prof2.Profile.unique_streams;
+  (* structural equality of a sample node *)
+  let n1 = prof.Profile.nodes.(0) and n2 = prof2.Profile.nodes.(0) in
+  Alcotest.(check int) "node size" n1.Profile.size n2.Profile.size;
+  Alcotest.(check int) "node mem ops" (Array.length n1.Profile.mem_ops)
+    (Array.length n2.Profile.mem_ops);
+  Alcotest.(check bool) "mix equal" true (n1.Profile.mix = n2.Profile.mix);
+  Alcotest.(check bool) "clone from loaded profile identical" true
+    (Pc_synth.Synth.generate prof = Pc_synth.Synth.generate prof2)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "perfclone" ".bad" in
+  let oc = open_out path in
+  output_string oc "not a profile\n";
+  close_out oc;
+  let ic = open_in path in
+  let rejected = match Profile.load ic with _ -> false | exception Failure _ -> true in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "rejected" true rejected
+
+let test_node_cdf () =
+  let p = loop ~iters:50 [ I.Alu (I.Add, 1, 2, 3) ] in
+  let prof = Collector.profile p in
+  let cdf = Profile.node_cdf prof in
+  Alcotest.(check int) "cdf length" (Array.length prof.Profile.nodes) (Array.length cdf);
+  Alcotest.(check (float 1e-9)) "cdf ends at 1" 1.0 cdf.(Array.length cdf - 1);
+  Array.iteri
+    (fun i v -> if i > 0 && v < cdf.(i - 1) then Alcotest.fail "cdf not monotone")
+    cdf
+
+let () =
+  Alcotest.run "pc_profile"
+    [
+      ( "mix+sfg",
+        [
+          Alcotest.test_case "global mix" `Quick test_global_mix;
+          Alcotest.test_case "SFG nodes and successors" `Quick
+            test_sfg_nodes_and_successors;
+          Alcotest.test_case "node counts" `Quick test_node_counts_sum_to_blocks;
+          Alcotest.test_case "node cdf" `Quick test_node_cdf;
+        ] );
+      ( "dependencies",
+        [
+          Alcotest.test_case "short chains" `Quick test_dep_distance_short_chain;
+          Alcotest.test_case "long distances" `Quick test_dep_distance_long;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "stride detection" `Quick test_stride_detection;
+          Alcotest.test_case "footprint and run length" `Quick test_footprint_and_runs;
+          Alcotest.test_case "single-stride fraction" `Quick
+            test_single_stride_fraction_pure_walk;
+          Alcotest.test_case "scalar accesses" `Quick test_scalar_op;
+          Alcotest.test_case "2-D row-stride detection" `Quick test_row_stride_detection;
+          Alcotest.test_case "1-D walks have no spurious rows" `Quick
+            test_no_row_stride_for_1d;
+        ] );
+      ( "branches",
+        [
+          Alcotest.test_case "biased branch" `Quick test_biased_branch;
+          Alcotest.test_case "alternating branch" `Quick test_alternating_branch;
+        ] );
+      ( "aggregate+io",
+        [
+          Alcotest.test_case "instruction count and block size" `Quick
+            test_instr_count_and_block_size;
+          Alcotest.test_case "save/load roundtrip" `Quick test_profile_roundtrip;
+          Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for Pc_stats.Stats: correlation, rankings, error metrics. *)
+
+module Stats = Pc_stats.Stats
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let check_f ?eps msg expected got =
+  if not (feq ?eps expected got) then
+    Alcotest.failf "%s: expected %f, got %f" msg expected got
+
+let test_mean_stddev () =
+  check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_f "stddev of constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_f "stddev" (sqrt 1.25) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_pearson_perfect () =
+  let x = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let y = Array.map (fun v -> (3.0 *. v) +. 1.0) x in
+  check_f "perfect positive" 1.0 (Stats.pearson x y);
+  let z = Array.map (fun v -> -.v) x in
+  check_f "perfect negative" (-1.0) (Stats.pearson x z)
+
+let test_pearson_constant () =
+  check_f "constant series" 0.0 (Stats.pearson [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |])
+
+let test_pearson_symmetry () =
+  let x = [| 1.0; 5.0; 2.0; 8.0; 3.0 |] and y = [| 2.0; 4.0; 4.0; 9.0; 1.0 |] in
+  check_f "symmetric" (Stats.pearson x y) (Stats.pearson y x)
+
+let test_pearson_known_value () =
+  (* Hand-computed example. *)
+  let x = [| 1.0; 2.0; 3.0 |] and y = [| 1.0; 2.0; 4.0 |] in
+  (* cov = (0*(-4/3) + ... ) ; direct computation gives r = 3/sqrt(2*4.6667) *)
+  let r = Stats.pearson x y in
+  check_f ~eps:1e-6 "known r" 0.98198 (Float.round (r *. 100000.0) /. 100000.0)
+
+let test_rankings () =
+  Alcotest.(check (array (float 1e-9)))
+    "simple ranking" [| 2.0; 1.0; 3.0 |]
+    (Stats.rankings [| 5.0; 1.0; 9.0 |]);
+  Alcotest.(check (array (float 1e-9)))
+    "ties get average rank" [| 1.5; 1.5; 3.0 |]
+    (Stats.rankings [| 2.0; 2.0; 7.0 |])
+
+let test_spearman_monotone () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let y = [| 1.0; 8.0; 27.0; 64.0 |] in
+  (* nonlinear but monotone: spearman = 1, pearson < 1 *)
+  check_f "spearman of monotone data" 1.0 (Stats.spearman x y);
+  Alcotest.(check bool) "pearson below 1" true (Stats.pearson x y < 1.0)
+
+let test_abs_rel_error () =
+  check_f "10%% error" 0.1 (Stats.abs_rel_error ~actual:10.0 ~predicted:11.0);
+  check_f "symmetric under sign" 0.1 (Stats.abs_rel_error ~actual:10.0 ~predicted:9.0)
+
+let test_relative_design_error () =
+  (* Clone tracks the trend perfectly: both speed up by 2x. *)
+  check_f "perfect trend" 0.0
+    (Stats.relative_design_error ~real_base:1.0 ~real_new:2.0 ~synth_base:1.5
+       ~synth_new:3.0);
+  (* Clone misses the trend: real 2x, clone 1.5x -> 25% error. *)
+  check_f "missed trend" 0.25
+    (Stats.relative_design_error ~real_base:1.0 ~real_new:2.0 ~synth_base:1.0
+       ~synth_new:1.5)
+
+let test_percentile () =
+  let v = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_f "p0" 10.0 (Stats.percentile v 0.0);
+  check_f "p100" 40.0 (Stats.percentile v 100.0);
+  check_f "p50" 25.0 (Stats.percentile v 50.0)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~bounds:[| 1; 2; 4; 8 |] in
+  List.iter (Stats.Histogram.add h) [ 1; 1; 2; 3; 4; 5; 8; 9; 100 ];
+  Alcotest.(check (array int)) "counts" [| 2; 1; 2; 2; 2 |] (Stats.Histogram.counts h);
+  Alcotest.(check int) "total" 9 (Stats.Histogram.total h);
+  let fr = Stats.Histogram.fractions h in
+  check_f "fractions sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 fr)
+
+let test_histogram_merge () =
+  let h1 = Stats.Histogram.create ~bounds:[| 1; 2 |] in
+  let h2 = Stats.Histogram.create ~bounds:[| 1; 2 |] in
+  Stats.Histogram.add h1 1;
+  Stats.Histogram.add_many h2 2 5;
+  let m = Stats.Histogram.merge h1 h2 in
+  Alcotest.(check (array int)) "merged" [| 1; 5; 0 |] (Stats.Histogram.counts m);
+  Alcotest.(check int) "merged total" 6 (Stats.Histogram.total m)
+
+let test_histogram_empty_fractions () =
+  let h = Stats.Histogram.create ~bounds:[| 1; 2 |] in
+  Alcotest.(check (array (float 0.0))) "empty fractions" [| 0.0; 0.0; 0.0 |]
+    (Stats.Histogram.fractions h)
+
+let test_pearson_invariances () =
+  let x = [| 1.0; 5.0; 2.0; 8.0; 3.0 |] and y = [| 2.0; 4.0; 4.0; 9.0; 1.0 |] in
+  let r = Stats.pearson x y in
+  (* scale and shift invariance *)
+  let x' = Array.map (fun v -> (3.0 *. v) +. 11.0) x in
+  check_f ~eps:1e-9 "affine invariant" r (Stats.pearson x' y);
+  let xn = Array.map (fun v -> -.v) x in
+  check_f ~eps:1e-9 "negation flips sign" (-.r) (Stats.pearson xn y)
+
+let test_mean_rejects_empty () =
+  Alcotest.(check bool) "empty mean rejected" true
+    (match Stats.mean [||] with _ -> false | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "mismatched pearson rejected" true
+    (match Stats.pearson [| 1.0 |] [| 1.0; 2.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_design_error_rejects_zero () =
+  Alcotest.(check bool) "zero base rejected" true
+    (match
+       Stats.relative_design_error ~real_base:0.0 ~real_new:1.0 ~synth_base:1.0
+         ~synth_new:1.0
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let qcheck_pearson_bounds =
+  QCheck.Test.make ~name:"pearson stays in [-1, 1]" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 2 20) (float_bound_inclusive 100.0))
+              (list_of_size Gen.(int_range 2 20) (float_bound_inclusive 100.0)))
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      QCheck.assume (n >= 2);
+      let x = Array.of_list (List.filteri (fun i _ -> i < n) xs) in
+      let y = Array.of_list (List.filteri (fun i _ -> i < n) ys) in
+      let r = Stats.pearson x y in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let qcheck_rankings_are_permutation_sums =
+  QCheck.Test.make ~name:"rankings sum to n(n+1)/2" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_bound_inclusive 50.0))
+    (fun xs ->
+      let v = Array.of_list xs in
+      let n = Array.length v in
+      let sum = Array.fold_left ( +. ) 0.0 (Stats.rankings v) in
+      feq ~eps:1e-6 sum (float_of_int (n * (n + 1)) /. 2.0))
+
+let () =
+  Alcotest.run "pc_stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean and stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "pearson perfect correlation" `Quick test_pearson_perfect;
+          Alcotest.test_case "pearson of constant series" `Quick test_pearson_constant;
+          Alcotest.test_case "pearson symmetry" `Quick test_pearson_symmetry;
+          Alcotest.test_case "pearson known value" `Quick test_pearson_known_value;
+          Alcotest.test_case "rankings with ties" `Quick test_rankings;
+          Alcotest.test_case "spearman of monotone data" `Quick test_spearman_monotone;
+          Alcotest.test_case "absolute relative error" `Quick test_abs_rel_error;
+          Alcotest.test_case "relative design error" `Quick test_relative_design_error;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "histogram empty fractions" `Quick
+            test_histogram_empty_fractions;
+          Alcotest.test_case "pearson invariances" `Quick test_pearson_invariances;
+          Alcotest.test_case "empty inputs rejected" `Quick test_mean_rejects_empty;
+          Alcotest.test_case "design error rejects zero base" `Quick
+            test_design_error_rejects_zero;
+          QCheck_alcotest.to_alcotest qcheck_pearson_bounds;
+          QCheck_alcotest.to_alcotest qcheck_rankings_are_permutation_sums;
+        ] );
+    ]

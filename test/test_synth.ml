@@ -1,0 +1,286 @@
+(* Tests for pc_synth: the clone generator must produce valid, halting
+   programs whose microarchitecture-independent characteristics match the
+   profile they were generated from — the paper's central claim, checked
+   by re-profiling the clone. *)
+
+module I = Pc_isa.Instr
+module Program = Pc_isa.Program
+module Machine = Pc_funcsim.Machine
+module Profile = Pc_profile.Profile
+module Collector = Pc_profile.Collector
+module Synth = Pc_synth.Synth
+module Microdep = Pc_synth.Microdep
+module Render = Pc_synth.Render
+
+let profile_of name =
+  let entry = Pc_workloads.Registry.find name in
+  Collector.profile ~max_instrs:300_000 (Pc_workloads.Registry.compile entry)
+
+let profile_cache : (string, Profile.t) Hashtbl.t = Hashtbl.create 8
+
+let profile name =
+  match Hashtbl.find_opt profile_cache name with
+  | Some p -> p
+  | None ->
+    let p = profile_of name in
+    Hashtbl.add profile_cache name p;
+    p
+
+let clone_of ?(options = Synth.default_options) name =
+  Synth.generate ~options (profile name)
+
+let run_clone ?(max_instrs = 3_000_000) clone =
+  let m = Machine.load clone in
+  let n = Machine.run ~max_instrs m (fun _ -> ()) in
+  (m, n)
+
+(* --- structural validity --- *)
+
+let test_clone_halts () =
+  List.iter
+    (fun name ->
+      let m, _ = run_clone (clone_of name) in
+      if not (Machine.halted m) then Alcotest.failf "%s clone did not halt" name)
+    [ "crc32"; "fft"; "qsort" ]
+
+let test_clone_is_different_code () =
+  let entry = Pc_workloads.Registry.find "sha" in
+  let orig = Pc_workloads.Registry.compile entry in
+  let clone = clone_of "sha" in
+  Alcotest.(check bool) "different static code" true
+    (orig.Program.code <> clone.Program.code)
+
+let test_clone_deterministic () =
+  let c1 = clone_of "crc32" and c2 = clone_of "crc32" in
+  Alcotest.(check bool) "same options, same clone" true (c1.Program.code = c2.Program.code)
+
+let test_seed_changes_clone () =
+  let c1 = clone_of "crc32" in
+  let c2 = clone_of ~options:{ Synth.default_options with Synth.seed = 99 } "crc32" in
+  Alcotest.(check bool) "different seeds differ" true (c1.Program.code <> c2.Program.code)
+
+let test_target_dynamic_respected () =
+  let options = { Synth.default_options with Synth.target_dynamic = 60_000 } in
+  let _, n = run_clone (clone_of ~options "sha") in
+  (* at least the requested length; footprint walks may extend it *)
+  Alcotest.(check bool) "at least target" true (n >= 50_000)
+
+let test_target_blocks_respected () =
+  let options = { Synth.default_options with Synth.target_blocks = 25 } in
+  let clone = clone_of ~options "crc32" in
+  (* 25 blocks of avg size ~8 plus preamble/loop control: well under 600 *)
+  Alcotest.(check bool) "static size tracks block target" true
+    (Program.length clone < 600)
+
+(* --- characteristic matching: profile(clone) ~ profile(original) --- *)
+
+let reprofile clone = Collector.profile ~max_instrs:2_000_000 clone
+
+let mix_distance a b =
+  (* total variation over the computational classes the generator controls *)
+  let classes = [ I.C_int_mul; I.C_int_div; I.C_fp_alu; I.C_fp_mul; I.C_fp_div; I.C_load; I.C_store ] in
+  List.fold_left
+    (fun acc c ->
+      let i = I.class_index c in
+      acc +. abs_float (a.(i) -. b.(i)))
+    0.0 classes
+
+let test_mix_preserved () =
+  List.iter
+    (fun name ->
+      let orig = profile name in
+      let cloned = reprofile (clone_of name) in
+      let d = mix_distance orig.Profile.global_mix cloned.Profile.global_mix in
+      if d > 0.15 then
+        Alcotest.failf "%s: instruction mix drifted by %.3f" name d)
+    [ "crc32"; "fft"; "sha"; "adpcm_enc" ]
+
+let test_branch_behaviour_preserved () =
+  (* The original's weighted taken rate should be approximated by the
+     clone's (the transition-rate mechanism drives this). *)
+  let weighted_taken (p : Profile.t) =
+    let num = ref 0.0 and den = ref 0.0 in
+    Array.iter
+      (fun (n : Profile.node) ->
+        match n.Profile.branch with
+        | Some b ->
+          num := !num +. (b.Profile.taken_rate *. float_of_int b.Profile.execs);
+          den := !den +. float_of_int b.Profile.execs
+        | None -> ())
+      p.Profile.nodes;
+    if !den = 0.0 then 0.5 else !num /. !den
+  in
+  List.iter
+    (fun name ->
+      let orig = weighted_taken (profile name) in
+      let cloned = weighted_taken (reprofile (clone_of name)) in
+      if abs_float (orig -. cloned) > 0.15 then
+        Alcotest.failf "%s: taken rate %.3f vs clone %.3f" name orig cloned)
+    [ "crc32"; "qsort"; "sha" ]
+
+let test_footprint_preserved () =
+  (* Aggregate data footprint of the clone should be within ~4x of the
+     original's (first-order stream model). *)
+  let total_footprint (p : Profile.t) =
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun (n : Profile.node) ->
+        Array.iter
+          (fun (m : Profile.mem_op) ->
+            Hashtbl.replace seen (m.Profile.region / 4096) ())
+          n.Profile.mem_ops)
+      p.Profile.nodes;
+    Hashtbl.length seen
+  in
+  let orig = total_footprint (profile "dijkstra") in
+  let cloned = total_footprint (reprofile (clone_of "dijkstra")) in
+  Alcotest.(check bool) "page-granular footprint same order" true
+    (cloned >= orig / 4 && cloned <= orig * 4 + 4)
+
+let test_dep_distance_preserved () =
+  let weighted_bucket (p : Profile.t) bucket =
+    let num = ref 0.0 and den = ref 0.0 in
+    Array.iter
+      (fun (n : Profile.node) ->
+        num := !num +. (n.Profile.dep_fractions.(bucket) *. float_of_int n.Profile.count);
+        den := !den +. float_of_int n.Profile.count)
+      p.Profile.nodes;
+    if !den = 0.0 then 0.0 else !num /. !den
+  in
+  let orig = profile "sha" in
+  let cloned = reprofile (clone_of "sha") in
+  (* distance-1 fraction (serial chains) is the performance-critical one *)
+  let o = weighted_bucket orig 0 and c = weighted_bucket cloned 0 in
+  if abs_float (o -. c) > 0.25 then
+    Alcotest.failf "distance-1 dependency fraction %.3f vs clone %.3f" o c
+
+(* --- stream planning --- *)
+
+let test_plan_streams_caps_count () =
+  let streams = Synth.plan_streams ~max_streams:4 (profile "rijndael") in
+  Alcotest.(check bool) "at most 4 streams" true (Array.length streams <= 4)
+
+let test_plan_streams_weights_ordered () =
+  let streams = Synth.plan_streams ~max_streams:12 (profile "dijkstra") in
+  Array.iteri
+    (fun i (s : Synth.stream_info) ->
+      if i > 0 && s.Synth.weight > streams.(i - 1).Synth.weight then
+        Alcotest.fail "streams not ordered by weight")
+    streams
+
+let test_empty_profile_rejected () =
+  let empty =
+    {
+      Profile.name = "empty";
+      instr_count = 0;
+      nodes = [||];
+      global_mix = Array.make I.class_count 0.0;
+      avg_block_size = 0.0;
+      single_stride_fraction = 1.0;
+      unique_streams = 0;
+    }
+  in
+  Alcotest.(check bool) "rejected" true
+    (match Synth.generate empty with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- microarchitecture-dependent baseline --- *)
+
+let test_microdep_halts_and_misses () =
+  let prof = profile "dijkstra" in
+  let entry = Pc_workloads.Registry.find "dijkstra" in
+  let orig = Pc_workloads.Registry.compile entry in
+  let targets = Microdep.measure_targets ~max_instrs:300_000 Pc_uarch.Config.base orig in
+  let baseline = Microdep.generate ~profile:prof ~targets () in
+  let m, _ = run_clone baseline in
+  Alcotest.(check bool) "halts" true (Machine.halted m);
+  (* its miss rate on the reference config should be in the target's
+     neighbourhood *)
+  let r = Pc_uarch.Sim.run ~max_instrs:1_000_000 Pc_uarch.Config.base baseline in
+  let mr =
+    if r.Pc_uarch.Sim.l1d_accesses = 0 then 0.0
+    else
+      float_of_int r.Pc_uarch.Sim.l1d_misses /. float_of_int r.Pc_uarch.Sim.l1d_accesses
+  in
+  Alcotest.(check bool) "miss rate in the target neighbourhood" true
+    (abs_float (mr -. targets.Microdep.l1d_miss_rate) < 0.15)
+
+let test_microdep_insensitive_to_cache_size () =
+  (* the design flaw the paper criticises: the baseline's miss rate
+     barely moves when the cache shrinks *)
+  let prof = profile "dijkstra" in
+  let targets = { Microdep.l1d_miss_rate = 0.2; mispredict_rate = 0.05 } in
+  let baseline = Microdep.generate ~profile:prof ~targets () in
+  let mr cfg =
+    let r = Pc_uarch.Sim.run ~max_instrs:800_000 cfg baseline in
+    if r.Pc_uarch.Sim.l1d_accesses = 0 then 0.0
+    else float_of_int r.Pc_uarch.Sim.l1d_misses /. float_of_int r.Pc_uarch.Sim.l1d_accesses
+  in
+  let base = mr Pc_uarch.Config.base in
+  let half = mr (Pc_uarch.Config.with_l1d_size 8192 Pc_uarch.Config.base) in
+  Alcotest.(check bool) "flat across cache sizes" true (abs_float (base -. half) < 0.05)
+
+(* --- rendering --- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_render_c () =
+  let clone = clone_of "crc32" in
+  let c = Render.to_c clone in
+  Alcotest.(check bool) "has main" true (contains c "int main(void)");
+  Alcotest.(check bool) "has asm statements" true (contains c "asm volatile");
+  (* every instruction appears *)
+  Alcotest.(check bool) "long enough" true
+    (String.length c > 20 * Program.length clone)
+
+let qcheck_clones_always_halt =
+  QCheck.Test.make ~name:"clones halt for any seed" ~count:10
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let options = { Synth.default_options with Synth.seed; target_dynamic = 30_000 } in
+      let clone = Synth.generate ~options (profile "crc32") in
+      let m, _ = run_clone ~max_instrs:3_000_000 clone in
+      Machine.halted m)
+
+let () =
+  Alcotest.run "pc_synth"
+    [
+      ( "validity",
+        [
+          Alcotest.test_case "clones halt" `Quick test_clone_halts;
+          Alcotest.test_case "clone differs from original" `Quick
+            test_clone_is_different_code;
+          Alcotest.test_case "deterministic generation" `Quick test_clone_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_clone;
+          Alcotest.test_case "dynamic length target" `Quick test_target_dynamic_respected;
+          Alcotest.test_case "block count target" `Quick test_target_blocks_respected;
+          Alcotest.test_case "empty profile rejected" `Quick test_empty_profile_rejected;
+          QCheck_alcotest.to_alcotest qcheck_clones_always_halt;
+        ] );
+      ( "characteristics",
+        [
+          Alcotest.test_case "instruction mix preserved" `Slow test_mix_preserved;
+          Alcotest.test_case "branch behaviour preserved" `Slow
+            test_branch_behaviour_preserved;
+          Alcotest.test_case "footprint preserved" `Slow test_footprint_preserved;
+          Alcotest.test_case "dependency distances preserved" `Slow
+            test_dep_distance_preserved;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "stream cap" `Quick test_plan_streams_caps_count;
+          Alcotest.test_case "weight ordering" `Quick test_plan_streams_weights_ordered;
+        ] );
+      ( "microdep",
+        [
+          Alcotest.test_case "baseline halts, hits target" `Slow
+            test_microdep_halts_and_misses;
+          Alcotest.test_case "baseline insensitive to cache size" `Slow
+            test_microdep_insensitive_to_cache_size;
+        ] );
+      ("render", [ Alcotest.test_case "C output" `Quick test_render_c ]);
+    ]

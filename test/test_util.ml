@@ -1,0 +1,128 @@
+(* Tests for Pc_util.Rng: determinism, ranges, distribution sanity. *)
+
+module Rng = Pc_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Rng.bits64 a) (Rng.bits64 b);
+  (* advancing one does not advance the other *)
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "streams stay in lockstep from equal states" va vb
+
+let test_int_range () =
+  let t = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of range"
+  done
+
+let test_int_rejects_nonpositive () =
+  let t = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int t 0))
+
+let test_float_range () =
+  let t = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float t 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "Rng.float out of range"
+  done
+
+let test_int_uniformish () =
+  let t = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int t 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then
+        Alcotest.failf "bucket fraction %f too far from 0.1" frac)
+    buckets
+
+let test_sample_cdf () =
+  let t = Rng.create 6 in
+  let cdf = [| 0.25; 0.5; 1.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.sample_cdf t cdf in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "bucket 0 ~ 0.25" true (abs_float (frac 0 -. 0.25) < 0.02);
+  Alcotest.(check bool) "bucket 1 ~ 0.25" true (abs_float (frac 1 -. 0.25) < 0.02);
+  Alcotest.(check bool) "bucket 2 ~ 0.5" true (abs_float (frac 2 -. 0.5) < 0.02)
+
+let test_sample_cdf_degenerate () =
+  let t = Rng.create 8 in
+  (* A leading zero-probability bucket must never be sampled. *)
+  let cdf = [| 0.0; 1.0 |] in
+  for _ = 1 to 1000 do
+    let i = Rng.sample_cdf t cdf in
+    if i = 0 then Alcotest.fail "sampled a zero-probability bucket"
+  done
+
+let test_shuffle_permutation () =
+  let t = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle preserves elements"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_pick_covers () =
+  let t = Rng.create 10 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.pick t [| 0; 1; 2; 3 |]) <- true
+  done;
+  Alcotest.(check (array bool)) "all elements reachable" [| true; true; true; true |] seen
+
+let qcheck_split_streams_differ =
+  QCheck.Test.make ~name:"split produces a distinct stream" ~count:100
+    QCheck.small_nat (fun seed ->
+      let a = Pc_util.Rng.create seed in
+      let b = Pc_util.Rng.split a in
+      Pc_util.Rng.bits64 a <> Pc_util.Rng.bits64 b)
+
+let () =
+  Alcotest.run "pc_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int rejects non-positive bound" `Quick
+            test_int_rejects_nonpositive;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "int roughly uniform" `Quick test_int_uniformish;
+          Alcotest.test_case "sample_cdf matches probabilities" `Quick test_sample_cdf;
+          Alcotest.test_case "sample_cdf skips empty buckets" `Quick
+            test_sample_cdf_degenerate;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "pick covers all elements" `Quick test_pick_covers;
+          QCheck_alcotest.to_alcotest qcheck_split_streams_differ;
+        ] );
+    ]
