@@ -11,6 +11,7 @@
 
 open Bechamel
 module E = Perfclone.Experiments
+module Pool = Pc_exec.Pool
 
 (* Reduced settings so a single sample is millisecond-scale. *)
 let bench_settings =
@@ -25,6 +26,25 @@ let bench_settings =
 (* Shared pipelines, built once: each test measures only its own
    experiment's incremental cost. *)
 let pipelines = lazy (E.prepare bench_settings)
+
+(* Serial-vs-parallel targets for the pc_exec pool: the same four-way
+   profile+synthesize fan-out, once on one domain and once on the
+   default worker count.  Goes through [Pipeline.clone_program] (not the
+   memo store) so every sample pays the full pipeline cost. *)
+let parallel_pool = Pool.create ~num_domains:(Pool.default_jobs ())
+
+let fanout_programs =
+  lazy
+    (List.map
+       (fun n -> Pc_workloads.Registry.(compile (find n)))
+       [ "crc32"; "sha"; "qsort"; "fft" ])
+
+let clone_fanout pool =
+  Pool.map pool
+    (fun p ->
+      Perfclone.Pipeline.clone_program ~profile_instrs:50_000
+        ~target_dynamic:20_000 p)
+    (Lazy.force fanout_programs)
 
 let tests =
   [
@@ -53,6 +73,11 @@ let tests =
       (Staged.stage (fun () ->
            Perfclone.Pipeline.clone_benchmark ~profile_instrs:50_000
              ~target_dynamic:20_000 "crc32"));
+    Test.make ~name:"exec:clone-fanout-serial"
+      (Staged.stage (fun () -> clone_fanout Pool.serial));
+    Test.make
+      ~name:(Printf.sprintf "exec:clone-fanout-j%d" (Pool.num_domains parallel_pool))
+      (Staged.stage (fun () -> clone_fanout parallel_pool));
   ]
 
 let run_timings () =

@@ -1,12 +1,17 @@
 (* run_experiments: regenerate every table and figure of the paper.
 
    Usage:
-     run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N]
+     run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
-   ablation all (default: all). *)
+   ablation all (default: all).
+
+   Per-benchmark and per-configuration work fans out over -j worker
+   domains; all randomness is seeded per pipeline, so the output is
+   byte-identical at every -j. *)
 
 module E = Perfclone.Experiments
+module Pool = Pc_exec.Pool
 
 let pp = Format.std_formatter
 
@@ -38,7 +43,8 @@ let print_table2 () =
   Format.fprintf pp "  memory latency: %d cycles@."
     c.Pc_uarch.Config.dcache.Pc_caches.Hierarchy.mem_latency
 
-let main experiments quick benches seed =
+let main experiments quick benches seed jobs =
+  let pool = Pool.create ~num_domains:jobs in
   let settings =
     let base = if quick then E.quick_settings else E.default_settings in
     { base with E.seed; benchmarks = (if benches = [] then base.E.benchmarks else benches) }
@@ -57,31 +63,31 @@ let main experiments quick benches seed =
   if needs_pipelines then begin
     Format.fprintf pp "(preparing %s benchmark pipelines...)@."
       (match settings.E.benchmarks with [] -> "23" | l -> string_of_int (List.length l));
-    let pipelines = E.prepare settings in
+    let pipelines = E.prepare ~pool settings in
     if wants "fig3" then E.pp_fig3 pp (E.fig3 pipelines);
     if wants "fig4" || wants "fig5" then begin
-      let studies = E.cache_studies settings pipelines in
+      let studies = E.cache_studies ~pool settings pipelines in
       if wants "fig4" then E.pp_fig4 pp studies;
       if wants "fig5" then E.pp_fig5 pp (E.rankings_scatter studies)
     end;
     if wants "fig6" || wants "fig7" then begin
-      let runs = E.base_runs settings pipelines in
+      let runs = E.base_runs ~pool settings pipelines in
       if wants "fig6" then E.pp_fig6 pp runs;
       if wants "fig7" then E.pp_fig7 pp runs
     end;
     if wants "table3" || wants "fig8" || wants "fig9" then begin
-      let results = E.run_design_changes settings pipelines in
+      let results = E.run_design_changes ~pool settings pipelines in
       if wants "table3" then E.pp_table3 pp results;
       (* Figures 8/9 show the width-doubling change (index 2). *)
       let width_change = List.nth results 2 in
       if wants "fig8" then E.pp_fig8 pp width_change;
       if wants "fig9" then E.pp_fig9 pp width_change
     end;
-    if wants "ablation" then E.pp_ablation pp (E.ablation settings pipelines);
-    if wants "statsim" then E.pp_statsim pp (E.statsim_comparison settings pipelines);
-    if wants "portable" then E.pp_portable pp (E.portable_comparison settings pipelines);
-    if wants "bpred" then E.pp_bpred pp (E.bpred_studies settings pipelines);
-    if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness settings pipelines)
+    if wants "ablation" then E.pp_ablation pp (E.ablation ~pool settings pipelines);
+    if wants "statsim" then E.pp_statsim pp (E.statsim_comparison ~pool settings pipelines);
+    if wants "portable" then E.pp_portable pp (E.portable_comparison ~pool settings pipelines);
+    if wants "bpred" then E.pp_bpred pp (E.bpred_studies ~pool settings pipelines);
+    if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness ~pool settings pipelines)
   end
 
 open Cmdliner
@@ -105,10 +111,29 @@ let seed_arg =
   let doc = "Random seed for clone generation." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for per-benchmark and per-configuration \
+     fan-out.  The output is byte-identical at every value.  Defaults to \
+     $(b,PC_JOBS) when set, otherwise the number of cores."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the Performance Cloning paper's tables and figures" in
   Cmd.v
     (Cmd.info "run_experiments" ~doc)
-    Term.(const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg)
+    Term.(const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

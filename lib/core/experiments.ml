@@ -5,6 +5,8 @@ module Config = Pc_uarch.Config
 module Sim = Pc_uarch.Sim
 module Power = Pc_power.Power
 module Profile = Pc_profile.Profile
+module Pool = Pc_exec.Pool
+module Store = Pc_exec.Store
 
 type settings = {
   seed : int;
@@ -32,18 +34,39 @@ let quick_settings =
     benchmarks = [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ];
   }
 
-let prepare settings =
+let prepare ?(pool = Pool.serial) settings =
   let names =
     match settings.benchmarks with
     | [] -> Pc_workloads.Registry.names
     | names -> names
   in
-  List.map
+  Pool.map pool
     (fun name ->
       Pipeline.clone_benchmark ~seed:settings.seed
         ~profile_instrs:settings.profile_instrs
         ~target_dynamic:settings.clone_dynamic name)
     names
+
+(* --- memoized simulation primitives ---
+
+   Every driver below re-simulates the same programs: cache_studies,
+   seed_robustness, portable_comparison and ablation all trace the
+   original; base_runs, run_design_changes and statsim_comparison all
+   run the base-configuration timing model.  Results are memoized under
+   a structural digest of (program, budget[, config]), so one
+   [run_experiments all] invocation computes each artefact once.  All
+   simulations are deterministic, so racing pool workers store identical
+   values. *)
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let trace_store : (string, float array) Store.t = Store.create ()
+let sim_store : (string, Sim.result) Store.t = Store.create ()
+
+let clear_caches () =
+  Store.clear trace_store;
+  Store.clear sim_store;
+  Store.clear Pipeline.profile_store
 
 (* --- Figure 3 --- *)
 
@@ -70,13 +93,23 @@ type cache_study = {
 }
 
 let mpi_trace ~max_instrs program =
-  let results =
-    Study.run_trace (fun emit ->
-        let m = Machine.load program in
-        Machine.run ~max_instrs m (fun ev ->
-            if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+  let key = digest (program, max_instrs) in
+  let mpis =
+    Store.find_or_compute trace_store key (fun () ->
+        let results =
+          Study.run_trace (fun emit ->
+              let m = Machine.load program in
+              Machine.run ~max_instrs m (fun ev ->
+                  if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+        in
+        Array.map (fun (r : Study.result) -> r.Study.mpi) results)
   in
-  Array.map (fun (r : Study.result) -> r.Study.mpi) results
+  Array.copy mpis
+
+let sim_run ~max_instrs config program =
+  let key = digest (config, program, max_instrs) in
+  Store.find_or_compute sim_store key (fun () ->
+      Sim.run ~max_instrs config program)
 
 let study_of_mpis bench orig_mpi clone_mpi =
   let rel mpis =
@@ -89,8 +122,8 @@ let study_of_mpis bench orig_mpi clone_mpi =
   in
   { bench; correlation = Stats.pearson (rel clone_mpi) (rel orig_mpi); orig_mpi; clone_mpi }
 
-let cache_studies settings pipelines =
-  List.map
+let cache_studies ?(pool = Pool.serial) settings pipelines =
+  Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
       let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
@@ -145,12 +178,12 @@ type base_run = {
   power_clone : float;
 }
 
-let base_runs settings pipelines =
+let base_runs ?(pool = Pool.serial) settings pipelines =
   let cfg = Config.base in
-  List.map
+  Pool.map pool
     (fun (p : Pipeline.t) ->
-      let ro = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
-      let rc = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      let ro = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
+      let rc = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
       {
         bench = p.Pipeline.name;
         ipc_orig = ro.Sim.ipc;
@@ -229,24 +262,24 @@ type change_result = {
   avg_power_error : float;
 }
 
-let run_design_changes settings pipelines =
+let run_design_changes ?(pool = Pool.serial) settings pipelines =
   let base_cfg = Config.base in
   (* Base-configuration runs, shared by every change. *)
   let base =
-    List.map
+    Pool.map pool
       (fun (p : Pipeline.t) ->
-        let ro = Sim.run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.original in
-        let rc = Sim.run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.clone in
+        let ro = sim_run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.original in
+        let rc = sim_run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.clone in
         (p, ro, rc))
       pipelines
   in
   List.map
     (fun { change; config } ->
       let rows =
-        List.map
+        Pool.map pool
           (fun ((p : Pipeline.t), base_orig, base_clone) ->
-            let new_orig = Sim.run ~max_instrs:settings.sim_instrs config p.Pipeline.original in
-            let new_clone = Sim.run ~max_instrs:settings.sim_instrs config p.Pipeline.clone in
+            let new_orig = sim_run ~max_instrs:settings.sim_instrs config p.Pipeline.original in
+            let new_clone = sim_run ~max_instrs:settings.sim_instrs config p.Pipeline.clone in
             let ipc_ratio_orig = new_orig.Sim.ipc /. base_orig.Sim.ipc in
             let ipc_ratio_clone = new_clone.Sim.ipc /. base_clone.Sim.ipc in
             let pw_ratio_orig =
@@ -342,16 +375,16 @@ type bpred_study = {
   bp_clone_rates : float array;
 }
 
-let bpred_studies settings pipelines =
+let bpred_studies ?(pool = Pool.serial) settings pipelines =
   let rates program =
     Array.of_list
       (List.map
          (fun bp ->
            let cfg = Config.with_bpred bp Config.base in
-           Sim.mispredict_rate (Sim.run ~max_instrs:settings.sim_instrs cfg program))
+           Sim.mispredict_rate (sim_run ~max_instrs:settings.sim_instrs cfg program))
          bpred_configs)
   in
-  List.map
+  Pool.map pool
     (fun (p : Pipeline.t) ->
       let bp_orig_rates = rates p.Pipeline.original in
       let bp_clone_rates = rates p.Pipeline.clone in
@@ -384,8 +417,8 @@ type seed_robustness = {
   sr_max : float;
 }
 
-let seed_robustness ?(seeds = [ 1; 2; 3; 4; 5 ]) settings pipelines =
-  List.map
+let seed_robustness ?(pool = Pool.serial) ?(seeds = [ 1; 2; 3; 4; 5 ]) settings pipelines =
+  Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
       let correlations =
@@ -430,12 +463,12 @@ type statsim_row = {
   ss_ipc_statsim : float;
 }
 
-let statsim_comparison settings pipelines =
+let statsim_comparison ?(pool = Pool.serial) settings pipelines =
   let cfg = Config.base in
-  List.map
+  Pool.map pool
     (fun (p : Pipeline.t) ->
-      let ro = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
-      let rc = Sim.run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      let ro = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
+      let rc = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
       let rs =
         Pc_statsim.Statsim.estimate ~seed:settings.seed
           ~instrs:(min 200_000 settings.sim_instrs) cfg p.Pipeline.profile
@@ -475,8 +508,8 @@ type portable_row = {
   po_kc_correlation : float;
 }
 
-let portable_comparison settings pipelines =
-  List.map
+let portable_comparison ?(pool = Pool.serial) settings pipelines =
+  Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
       let asm_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
@@ -514,8 +547,8 @@ type ablation_row = {
   dep_correlation : float;
 }
 
-let ablation settings pipelines =
-  List.map
+let ablation ?(pool = Pool.serial) settings pipelines =
+  Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
       let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in

@@ -19,8 +19,21 @@ val quick_settings : settings
 (** A fast configuration for tests and the quickstart example: 300k
     profile instructions, 500k simulated, and only five benchmarks. *)
 
-val prepare : settings -> Pipeline.t list
-(** Run the cloning pipeline for the selected benchmarks. *)
+val prepare : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list
+(** Run the cloning pipeline for the selected benchmarks, fanning the
+    per-benchmark work out through [pool] (default: serial).  Results
+    are in registry order and bit-identical at every pool width. *)
+
+val clear_caches : unit -> unit
+(** Empty the memo stores ({!trace_store}, {!sim_store} and
+    {!Pipeline.profile_store}) and reset their counters.  Tests use this
+    to compare truly cold serial and parallel runs. *)
+
+val trace_store : (string, float array) Pc_exec.Store.t
+(** 28-cache-study MPI series, keyed by a digest of (program, budget). *)
+
+val sim_store : (string, Pc_uarch.Sim.result) Pc_exec.Store.t
+(** Timing-model results, keyed by a digest of (config, program, budget). *)
 
 (** {1 Figure 3 — single-stride coverage} *)
 
@@ -39,7 +52,8 @@ type cache_study = {
   clone_mpi : float array;
 }
 
-val cache_studies : settings -> Pipeline.t list -> cache_study list
+val cache_studies :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> cache_study list
 
 val average_correlation : cache_study list -> float
 
@@ -62,7 +76,7 @@ type base_run = {
   power_clone : float;
 }
 
-val base_runs : settings -> Pipeline.t list -> base_run list
+val base_runs : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> base_run list
 
 val avg_abs_error : (base_run -> float * float) -> base_run list -> float
 (** Average absolute relative error of a metric selector over the runs
@@ -93,7 +107,8 @@ type change_result = {
   avg_power_error : float;
 }
 
-val run_design_changes : settings -> Pipeline.t list -> change_result list
+val run_design_changes :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> change_result list
 
 val pp_table3 : Format.formatter -> change_result list -> unit
 
@@ -113,7 +128,12 @@ type seed_robustness = {
   sr_max : float;
 }
 
-val seed_robustness : ?seeds:int list -> settings -> Pipeline.t list -> seed_robustness list
+val seed_robustness :
+  ?pool:Pc_exec.Pool.t ->
+  ?seeds:int list ->
+  settings ->
+  Pipeline.t list ->
+  seed_robustness list
 (** Regenerate each clone under several seeds (default [1; 2; 3; 4; 5])
     and measure the spread of the cache-study correlation: the sampling
     in the generator must not make clone quality a lottery. *)
@@ -129,7 +149,8 @@ type statsim_row = {
   ss_ipc_statsim : float;  (** IPC estimated by statistical simulation *)
 }
 
-val statsim_comparison : settings -> Pipeline.t list -> statsim_row list
+val statsim_comparison :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> statsim_row list
 (** Base-configuration IPC: original vs clone vs the trace-based
     statistical-simulation estimate (see {!Pc_statsim.Statsim}). *)
 
@@ -150,7 +171,8 @@ type bpred_study = {
   bp_clone_rates : float array;
 }
 
-val bpred_studies : settings -> Pipeline.t list -> bpred_study list
+val bpred_studies :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> bpred_study list
 (** The analogue of the 28-cache study for branch predictors: simulate
     original and clone under every {!bpred_configs} entry and correlate
     misprediction rates.  Supports the paper's claim that the clone
@@ -166,7 +188,8 @@ type portable_row = {
   po_kc_correlation : float;  (** cache-study R of the Kc-source clone, compiled *)
 }
 
-val portable_comparison : settings -> Pipeline.t list -> portable_row list
+val portable_comparison :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> portable_row list
 (** The paper's Section-6 portability extension: clones generated as Kc
     source ({!Pc_synth.Portable}) and compiled with the Kc back end,
     compared on the 28-cache study against the direct SRISC clones. *)
@@ -181,6 +204,7 @@ type ablation_row = {
   dep_correlation : float;  (** the microarchitecture-dependent baseline's R *)
 }
 
-val ablation : settings -> Pipeline.t list -> ablation_row list
+val ablation :
+  ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> ablation_row list
 
 val pp_ablation : Format.formatter -> ablation_row list -> unit

@@ -5,6 +5,13 @@ type t = {
   clone : Pc_isa.Program.t;
 }
 
+(* Profiling is the most expensive stage of the pipeline; every driver in
+   one [run_experiments all] invocation shares these results.  Keyed by
+   (benchmark, profile_instrs, seed) — the registry compiles each
+   benchmark deterministically, so the name identifies the program. *)
+let profile_store : (string * int * int, Pc_profile.Profile.t) Pc_exec.Store.t =
+  Pc_exec.Store.create ~initial_size:32 ()
+
 let clone_program ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 100_000)
     program =
   let profile = Pc_profile.Collector.profile ~max_instrs:profile_instrs program in
@@ -12,10 +19,17 @@ let clone_program ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 1
   let clone = Pc_synth.Synth.generate ~options profile in
   { name = program.Pc_isa.Program.name; original = program; profile; clone }
 
-let clone_benchmark ?seed ?profile_instrs ?target_dynamic name =
+let clone_benchmark ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 100_000)
+    name =
   let entry = Pc_workloads.Registry.find name in
-  clone_program ?seed ?profile_instrs ?target_dynamic
-    (Pc_workloads.Registry.compile entry)
+  let program = Pc_workloads.Registry.compile entry in
+  let profile =
+    Pc_exec.Store.find_or_compute profile_store (name, profile_instrs, seed)
+      (fun () -> Pc_profile.Collector.profile ~max_instrs:profile_instrs program)
+  in
+  let options = { Pc_synth.Synth.default_options with seed; target_dynamic } in
+  let clone = Pc_synth.Synth.generate ~options profile in
+  { name = program.Pc_isa.Program.name; original = program; profile; clone }
 
 let microdep_baseline ?(seed = 1) ~reference t =
   let targets = Pc_synth.Microdep.measure_targets reference t.original in

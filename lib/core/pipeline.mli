@@ -26,7 +26,16 @@ val clone_program :
 val clone_benchmark :
   ?seed:int -> ?profile_instrs:int -> ?target_dynamic:int -> string -> t
 (** [clone_benchmark name] runs the pipeline on a workload from
-    {!Pc_workloads.Registry}.  Raises [Not_found] for unknown names. *)
+    {!Pc_workloads.Registry}.  Raises [Not_found] for unknown names.
+
+    Profiles are memoized in {!profile_store} under
+    [(name, profile_instrs, seed)]: within one process, repeated drivers
+    with identical settings trigger exactly one profile collection per
+    benchmark. *)
+
+val profile_store : (string * int * int, Pc_profile.Profile.t) Pc_exec.Store.t
+(** The shared profile memo store.  Exposed so tests can assert hit/miss
+    behaviour and so long-running hosts can [Pc_exec.Store.clear] it. *)
 
 val microdep_baseline :
   ?seed:int -> reference:Pc_uarch.Config.t -> t -> Pc_isa.Program.t

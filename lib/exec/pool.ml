@@ -1,0 +1,87 @@
+type t = { num_domains : int }
+
+let create ~num_domains =
+  if num_domains < 1 then
+    invalid_arg "Pc_exec.Pool.create: num_domains must be at least 1";
+  { num_domains }
+
+let serial = { num_domains = 1 }
+let num_domains t = t.num_domains
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "PC_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Domain.recommended_domain_count ()
+
+(* True while the current domain is executing batch tasks, so tasks
+   cannot start a second batch of their own. *)
+let inside_batch = Domain.DLS.new_key (fun () -> false)
+
+type 'b outcome = ('b, exn * Printexc.raw_backtrace) result
+
+(* Run every task, even if some raise: per-task capture, then [map]
+   re-raises after the batch has drained.  Tasks are claimed through an
+   atomic counter; each result slot is written by exactly one domain and
+   read only after every worker has been joined. *)
+let run_batch pool tasks =
+  let n = Array.length tasks in
+  let results : 'b outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let work () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          Some
+            (match tasks.(i) () with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let worker () =
+    Domain.DLS.set inside_batch true;
+    work ()
+  in
+  let helpers =
+    let wanted = max 0 (min (pool.num_domains - 1) (n - 1)) in
+    let rec spawn k acc =
+      if k = 0 then acc
+      else
+        match Domain.spawn worker with
+        | d -> spawn (k - 1) (d :: acc)
+        | exception _ -> acc (* no more domains: degrade towards serial *)
+    in
+    spawn wanted []
+  in
+  Domain.DLS.set inside_batch true;
+  work ();
+  Domain.DLS.set inside_batch false;
+  List.iter Domain.join helpers;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let map pool f xs =
+  if Domain.DLS.get inside_batch then
+    invalid_arg "Pc_exec.Pool.map: nested map inside a pool task";
+  match xs with
+  | [] -> []
+  | xs ->
+    let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
+    let results = run_batch pool tasks in
+    let first_error = ref None in
+    Array.iter
+      (fun r ->
+        match (r, !first_error) with
+        | Error e, None -> first_error := Some e
+        | _ -> ())
+      results;
+    (match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Ok v -> v | Error _ -> assert false) results)
+
+let map_reduce pool ~f ~reduce ~init xs =
+  List.fold_left (fun acc v -> reduce acc v) init (map pool f xs)

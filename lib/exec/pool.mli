@@ -1,0 +1,50 @@
+(** Deterministic domain-based worker pool.
+
+    Experiment drivers fan per-benchmark and per-configuration work out
+    through a pool.  Results are always returned in input order, and a
+    task sees no state from any other task, so for the pure, seeded
+    computations of this code base [map pool f xs] is observably
+    identical to [List.map f xs] at every pool width — the
+    determinism-under-parallelism invariant the test suite checks.
+
+    A pool is a lightweight value (no resident worker domains): each
+    batch spawns up to [num_domains - 1] helper domains, the calling
+    domain participates too, and everything is joined before [map]
+    returns.  If [Domain.spawn] fails (domain limit reached), the batch
+    gracefully degrades to fewer workers, down to fully serial. *)
+
+type t
+
+val create : num_domains:int -> t
+(** [create ~num_domains] returns a pool running batches on at most
+    [num_domains] domains (including the calling domain).  Raises
+    [Invalid_argument] when [num_domains < 1]. *)
+
+val serial : t
+(** A pool with [num_domains = 1]: [map serial] runs every task in the
+    calling domain, with the same exception semantics as a parallel
+    batch. *)
+
+val num_domains : t -> int
+
+val default_jobs : unit -> int
+(** The [PC_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()].  Used as the default
+    for [run_experiments -j]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], in parallel
+    across the pool's domains, and returns the results in input order.
+
+    Exceptions raised by [f] are captured per task; the whole batch
+    still drains (every task runs), and afterwards the exception of the
+    earliest failing input is re-raised with its backtrace — so the
+    raised exception does not depend on scheduling.
+
+    Calling [map] from inside a pool task raises [Invalid_argument]:
+    nested batches could deadlock the domain budget and are always a
+    layering bug in this code base. *)
+
+val map_reduce : t -> f:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce pool ~f ~reduce ~init xs] maps [f] over [xs] through the
+    pool, then folds [reduce] over the results in input order. *)

@@ -1,0 +1,52 @@
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(initial_size = 64) () =
+  {
+    table = Hashtbl.create initial_size;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let find_or_compute t key compute =
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+    (* Compute outside the lock so concurrent misses on different keys
+       do not serialize.  A concurrent miss on the same key computes the
+       same (deterministic) value; the first insert wins. *)
+    let v = compute () in
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.add t.table key v;
+          v)
+
+let find_opt t key =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
+
+let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let misses t = Mutex.protect t.lock (fun () -> t.misses)
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -1,0 +1,39 @@
+(** Keyed, domain-safe memoization of expensive artefacts.
+
+    One [run_experiments all] invocation runs many drivers over the same
+    pipelines; without memoization each driver re-profiles benchmarks and
+    re-simulates traces that an earlier driver already computed.  A store
+    caches those results under an explicit key — profiles under
+    [(benchmark, profile_instrs, seed)], simulation results under a
+    digest of [(program, config, budget)] — so nothing is computed twice.
+
+    Stores are safe to share across {!Pool} workers.  When two domains
+    miss on the same key concurrently, both compute, the first insert
+    wins and every caller observes that single stored value; because all
+    computations in this code base are deterministic, the racing values
+    are identical and results do not depend on scheduling.  The
+    hit/miss counters count lookups, not insertions. *)
+
+type ('k, 'v) t
+
+val create : ?initial_size:int -> unit -> ('k, 'v) t
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t key compute] returns the cached value for [key],
+    or runs [compute ()] (outside the store's lock) and caches it.  If
+    [compute] raises, nothing is cached and the exception propagates. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without computing; does not touch the hit/miss counters. *)
+
+val hits : ('k, 'v) t -> int
+(** Number of [find_or_compute] calls answered from the cache. *)
+
+val misses : ('k, 'v) t -> int
+(** Number of [find_or_compute] calls that had to compute. *)
+
+val length : ('k, 'v) t -> int
+(** Number of cached entries. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries and reset both counters. *)

@@ -39,15 +39,14 @@ let names = List.map (fun e -> e.name) all
 
 let find name = List.find (fun e -> e.name = name) all
 
-let compiled_cache : (string, Pc_isa.Program.t) Hashtbl.t = Hashtbl.create 32
+(* Domain-safe: [compile] is called from pool workers when experiment
+   drivers prepare benchmarks in parallel. *)
+let compiled_store : (string, Pc_isa.Program.t) Pc_exec.Store.t =
+  Pc_exec.Store.create ~initial_size:32 ()
 
 let compile e =
-  match Hashtbl.find_opt compiled_cache e.name with
-  | Some p -> p
-  | None ->
-    let p = Pc_kc.Compile.compile ~name:e.name e.prog in
-    Hashtbl.add compiled_cache e.name p;
-    p
+  Pc_exec.Store.find_or_compute compiled_store e.name (fun () ->
+      Pc_kc.Compile.compile ~name:e.name e.prog)
 
 let domains =
   let order = [ "automotive"; "network"; "security"; "telecom"; "consumer"; "office" ] in

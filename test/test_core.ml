@@ -6,6 +6,12 @@ module Pipeline = Perfclone.Pipeline
 module E = Perfclone.Experiments
 module Stats = Pc_stats.Stats
 
+(* Honours PC_JOBS (the CI parallel job exports PC_JOBS=4), so this
+   whole suite doubles as an exercise of the pool's parallel path; by
+   the determinism-under-parallelism invariant the assertions cannot
+   depend on the width. *)
+let pool = Pc_exec.Pool.create ~num_domains:(Pc_exec.Pool.default_jobs ())
+
 let settings =
   {
     E.seed = 1;
@@ -16,7 +22,7 @@ let settings =
   }
 
 (* Shared across tests (expensive to build). *)
-let pipelines = lazy (E.prepare settings)
+let pipelines = lazy (E.prepare ~pool settings)
 
 let test_prepare () =
   let ps = Lazy.force pipelines in
@@ -28,6 +34,30 @@ let test_prepare () =
       Alcotest.(check bool) "clone nonempty" true
         (Pc_isa.Program.length p.Pipeline.clone > 10))
     ps
+
+let test_profile_memoized () =
+  (* Two drivers sharing prepare's settings must trigger exactly one
+     profile collection per benchmark; the second pass is answered
+     entirely from Pipeline.profile_store.  A profile budget unused by
+     any other test keeps the counter deltas unambiguous. *)
+  let s = { settings with E.profile_instrs = 123_456 } in
+  let store = Pipeline.profile_store in
+  let hits0 = Pc_exec.Store.hits store and misses0 = Pc_exec.Store.misses store in
+  let first = E.prepare ~pool s in
+  Alcotest.(check int) "one collection per benchmark"
+    (List.length first)
+    (Pc_exec.Store.misses store - misses0);
+  let second = E.prepare ~pool s in
+  Alcotest.(check int) "second driver hits the store"
+    (List.length first)
+    (Pc_exec.Store.hits store - hits0);
+  Alcotest.(check int) "no extra collections" (List.length first)
+    (Pc_exec.Store.misses store - misses0);
+  List.iter2
+    (fun (a : Pipeline.t) (b : Pipeline.t) ->
+      Alcotest.(check bool) "memoized profile gives identical clone" true
+        (a.Pipeline.clone.Pc_isa.Program.code = b.Pipeline.clone.Pc_isa.Program.code))
+    first second
 
 let test_pipeline_determinism () =
   let p1 = Pipeline.clone_benchmark ~seed:7 ~profile_instrs:100_000 "crc32" in
@@ -46,7 +76,7 @@ let test_fig3 () =
   Alcotest.(check bool) "sha mostly single-stride" true (List.assoc "sha" rows > 0.9)
 
 let test_fig4_correlations () =
-  let studies = E.cache_studies settings (Lazy.force pipelines) in
+  let studies = E.cache_studies ~pool settings (Lazy.force pipelines) in
   Alcotest.(check int) "one study per benchmark" 4 (List.length studies);
   List.iter
     (fun (s : E.cache_study) ->
@@ -59,7 +89,7 @@ let test_fig4_correlations () =
     (E.average_correlation studies > 0.7)
 
 let test_fig5_rankings () =
-  let studies = E.cache_studies settings (Lazy.force pipelines) in
+  let studies = E.cache_studies ~pool settings (Lazy.force pipelines) in
   let scatter = E.rankings_scatter studies in
   Alcotest.(check int) "28 points" 28 (Array.length scatter);
   (* points near the diagonal: strong rank correlation *)
@@ -67,7 +97,7 @@ let test_fig5_rankings () =
   Alcotest.(check bool) "rank correlation > 0.8" true (Stats.spearman xs ys > 0.8)
 
 let test_fig6_fig7_errors () =
-  let runs = E.base_runs settings (Lazy.force pipelines) in
+  let runs = E.base_runs ~pool settings (Lazy.force pipelines) in
   List.iter
     (fun (r : E.base_run) ->
       Alcotest.(check bool) "IPC positive" true (r.E.ipc_orig > 0.0 && r.E.ipc_clone > 0.0);
@@ -87,7 +117,7 @@ let test_design_changes_structure () =
   Alcotest.(check int) "distinct configs" 5 (List.length (List.sort_uniq compare names))
 
 let test_table3_relative_errors () =
-  let results = E.run_design_changes settings (Lazy.force pipelines) in
+  let results = E.run_design_changes ~pool settings (Lazy.force pipelines) in
   Alcotest.(check int) "five results" 5 (List.length results);
   List.iter
     (fun (r : E.change_result) ->
@@ -102,7 +132,7 @@ let test_table3_relative_errors () =
     results
 
 let test_width_change_speedups_tracked () =
-  let results = E.run_design_changes settings (Lazy.force pipelines) in
+  let results = E.run_design_changes ~pool settings (Lazy.force pipelines) in
   let width = List.nth results 2 in
   (* doubling the width speeds up both real and clone *)
   List.iter
@@ -113,7 +143,7 @@ let test_width_change_speedups_tracked () =
     width.E.per_bench
 
 let test_ablation_indep_beats_dep () =
-  let rows = E.ablation settings (Lazy.force pipelines) in
+  let rows = E.ablation ~pool settings (Lazy.force pipelines) in
   Alcotest.(check int) "4 rows" 4 (List.length rows);
   let avg f = Stats.mean (Array.of_list (List.map f rows)) in
   let indep = avg (fun r -> r.E.indep_correlation) in
@@ -139,6 +169,7 @@ let () =
       ( "pipeline",
         [
           Alcotest.test_case "prepare" `Slow test_prepare;
+          Alcotest.test_case "profile memoization" `Slow test_profile_memoized;
           Alcotest.test_case "determinism" `Slow test_pipeline_determinism;
           Alcotest.test_case "C dissemination artefact" `Slow test_c_source;
           Alcotest.test_case "microdep baseline runs" `Slow test_microdep_baseline_runs;

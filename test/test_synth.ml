@@ -12,19 +12,12 @@ module Synth = Pc_synth.Synth
 module Microdep = Pc_synth.Microdep
 module Render = Pc_synth.Render
 
-let profile_of name =
-  let entry = Pc_workloads.Registry.find name in
-  Collector.profile ~max_instrs:300_000 (Pc_workloads.Registry.compile entry)
-
-let profile_cache : (string, Profile.t) Hashtbl.t = Hashtbl.create 8
+let profile_store : (string, Profile.t) Pc_exec.Store.t = Pc_exec.Store.create ()
 
 let profile name =
-  match Hashtbl.find_opt profile_cache name with
-  | Some p -> p
-  | None ->
-    let p = profile_of name in
-    Hashtbl.add profile_cache name p;
-    p
+  Pc_exec.Store.find_or_compute profile_store name (fun () ->
+      let entry = Pc_workloads.Registry.find name in
+      Collector.profile ~max_instrs:300_000 (Pc_workloads.Registry.compile entry))
 
 let clone_of ?(options = Synth.default_options) name =
   Synth.generate ~options (profile name)
