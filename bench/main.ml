@@ -7,7 +7,11 @@
    at the quick experiment settings — the same rows/series the paper
    reports.
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe -- [--json FILE] [--no-series]
+
+   --json writes the timings in the stable pc-bench/1 schema (see
+   EXPERIMENTS.md) so CI can archive them run over run; --no-series skips
+   the table/figure regeneration after the timings. *)
 
 open Bechamel
 module E = Perfclone.Experiments
@@ -87,19 +91,52 @@ let run_timings () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   Format.printf "== Bechamel timings (per regeneration, reduced workload) ==@.";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg instances elt in
           let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let name = Test.Elt.name elt in
           match Analyze.OLS.estimates est with
           | Some (t :: _) ->
-            Format.printf "  %-34s %12.4f ms/run@." (Test.Elt.name elt) (t /. 1e6)
+            Format.printf "  %-34s %12.4f ms/run@." name (t /. 1e6);
+            (name, Some (t /. 1e6))
           | Some [] | None ->
-            Format.printf "  %-34s (no estimate)@." (Test.Elt.name elt))
+            Format.printf "  %-34s (no estimate)@." name;
+            (name, None))
         (Test.elements test))
     tests
+
+(* Schema "pc-bench/1" (documented in EXPERIMENTS.md): results in test
+   order; [ms_per_run] is null when OLS produced no estimate. *)
+let write_json path rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"pc-bench/1\",\"results\":[";
+  List.iteri
+    (fun i (name, ms) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":\"";
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        name;
+      Buffer.add_string b "\",\"ms_per_run\":";
+      (match ms with
+      | Some v -> Buffer.add_string b (Printf.sprintf "%.6f" v)
+      | None -> Buffer.add_string b "null");
+      Buffer.add_char b '}')
+    rows;
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b))
 
 let print_series () =
   Format.printf "@.== Paper tables and figures (quick settings) ==@.";
@@ -121,6 +158,26 @@ let print_series () =
   E.pp_statsim Format.std_formatter (E.statsim_comparison s ps);
   E.pp_portable Format.std_formatter (E.portable_comparison s ps)
 
-let () =
-  run_timings ();
-  print_series ()
+open Cmdliner
+
+let main json no_series =
+  let rows = run_timings () in
+  Option.iter (fun path -> write_json path rows) json;
+  if not no_series then print_series ()
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the timings as JSON (schema $(b,pc-bench/1)) to $(docv).")
+
+let no_series_arg =
+  Arg.(value & flag
+       & info [ "no-series" ]
+           ~doc:"Skip regenerating the paper tables/figures after the timings.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"benchmark the experiment pipeline")
+    Term.(const main $ json_arg $ no_series_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -11,6 +11,10 @@
 
 open Cmdliner
 
+let log_src = Logs.Src.create "clone_gen" ~doc:"Dissemination-tool progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 let with_out path f =
   match path with
   | None -> f stdout
@@ -31,8 +35,9 @@ let cmd_list () =
       List.iter (fun n -> Printf.printf "%-14s %s\n" n domain) names)
     Pc_workloads.Registry.domains
 
-let cmd_profile bench output instrs =
+let cmd_profile () bench output instrs =
   let program = load_bench bench in
+  Log.info (fun m -> m "profiling %s (%d dynamic instructions)" bench instrs);
   let profile = Pc_profile.Collector.profile ~max_instrs:instrs program in
   with_out output (fun oc -> Pc_profile.Profile.save oc profile);
   Format.eprintf "%a" Pc_profile.Profile.pp_summary profile
@@ -44,24 +49,30 @@ let emit_clone clone fmt output =
       | "bin" -> Pc_isa.Encoding.write oc clone
       | "asm" | _ -> output_string oc (Pc_isa.Parser.roundtrip_text clone))
 
-let cmd_synth profile_path output fmt seed dynamic =
+let cmd_synth () profile_path output fmt seed dynamic =
   let ic = open_in profile_path in
   let profile =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Pc_profile.Profile.load ic)
   in
+  Log.info (fun m -> m "synthesizing clone from %s (seed %d)" profile_path seed);
   let options =
     { Pc_synth.Synth.default_options with seed; target_dynamic = dynamic }
   in
   let clone = Pc_synth.Synth.generate ~options profile in
-  emit_clone clone fmt output
+  emit_clone clone fmt output;
+  Log.info (fun m -> m "wrote %s clone to %s" fmt
+               (Option.value output ~default:"<stdout>"))
 
-let cmd_clone bench output fmt seed instrs dynamic =
+let cmd_clone () bench output fmt seed instrs dynamic =
   let program = load_bench bench in
+  Log.info (fun m -> m "cloning %s (profile %d instrs, seed %d)" bench instrs seed);
   let pipeline =
     Perfclone.Pipeline.clone_program ~seed ~profile_instrs:instrs
       ~target_dynamic:dynamic program
   in
-  emit_clone pipeline.Perfclone.Pipeline.clone fmt output
+  emit_clone pipeline.Perfclone.Pipeline.clone fmt output;
+  Log.info (fun m -> m "wrote %s clone to %s" fmt
+               (Option.value output ~default:"<stdout>"))
 
 (* --- command line --- *)
 
@@ -92,21 +103,35 @@ let profile_arg =
   Arg.(required & opt (some string) None & info [ "p"; "profile" ] ~docv:"FILE"
          ~doc:"Profile file produced by 'clone_gen profile'.")
 
+let setup_term =
+  let verbose_arg =
+    Arg.(value & flag_all
+         & info [ "v"; "verbose" ] ~doc:"Increase log verbosity (repeatable).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Log errors only.")
+  in
+  let setup verbose quiet =
+    Pc_obs.Logging.setup ~quiet ~verbosity:(List.length verbose) ()
+  in
+  Term.(const setup $ verbose_arg $ quiet_arg)
+
 let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list available benchmarks")
     Term.(const cmd_list $ const ())
 
 let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc:"profile a workload")
-    Term.(const cmd_profile $ bench_pos $ output_arg $ instrs_arg)
+    Term.(const cmd_profile $ setup_term $ bench_pos $ output_arg $ instrs_arg)
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"synthesize a clone from a saved profile")
-    Term.(const cmd_synth $ profile_arg $ output_arg $ format_arg $ seed_arg $ dynamic_arg)
+    Term.(const cmd_synth $ setup_term $ profile_arg $ output_arg $ format_arg
+          $ seed_arg $ dynamic_arg)
 
 let clone_cmd =
   Cmd.v (Cmd.info "clone" ~doc:"profile and synthesize in one step")
-    Term.(const cmd_clone $ bench_pos $ output_arg $ format_arg $ seed_arg $ instrs_arg
-          $ dynamic_arg)
+    Term.(const cmd_clone $ setup_term $ bench_pos $ output_arg $ format_arg
+          $ seed_arg $ instrs_arg $ dynamic_arg)
 
 let main_cmd =
   Cmd.group

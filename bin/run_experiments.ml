@@ -2,13 +2,16 @@
 
    Usage:
      run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
+                     [--metrics] [--metrics-out FILE] [-v] [--quiet]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
    ablation all (default: all).
 
    Per-benchmark and per-configuration work fans out over -j worker
    domains; all randomness is seeded per pipeline, so the output is
-   byte-identical at every -j. *)
+   byte-identical at every -j.  Observability output (progress logs, the
+   --metrics console report) goes to stderr, and --metrics-out writes to
+   a file, so none of it can perturb the experiment tables on stdout. *)
 
 module E = Perfclone.Experiments
 module Pool = Pc_exec.Pool
@@ -43,7 +46,9 @@ let print_table2 () =
   Format.fprintf pp "  memory latency: %d cycles@."
     c.Pc_uarch.Config.dcache.Pc_caches.Hierarchy.mem_latency
 
-let main experiments quick benches seed jobs =
+let main experiments quick benches seed jobs metrics metrics_out verbosity quiet =
+  Pc_obs.Logging.setup ~quiet ~verbosity ();
+  if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
   let pool = Pool.create ~num_domains:jobs in
   let settings =
     let base = if quick then E.quick_settings else E.default_settings in
@@ -88,7 +93,12 @@ let main experiments quick benches seed jobs =
     if wants "portable" then E.pp_portable pp (E.portable_comparison ~pool settings pipelines);
     if wants "bpred" then E.pp_bpred pp (E.bpred_studies ~pool settings pipelines);
     if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness ~pool settings pipelines)
-  end
+  end;
+  let snap = Pc_obs.Metrics.snapshot () in
+  let spans = Pc_obs.Span.roots () in
+  if metrics || Pc_obs.Metrics.env_enabled then
+    Pc_obs.Sink.pp_console Format.err_formatter snap spans;
+  Option.iter (fun path -> Pc_obs.Sink.write_json path snap spans) metrics_out
 
 open Cmdliner
 
@@ -130,10 +140,38 @@ let jobs_arg =
     & opt positive_int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Print the observability report (metrics registry and per-stage span \
+     tree) to stderr after the run.  Setting $(b,PC_OBS=1) in the \
+     environment has the same effect."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the observability report as JSON (schema $(b,pc-obs/1)) to \
+     $(docv).  Implies metric and span collection, but not the stderr \
+     report."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Increase log verbosity (per-benchmark progress is shown by default; $(b,-v) adds debug detail)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let quiet_arg =
+  let doc = "Log errors only." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
 let cmd =
   let doc = "regenerate the Performance Cloning paper's tables and figures" in
   Cmd.v
     (Cmd.info "run_experiments" ~doc)
-    Term.(const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
+      $ metrics_arg $ metrics_out_arg
+      $ (const List.length $ verbose_arg)
+      $ quiet_arg)
 
 let () = exit (Cmd.eval cmd)

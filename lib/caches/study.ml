@@ -16,10 +16,15 @@ let reference_index = 0
 
 type result = { config : Cache.config; misses : int; accesses : int; mpi : float }
 
+let c_runs = Pc_obs.Metrics.counter "study.runs"
+let c_refs = Pc_obs.Metrics.counter "study.trace_refs"
+
 let run_trace feed =
   let caches = Array.map Cache.create configs in
   let emit addr = Array.iter (fun c -> ignore (Cache.access c addr)) caches in
   let instrs = feed emit in
+  Pc_obs.Metrics.incr c_runs;
+  Pc_obs.Metrics.add c_refs (Cache.accesses caches.(reference_index));
   Array.map2
     (fun config cache ->
       {

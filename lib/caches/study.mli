@@ -20,7 +20,9 @@ val run_trace : ((int -> unit) -> int) -> result array
 (** [run_trace feed] simulates all 28 caches in one pass over a memory
     reference trace.  [feed emit] must call [emit addr] for every data
     reference and return the total dynamic instruction count (the
-    misses-per-instruction denominator). *)
+    misses-per-instruction denominator).  Each completed pass bumps the
+    global [study.runs] counter and adds the trace's reference count to
+    [study.trace_refs]. *)
 
 val relative_mpi : result array -> float array
 (** The paper's Figure-4 series: misses-per-instruction of each of the 27

@@ -7,6 +7,11 @@ module Power = Pc_power.Power
 module Profile = Pc_profile.Profile
 module Pool = Pc_exec.Pool
 module Store = Pc_exec.Store
+module Span = Pc_obs.Span
+
+let log_src = Logs.Src.create "perfclone" ~doc:"Performance-cloning experiment progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type settings = {
   seed : int;
@@ -35,16 +40,22 @@ let quick_settings =
   }
 
 let prepare ?(pool = Pool.serial) settings =
+  Span.with_ "prepare" @@ fun () ->
   let names =
     match settings.benchmarks with
     | [] -> Pc_workloads.Registry.names
     | names -> names
   in
+  Log.info (fun m -> m "preparing %d benchmark pipelines" (List.length names));
   Pool.map pool
     (fun name ->
-      Pipeline.clone_benchmark ~seed:settings.seed
-        ~profile_instrs:settings.profile_instrs
-        ~target_dynamic:settings.clone_dynamic name)
+      let p =
+        Pipeline.clone_benchmark ~seed:settings.seed
+          ~profile_instrs:settings.profile_instrs
+          ~target_dynamic:settings.clone_dynamic name
+      in
+      Log.info (fun m -> m "prepared %s" name);
+      p)
     names
 
 (* --- memoized simulation primitives ---
@@ -60,8 +71,8 @@ let prepare ?(pool = Pool.serial) settings =
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 
-let trace_store : (string, float array) Store.t = Store.create ()
-let sim_store : (string, Sim.result) Store.t = Store.create ()
+let trace_store : (string, float array) Store.t = Store.create ~name:"trace" ()
+let sim_store : (string, Sim.result) Store.t = Store.create ~name:"sim" ()
 
 let clear_caches () =
   Store.clear trace_store;
@@ -123,8 +134,10 @@ let study_of_mpis bench orig_mpi clone_mpi =
   { bench; correlation = Stats.pearson (rel clone_mpi) (rel orig_mpi); orig_mpi; clone_mpi }
 
 let cache_studies ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "cache_studies" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
+      Span.with_ ("cache_study:" ^ p.Pipeline.name) @@ fun () ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
       let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
       study_of_mpis p.Pipeline.name orig_mpi clone_mpi)
@@ -179,9 +192,11 @@ type base_run = {
 }
 
 let base_runs ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "base_runs" @@ fun () ->
   let cfg = Config.base in
   Pool.map pool
     (fun (p : Pipeline.t) ->
+      Span.with_ ("base_run:" ^ p.Pipeline.name) @@ fun () ->
       let ro = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
       let rc = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
       {
@@ -263,6 +278,7 @@ type change_result = {
 }
 
 let run_design_changes ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "design_changes" @@ fun () ->
   let base_cfg = Config.base in
   (* Base-configuration runs, shared by every change. *)
   let base =
@@ -376,6 +392,7 @@ type bpred_study = {
 }
 
 let bpred_studies ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "bpred" @@ fun () ->
   let rates program =
     Array.of_list
       (List.map
@@ -418,6 +435,7 @@ type seed_robustness = {
 }
 
 let seed_robustness ?(pool = Pool.serial) ?(seeds = [ 1; 2; 3; 4; 5 ]) settings pipelines =
+  Span.with_ "seeds" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
@@ -464,6 +482,7 @@ type statsim_row = {
 }
 
 let statsim_comparison ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "statsim" @@ fun () ->
   let cfg = Config.base in
   Pool.map pool
     (fun (p : Pipeline.t) ->
@@ -509,6 +528,7 @@ type portable_row = {
 }
 
 let portable_comparison ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "portable" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
@@ -548,6 +568,7 @@ type ablation_row = {
 }
 
 let ablation ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "ablation" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
       let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in

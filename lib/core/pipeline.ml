@@ -10,25 +10,40 @@ type t = {
    (benchmark, profile_instrs, seed) — the registry compiles each
    benchmark deterministically, so the name identifies the program. *)
 let profile_store : (string * int * int, Pc_profile.Profile.t) Pc_exec.Store.t =
-  Pc_exec.Store.create ~initial_size:32 ()
+  Pc_exec.Store.create ~initial_size:32 ~name:"profile" ()
 
 let clone_program ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 100_000)
     program =
-  let profile = Pc_profile.Collector.profile ~max_instrs:profile_instrs program in
+  let profile =
+    Pc_obs.Span.with_ ("profile:" ^ program.Pc_isa.Program.name) (fun () ->
+        Pc_profile.Collector.profile ~max_instrs:profile_instrs program)
+  in
   let options = { Pc_synth.Synth.default_options with seed; target_dynamic } in
-  let clone = Pc_synth.Synth.generate ~options profile in
+  let clone =
+    Pc_obs.Span.with_ ("synth:" ^ program.Pc_isa.Program.name) (fun () ->
+        Pc_synth.Synth.generate ~options profile)
+  in
   { name = program.Pc_isa.Program.name; original = program; profile; clone }
 
 let clone_benchmark ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic = 100_000)
     name =
+  Pc_obs.Span.with_ ("pipeline:" ^ name) @@ fun () ->
   let entry = Pc_workloads.Registry.find name in
-  let program = Pc_workloads.Registry.compile entry in
+  let program =
+    Pc_obs.Span.with_ ("compile:" ^ name) (fun () ->
+        Pc_workloads.Registry.compile entry)
+  in
   let profile =
     Pc_exec.Store.find_or_compute profile_store (name, profile_instrs, seed)
-      (fun () -> Pc_profile.Collector.profile ~max_instrs:profile_instrs program)
+      (fun () ->
+        Pc_obs.Span.with_ ("profile:" ^ name) (fun () ->
+            Pc_profile.Collector.profile ~max_instrs:profile_instrs program))
   in
   let options = { Pc_synth.Synth.default_options with seed; target_dynamic } in
-  let clone = Pc_synth.Synth.generate ~options profile in
+  let clone =
+    Pc_obs.Span.with_ ("synth:" ^ name) (fun () ->
+        Pc_synth.Synth.generate ~options profile)
+  in
   { name = program.Pc_isa.Program.name; original = program; profile; clone }
 
 let microdep_baseline ?(seed = 1) ~reference t =

@@ -19,6 +19,27 @@ let inside_batch = Domain.DLS.new_key (fun () -> false)
 
 type 'b outcome = ('b, exn * Printexc.raw_backtrace) result
 
+let c_tasks = Pc_obs.Metrics.counter "exec.pool.tasks"
+let c_batches = Pc_obs.Metrics.counter "exec.pool.batches"
+let h_task_seconds = Pc_obs.Metrics.histogram "exec.pool.task_seconds"
+
+(* Count every task; time it only when observability is on (the timing
+   is two clock reads per task — cheap, but pointless when disabled). *)
+let run_task task =
+  Pc_obs.Metrics.incr c_tasks;
+  if not (Pc_obs.Metrics.enabled ()) then task ()
+  else begin
+    let t0 = Pc_obs.Span.now_s () in
+    match task () with
+    | v ->
+      Pc_obs.Metrics.observe h_task_seconds (Pc_obs.Span.now_s () -. t0);
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Pc_obs.Metrics.observe h_task_seconds (Pc_obs.Span.now_s () -. t0);
+      Printexc.raise_with_backtrace e bt
+  end
+
 (* Run every task, even if some raise: per-task capture, then [map]
    re-raises after the batch has drained.  Tasks are claimed through an
    atomic counter; each result slot is written by exactly one domain and
@@ -27,13 +48,17 @@ let run_batch pool tasks =
   let n = Array.length tasks in
   let results : 'b outcome option array = Array.make n None in
   let next = Atomic.make 0 in
+  Pc_obs.Metrics.incr c_batches;
+  (* The calling domain's open span adopts every task's spans, so
+     per-stage timings survive fan-out to worker domains. *)
+  let span_ctx = Pc_obs.Span.current_ctx () in
   let work () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         results.(i) <-
           Some
-            (match tasks.(i) () with
+            (match run_task tasks.(i) with
             | v -> Ok v
             | exception e -> Error (e, Printexc.get_raw_backtrace ()));
         loop ()
@@ -43,7 +68,7 @@ let run_batch pool tasks =
   in
   let worker () =
     Domain.DLS.set inside_batch true;
-    work ()
+    Pc_obs.Span.with_ctx span_ctx work
   in
   let helpers =
     let wanted = max 0 (min (pool.num_domains - 1) (n - 1)) in

@@ -11,7 +11,14 @@
     batch spawns up to [num_domains - 1] helper domains, the calling
     domain participates too, and everything is joined before [map]
     returns.  If [Domain.spawn] fails (domain limit reached), the batch
-    gracefully degrades to fewer workers, down to fully serial. *)
+    gracefully degrades to fewer workers, down to fully serial.
+
+    Observability: every task bumps the [exec.pool.tasks] counter and,
+    when {!Pc_obs.Metrics.enabled}, feeds the [exec.pool.task_seconds]
+    histogram; worker domains adopt the calling domain's open
+    {!Pc_obs.Span}, so spans recorded inside tasks attribute to the
+    pipeline stage that fanned them out.  None of this affects task
+    results or ordering. *)
 
 type t
 

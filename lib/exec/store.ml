@@ -3,15 +3,28 @@ type ('k, 'v) t = {
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  obs_hits : Pc_obs.Metrics.counter option;
+  obs_misses : Pc_obs.Metrics.counter option;
 }
 
-let create ?(initial_size = 64) () =
+type stats = { hit_count : int; miss_count : int; entries : int }
+
+let create ?(initial_size = 64) ?name () =
+  let obs kind =
+    Option.map
+      (fun n -> Pc_obs.Metrics.counter (Printf.sprintf "exec.store.%s.%s" n kind))
+      name
+  in
   {
     table = Hashtbl.create initial_size;
     lock = Mutex.create ();
     hits = 0;
     misses = 0;
+    obs_hits = obs "hits";
+    obs_misses = obs "misses";
   }
+
+let bump = function Some c -> Pc_obs.Metrics.incr c | None -> ()
 
 let find_or_compute t key compute =
   let cached =
@@ -25,8 +38,11 @@ let find_or_compute t key compute =
           None)
   in
   match cached with
-  | Some v -> v
+  | Some v ->
+    bump t.obs_hits;
+    v
   | None ->
+    bump t.obs_misses;
     (* Compute outside the lock so concurrent misses on different keys
        do not serialize.  A concurrent miss on the same key computes the
        same (deterministic) value; the first insert wins. *)
@@ -44,6 +60,10 @@ let find_opt t key =
 let hits t = Mutex.protect t.lock (fun () -> t.hits)
 let misses t = Mutex.protect t.lock (fun () -> t.misses)
 let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { hit_count = t.hits; miss_count = t.misses; entries = Hashtbl.length t.table })
 
 let clear t =
   Mutex.protect t.lock (fun () ->

@@ -16,7 +16,11 @@
 
 type ('k, 'v) t
 
-val create : ?initial_size:int -> unit -> ('k, 'v) t
+val create : ?initial_size:int -> ?name:string -> unit -> ('k, 'v) t
+(** [name], when given, registers the store with {!Pc_obs.Metrics}: each
+    lookup also bumps the global counters [exec.store.<name>.hits] /
+    [exec.store.<name>.misses], so memo effectiveness shows up in every
+    metrics report. *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute t key compute] returns the cached value for [key],
@@ -34,6 +38,12 @@ val misses : ('k, 'v) t -> int
 
 val length : ('k, 'v) t -> int
 (** Number of cached entries. *)
+
+type stats = { hit_count : int; miss_count : int; entries : int }
+
+val stats : ('k, 'v) t -> stats
+(** One consistent reading of all three counters (taken under the
+    store's lock, unlike three separate accessor calls). *)
 
 val clear : ('k, 'v) t -> unit
 (** Drop all entries and reset both counters. *)

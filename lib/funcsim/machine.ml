@@ -20,6 +20,7 @@ type t = {
   (* Static per-instruction metadata, precomputed so stepping does not
      allocate. *)
   classes : Instr.iclass array;
+  class_idx : int array;
   read_lists : int list array;
   write_ids : int array;
   iregs : int64 array;
@@ -28,6 +29,7 @@ type t = {
   mutable pc : int;
   mutable halted : bool;
   mutable icount : int;
+  retired : int array;  (* dynamic instructions per class index *)
   event : event;
 }
 
@@ -37,10 +39,12 @@ let load program =
   Memory.load_words mem program.Program.data;
   let iregs = Array.make Reg.count 0L in
   iregs.(Reg.sp) <- Int64.of_int Program.stack_base;
+  let classes = Array.map Instr.classify code in
   {
     program;
     code;
-    classes = Array.map Instr.classify code;
+    classes;
+    class_idx = Array.map Instr.class_index classes;
     read_lists = Array.map Instr.reads code;
     write_ids =
       Array.map (fun i -> match Instr.writes i with Some r -> r | None -> -1) code;
@@ -50,6 +54,7 @@ let load program =
     pc = 0;
     halted = false;
     icount = 0;
+    retired = Array.make Instr.class_count 0;
     event =
       {
         pc = 0;
@@ -66,6 +71,7 @@ let load program =
 
 let halted t = t.halted
 let instruction_count t = t.icount
+let retired_by_class t = Array.copy t.retired
 let ireg t r = t.iregs.(r)
 let freg t r = t.fregs.(r)
 let memory t = t.mem
@@ -184,14 +190,39 @@ let step t on_event =
     t.pc <- !next;
     ev.next_pc <- !next;
     t.icount <- t.icount + 1;
+    t.retired.(t.class_idx.(pc)) <- t.retired.(t.class_idx.(pc)) + 1;
     on_event ev;
     not t.halted
   end
 
+(* Per-run aggregates, published into the global registry when a run
+   completes (publishing from the per-step path would put atomics on the
+   hottest loop in the system; the per-machine [retired] array is
+   domain-local and free). *)
+let c_retired_total = Pc_obs.Metrics.counter "funcsim.retired.total"
+let c_runs = Pc_obs.Metrics.counter "funcsim.runs"
+
+let c_retired_class =
+  Array.init Instr.class_count (fun i ->
+      Pc_obs.Metrics.counter
+        ("funcsim.retired." ^ Instr.class_name (Instr.class_of_index i)))
+
+let g_pages = Pc_obs.Metrics.gauge "funcsim.mem.pages_touched"
+
 let run ?(max_instrs = 50_000_000) t on_event =
   let start = t.icount in
+  let before = Array.copy t.retired in
   let continue = ref true in
   while !continue && t.icount - start < max_instrs do
     continue := step t on_event
   done;
-  t.icount - start
+  let retired = t.icount - start in
+  Pc_obs.Metrics.incr c_runs;
+  Pc_obs.Metrics.add c_retired_total retired;
+  Array.iteri
+    (fun i count ->
+      let d = count - before.(i) in
+      if d > 0 then Pc_obs.Metrics.add c_retired_class.(i) d)
+    t.retired;
+  Pc_obs.Metrics.record_max g_pages (Memory.pages_touched t.mem);
+  retired

@@ -35,10 +35,19 @@ val step : t -> (event -> unit) -> bool
 val run : ?max_instrs:int -> t -> (event -> unit) -> int
 (** [run ?max_instrs t f] steps until [Halt] or the instruction budget is
     exhausted; returns the number of retired instructions.  The default
-    budget is 50 million (a runaway-program backstop). *)
+    budget is 50 million (a runaway-program backstop).
+
+    On completion the run's aggregates are published into the global
+    {!Pc_obs.Metrics} registry: [funcsim.runs], [funcsim.retired.total],
+    per-class [funcsim.retired.<class>] counters and the
+    [funcsim.mem.pages_touched] high-water gauge. *)
 
 val halted : t -> bool
 val instruction_count : t -> int
+
+val retired_by_class : t -> int array
+(** Dynamic instructions retired per {!Pc_isa.Instr.class_index}, over
+    the machine's whole lifetime (a fresh copy). *)
 
 val ireg : t -> Pc_isa.Reg.t -> int64
 (** Architected integer register value (for result checking in tests). *)

@@ -1,36 +1,45 @@
 (* 4 KiB pages of 512 words, indexed by address lsr 12. *)
 
-type t = (int, int64 array) Hashtbl.t
+type t = {
+  pages : (int, int64 array) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t;  (* pages read or written at least once *)
+}
 
 let page_bits = 12
 let words_per_page = 512
 
-let create () : t = Hashtbl.create 64
+let create () = { pages = Hashtbl.create 64; touched = Hashtbl.create 64 }
 
 let check addr =
   if addr < 0 then invalid_arg "Memory: negative address";
   if addr land 7 <> 0 then
     invalid_arg (Printf.sprintf "Memory: unaligned access at %#x" addr)
 
+let touch t key = if not (Hashtbl.mem t.touched key) then Hashtbl.add t.touched key ()
+
 let read t addr =
   check addr;
-  match Hashtbl.find_opt t (addr lsr page_bits) with
+  let key = addr lsr page_bits in
+  touch t key;
+  match Hashtbl.find_opt t.pages key with
   | None -> 0L
   | Some page -> page.((addr lsr 3) land (words_per_page - 1))
 
 let write t addr v =
   check addr;
   let key = addr lsr page_bits in
+  touch t key;
   let page =
-    match Hashtbl.find_opt t key with
+    match Hashtbl.find_opt t.pages key with
     | Some p -> p
     | None ->
       let p = Array.make words_per_page 0L in
-      Hashtbl.add t key p;
+      Hashtbl.add t.pages key p;
       p
   in
   page.((addr lsr 3) land (words_per_page - 1)) <- v
 
+let pages_touched t = Hashtbl.length t.touched
 let read_float t addr = Int64.float_of_bits (read t addr)
 let write_float t addr v = write t addr (Int64.bits_of_float v)
 let load_words t words = List.iter (fun (addr, v) -> write t addr v) words

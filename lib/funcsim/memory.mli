@@ -23,3 +23,8 @@ val write_float : t -> int -> float -> unit
 
 val load_words : t -> (int * int64) list -> unit
 (** Initialise a batch of words (used to load a program's data segment). *)
+
+val pages_touched : t -> int
+(** Number of distinct 4 KiB pages read or written so far — the
+    program's memory footprint at page granularity (data-segment
+    initialisation counts, since it goes through {!write}). *)

@@ -1,0 +1,28 @@
+let lock = Mutex.create ()
+
+(* Everything to stderr, serialised across domains: pool workers log
+   per-benchmark progress concurrently. *)
+let reporter =
+  let report src level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Mutex.protect lock (fun () ->
+            Format.kfprintf
+              (fun ppf ->
+                Format.pp_print_flush ppf ();
+                over ();
+                k ())
+              Format.err_formatter
+              ("%s: [%s] @[" ^^ fmt ^^ "@]@.")
+              (Logs.Src.name src)
+              (Logs.level_to_string (Some level))))
+  in
+  { Logs.report }
+
+let setup ?(quiet = false) ?(verbosity = 0) () =
+  let level =
+    if quiet then Some Logs.Error
+    else if verbosity >= 1 then Some Logs.Debug
+    else Some Logs.Info
+  in
+  Logs.set_level level;
+  Logs.set_reporter reporter

@@ -1,0 +1,12 @@
+(** Logs wiring shared by the CLI tools.
+
+    Installs a domain-safe (mutex-serialised) reporter that writes every
+    message to stderr — never stdout, so enabling progress output cannot
+    perturb experiment output.  Levels: [--quiet] shows errors only, the
+    default shows per-benchmark progress ([Info]), and [-v] adds
+    [Debug]. *)
+
+val setup : ?quiet:bool -> ?verbosity:int -> unit -> unit
+(** [setup ~quiet ~verbosity ()] sets the global {!Logs} level and
+    reporter.  [verbosity] counts [-v] occurrences: [0] → [Info]
+    (default), [>= 1] → [Debug].  [quiet] wins over [verbosity]. *)

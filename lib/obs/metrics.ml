@@ -1,0 +1,176 @@
+let env_enabled =
+  match Sys.getenv_opt "PC_OBS" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let enabled_flag = Atomic.make env_enabled
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : int Atomic.t }
+
+type histogram = {
+  h_le : float array;
+  h_counts : int Atomic.t array;  (* length = Array.length h_le + 1 *)
+  h_count : int Atomic.t;
+  h_lock : Mutex.t;  (* guards h_sum only *)
+  mutable h_sum : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Find-or-create under the registry lock; the caller's [select]
+   projects the wanted kind and its [make] builds a fresh instrument. *)
+let intern name make select =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> (
+        match select i with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Pc_obs.Metrics: %S is registered as a %s" name
+               (kind_name i)))
+      | None ->
+        let i = make () in
+        Hashtbl.add registry name i;
+        (match select i with Some v -> v | None -> assert false))
+
+let counter name =
+  intern name
+    (fun () -> Counter { c_value = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
+
+let gauge name =
+  intern name
+    (fun () -> Gauge { g_value = Atomic.make 0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = Atomic.set g.g_value v
+
+let rec record_max g v =
+  let cur = Atomic.get g.g_value in
+  if v > cur && not (Atomic.compare_and_set g.g_value cur v) then record_max g v
+
+let gauge_value g = Atomic.get g.g_value
+
+let default_buckets = [| 1e-4; 1e-3; 1e-2; 0.1; 0.5; 1.0; 5.0; 30.0 |]
+
+let histogram ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Pc_obs.Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  intern name
+    (fun () ->
+      Histogram
+        {
+          h_le = Array.copy buckets;
+          h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_lock = Mutex.create ();
+          h_sum = 0.0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  let n = Array.length h.h_le in
+  let rec bucket i = if i < n && v > h.h_le.(i) then bucket (i + 1) else i in
+  ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  Mutex.protect h.h_lock (fun () -> h.h_sum <- h.h_sum +. v)
+
+type hist_view = {
+  le : float array;
+  bucket_counts : int array;
+  count : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_view) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun name i ->
+          match i with
+          | Counter c -> counters := (name, Atomic.get c.c_value) :: !counters
+          | Gauge g -> gauges := (name, Atomic.get g.g_value) :: !gauges
+          | Histogram h ->
+            let view =
+              {
+                le = Array.copy h.h_le;
+                bucket_counts = Array.map Atomic.get h.h_counts;
+                count = Atomic.get h.h_count;
+                sum = Mutex.protect h.h_lock (fun () -> h.h_sum);
+              }
+            in
+            histograms := (name, view) :: !histograms)
+        registry);
+  {
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms;
+  }
+
+let diff ~before ~after =
+  let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
+  {
+    counters =
+      List.map
+        (fun (name, v) -> (name, v - base before.counters name))
+        after.counters;
+    gauges = after.gauges;
+    histograms =
+      List.map
+        (fun (name, (h : hist_view)) ->
+          match List.assoc_opt name before.histograms with
+          | None -> (name, h)
+          | Some b ->
+            ( name,
+              {
+                h with
+                bucket_counts =
+                  Array.mapi (fun i c -> c - b.bucket_counts.(i)) h.bucket_counts;
+                count = h.count - b.count;
+                sum = h.sum -. b.sum;
+              } ))
+        after.histograms;
+  }
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0
+          | Histogram h ->
+            Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+            Atomic.set h.h_count 0;
+            Mutex.protect h.h_lock (fun () -> h.h_sum <- 0.0))
+        registry)

@@ -1,0 +1,152 @@
+(* --- JSON --- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let number b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else Buffer.add_string b (Printf.sprintf "%.9g" f)
+
+let obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (key, emit) ->
+      if i > 0 then Buffer.add_char b ',';
+      escape b key;
+      Buffer.add_char b ':';
+      emit ())
+    fields;
+  Buffer.add_char b '}'
+
+let int_map b entries =
+  obj b
+    (List.map
+       (fun (name, v) -> (name, fun () -> Buffer.add_string b (string_of_int v)))
+       entries)
+
+let hist b (h : Metrics.hist_view) =
+  obj b
+    [
+      ("count", fun () -> Buffer.add_string b (string_of_int h.Metrics.count));
+      ("sum", fun () -> number b h.Metrics.sum);
+      ( "buckets",
+        fun () ->
+          Buffer.add_char b '[';
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char b ',';
+              obj b
+                [
+                  ( "le",
+                    fun () ->
+                      if i < Array.length h.Metrics.le then number b h.Metrics.le.(i)
+                      else escape b "inf" );
+                  ("count", fun () -> Buffer.add_string b (string_of_int c));
+                ])
+            h.Metrics.bucket_counts;
+          Buffer.add_char b ']' );
+    ]
+
+let rec span b s =
+  obj b
+    [
+      ("name", fun () -> escape b (Span.name s));
+      ("duration_s", fun () -> number b (Span.duration_s s));
+      ( "children",
+        fun () ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char b ',';
+              span b c)
+            (Span.children s);
+          Buffer.add_char b ']' );
+    ]
+
+let json (snap : Metrics.snapshot) spans =
+  let b = Buffer.create 4096 in
+  obj b
+    [
+      ("schema", fun () -> escape b "pc-obs/1");
+      ("counters", fun () -> int_map b snap.Metrics.counters);
+      ("gauges", fun () -> int_map b snap.Metrics.gauges);
+      ( "histograms",
+        fun () ->
+          obj b
+            (List.map
+               (fun (name, h) -> (name, fun () -> hist b h))
+               snap.Metrics.histograms) );
+      ( "spans",
+        fun () ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i s ->
+              if i > 0 then Buffer.add_char b ',';
+              span b s)
+            spans;
+          Buffer.add_char b ']' );
+    ];
+  Buffer.contents b
+
+let write_json path snap spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json snap spans);
+      output_char oc '\n')
+
+(* --- console --- *)
+
+let pp_console ppf (snap : Metrics.snapshot) spans =
+  Format.fprintf ppf "== pc_obs metrics ==@.";
+  if snap.Metrics.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@." name v)
+      snap.Metrics.counters
+  end;
+  if snap.Metrics.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@." name v)
+      snap.Metrics.gauges
+  end;
+  if snap.Metrics.histograms <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (name, (h : Metrics.hist_view)) ->
+        let mean =
+          if h.Metrics.count = 0 then 0.0
+          else h.Metrics.sum /. float_of_int h.Metrics.count
+        in
+        Format.fprintf ppf "  %-40s count %8d  sum %10.4f  mean %8.4f@." name
+          h.Metrics.count h.Metrics.sum mean)
+      snap.Metrics.histograms
+  end;
+  if spans <> [] then begin
+    Format.fprintf ppf "spans:@.";
+    let rec pp_span indent s =
+      Format.fprintf ppf "  %s%-*s %9.4f s@." indent
+        (max 1 (40 - String.length indent))
+        (Span.name s) (Span.duration_s s);
+      List.iter (pp_span (indent ^ "  ")) (Span.children s)
+    in
+    List.iter (pp_span "") spans
+  end
+
+let null _snap _spans = ()

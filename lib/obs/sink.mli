@@ -1,0 +1,34 @@
+(** Reporters for a metrics snapshot plus a span tree.
+
+    Three sinks, per the observability contract:
+
+    - {!pp_console}: a human-readable report.  The CLI points it at
+      stderr (behind [PC_OBS=1] / [--metrics]) so experiment stdout is
+      never touched.
+    - {!json}/{!write_json}: a stable-schema machine-readable report
+      ([--metrics-out FILE]).  Schema ["pc-obs/1"]:
+
+    {v
+    { "schema": "pc-obs/1",
+      "counters":   { "<name>": <int>, ... },
+      "gauges":     { "<name>": <int>, ... },
+      "histograms": { "<name>": { "count": <int>, "sum": <float>,
+                                  "buckets": [ { "le": <float|"inf">,
+                                                 "count": <int> }, ... ] } },
+      "spans": [ { "name": <string>, "duration_s": <float>,
+                   "children": [ <span>, ... ] }, ... ] }
+    v}
+
+      Counter/gauge/histogram keys are sorted by name; spans are in
+      completion order.
+    - {!null}: does nothing — the disabled path. *)
+
+val pp_console : Format.formatter -> Metrics.snapshot -> Span.t list -> unit
+
+val json : Metrics.snapshot -> Span.t list -> string
+
+val write_json : string -> Metrics.snapshot -> Span.t list -> unit
+(** [write_json path snap spans] writes {!json} to [path] (truncating),
+    with a trailing newline. *)
+
+val null : Metrics.snapshot -> Span.t list -> unit

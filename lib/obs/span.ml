@@ -1,0 +1,50 @@
+type t = { name : string; duration_s : float; children : t list }
+
+let name t = t.name
+let duration_s t = t.duration_s
+let children t = t.children
+
+(* An open span accumulates completed children (reversed).  The lock
+   protects every child/root append and read: pool workers sharing one
+   parent append concurrently, but spans open and close at stage/task
+   granularity, so contention is negligible. *)
+type open_t = { oname : string; start : float; mutable kids_rev : t list }
+type ctx = open_t option
+
+let lock = Mutex.create ()
+let root_spans = ref ([] : t list)
+let current : open_t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let now_s () = Unix.gettimeofday ()
+
+let finish parent o =
+  let stop = now_s () in
+  Mutex.protect lock (fun () ->
+      let t =
+        { name = o.oname; duration_s = stop -. o.start; children = List.rev o.kids_rev }
+      in
+      match parent with
+      | Some p -> p.kids_rev <- t :: p.kids_rev
+      | None -> root_spans := t :: !root_spans)
+
+let with_ name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let parent = Domain.DLS.get current in
+    let o = { oname = name; start = now_s (); kids_rev = [] } in
+    Domain.DLS.set current (Some o);
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set current parent;
+        finish parent o)
+      f
+  end
+
+let current_ctx () = Domain.DLS.get current
+
+let with_ctx ctx f =
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
+
+let roots () = Mutex.protect lock (fun () -> List.rev !root_spans)
+let reset () = Mutex.protect lock (fun () -> root_spans := [])

@@ -1,0 +1,46 @@
+(** Nestable wall-clock spans: a tree of per-stage durations.
+
+    [with_ "profile:sha" f] times [f] and records the span under the
+    span currently open on this domain (or as a root).  Recording is
+    gated on {!Metrics.enabled} — when observability is off, [with_]
+    runs [f] directly with no allocation, so hot paths can stay
+    instrumented unconditionally.
+
+    Spans cross {!Pc_exec.Pool} fan-out: the pool captures the calling
+    domain's open span with {!current_ctx} and runs every task under it
+    with {!with_ctx}, so per-task spans attribute to the pipeline stage
+    that spawned them regardless of which domain executed the task.
+    Children appear in completion order, which under a parallel pool is
+    nondeterministic — only the durations and the parent/child shape are
+    meaningful, never the sibling order. *)
+
+type t
+(** A completed span. *)
+
+val name : t -> string
+val duration_s : t -> float
+val children : t -> t list
+(** In completion order. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Time [f] and record the span (when {!Metrics.enabled}); the span is
+    recorded even if [f] raises.  Safe from any domain. *)
+
+type ctx
+(** A handle on a domain's currently-open span (possibly none), used to
+    re-parent work that migrates to another domain. *)
+
+val current_ctx : unit -> ctx
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with [ctx] as the adoptive parent: spans opened inside
+    attach to it.  The pool wraps worker-domain task loops in this. *)
+
+val now_s : unit -> float
+(** The wall clock the spans use (seconds; [Unix.gettimeofday]). *)
+
+val roots : unit -> t list
+(** Completed root spans, in completion order. *)
+
+val reset : unit -> unit
+(** Drop all completed root spans.  Spans still open are unaffected (they
+    will record on close as usual). *)

@@ -18,6 +18,10 @@ type result = {
   l2_accesses : int;
   l2_misses : int;
   mem_accesses : int;
+  rob_high_water : int;
+  lsq_high_water : int;
+  fetch_stall_icache_cycles : int;
+  fetch_stall_mispredict_cycles : int;
 }
 
 (* In-order bandwidth tracker: at most [width] events per cycle, cycles
@@ -86,6 +90,33 @@ module Fu_pool = struct
     start
 end
 
+(* Occupancy of a commit-cycle ring buffer at dispatch cycle [d] of
+   instruction [i]: older in-flight instructions are exactly those whose
+   commit cycle exceeds [d], and commit cycles are non-decreasing in
+   retire order, so they form a suffix of the window — binary search for
+   its length, plus one for instruction [i] itself.  The ring holds the
+   last [Array.length ring] commit cycles; anything older is guaranteed
+   committed because dispatch waited for its slot. *)
+let ring_occupancy ring i d =
+  let len = Array.length ring in
+  let k_max = min i len in
+  if k_max = 0 || ring.((i - 1) mod len) <= d then 1
+  else begin
+    let lo = ref 1 and hi = ref k_max in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if ring.((i - mid) mod len) > d then lo := mid else hi := mid - 1
+    done;
+    !lo + 1
+  end
+
+let c_instrs = Pc_obs.Metrics.counter "uarch.instrs"
+let c_cycles = Pc_obs.Metrics.counter "uarch.cycles"
+let g_rob_hw = Pc_obs.Metrics.gauge "uarch.rob.high_water"
+let g_lsq_hw = Pc_obs.Metrics.gauge "uarch.lsq.high_water"
+let c_stall_icache = Pc_obs.Metrics.counter "uarch.fetch_stall.icache_cycles"
+let c_stall_mispredict = Pc_obs.Metrics.counter "uarch.fetch_stall.mispredict_cycles"
+
 let run_events (cfg : Config.t) feed =
   let icache = Hierarchy.create cfg.icache in
   let dcache = Hierarchy.create cfg.dcache in
@@ -112,6 +143,10 @@ let run_events (cfg : Config.t) feed =
   let fetch_ready = ref 0 in
   let last_issue = ref 0 in
   let last_commit = ref 0 in
+  let rob_hw = ref 0 in
+  let lsq_hw = ref 0 in
+  let stall_icache = ref 0 in
+  let stall_mispredict = ref 0 in
   let i_lat = Array.get cfg.latencies in
   let on_event (ev : Machine.event) =
     let i = !index in
@@ -122,6 +157,8 @@ let run_events (cfg : Config.t) feed =
     (* --- fetch --- *)
     let f0 = Slot.take fetch_slot !fetch_ready in
     let ilat = Hierarchy.access icache (4 * ev.Machine.pc) in
+    if ilat > icache_hit_latency then
+      stall_icache := !stall_icache + (ilat - icache_hit_latency);
     let fc = f0 + (ilat - icache_hit_latency) in
     if fc > !fetch_ready then fetch_ready := fc;
     (* --- dispatch --- *)
@@ -131,6 +168,12 @@ let run_events (cfg : Config.t) feed =
       if is_mem then lsq.(!mem_index mod Array.length lsq) else 0
     in
     let d = Slot.take dispatch_slot (max (fc + cfg.frontend_depth) (max rob_free lsq_free)) in
+    let occ = ring_occupancy rob i d in
+    if occ > !rob_hw then rob_hw := occ;
+    if is_mem then begin
+      let occ = ring_occupancy lsq !mem_index d in
+      if occ > !lsq_hw then lsq_hw := occ
+    end;
     (* --- register readiness --- *)
     let ready =
       List.fold_left (fun acc id -> max acc reg_ready.(id)) d ev.Machine.reads
@@ -172,7 +215,10 @@ let run_events (cfg : Config.t) feed =
       let correct = Predictor.observe bpred ~pc:ev.Machine.pc ~taken:ev.Machine.taken in
       if not correct then begin
         let redirect = complete + cfg.mispredict_penalty in
-        if redirect > !fetch_ready then fetch_ready := redirect
+        if redirect > !fetch_ready then begin
+          stall_mispredict := !stall_mispredict + (redirect - !fetch_ready);
+          fetch_ready := redirect
+        end
       end
     end;
     (* --- commit --- *)
@@ -186,6 +232,15 @@ let run_events (cfg : Config.t) feed =
   in
   let instrs = feed on_event in
   let cycles = max !last_commit 1 in
+  Pc_obs.Metrics.add c_instrs instrs;
+  Pc_obs.Metrics.add c_cycles cycles;
+  Pc_obs.Metrics.record_max g_rob_hw !rob_hw;
+  Pc_obs.Metrics.record_max g_lsq_hw !lsq_hw;
+  Pc_obs.Metrics.add c_stall_icache !stall_icache;
+  Pc_obs.Metrics.add c_stall_mispredict !stall_mispredict;
+  Hierarchy.publish_metrics icache ~prefix:"uarch.icache";
+  Hierarchy.publish_metrics dcache ~prefix:"uarch.dcache";
+  Predictor.publish_metrics bpred ~prefix:"uarch.bpred";
   {
     config_name = cfg.name;
     instrs;
@@ -201,6 +256,10 @@ let run_events (cfg : Config.t) feed =
     l2_accesses = Hierarchy.l2_accesses icache + Hierarchy.l2_accesses dcache;
     l2_misses = Hierarchy.l2_misses icache + Hierarchy.l2_misses dcache;
     mem_accesses = Hierarchy.mem_accesses icache + Hierarchy.mem_accesses dcache;
+    rob_high_water = !rob_hw;
+    lsq_high_water = !lsq_hw;
+    fetch_stall_icache_cycles = !stall_icache;
+    fetch_stall_mispredict_cycles = !stall_mispredict;
   }
 
 let run ?(max_instrs = 10_000_000) cfg program =

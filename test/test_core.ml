@@ -42,17 +42,19 @@ let test_profile_memoized () =
      any other test keeps the counter deltas unambiguous. *)
   let s = { settings with E.profile_instrs = 123_456 } in
   let store = Pipeline.profile_store in
-  let hits0 = Pc_exec.Store.hits store and misses0 = Pc_exec.Store.misses store in
+  let s0 = Pc_exec.Store.stats store in
   let first = E.prepare ~pool s in
+  let s1 = Pc_exec.Store.stats store in
   Alcotest.(check int) "one collection per benchmark"
     (List.length first)
-    (Pc_exec.Store.misses store - misses0);
+    (s1.Pc_exec.Store.miss_count - s0.Pc_exec.Store.miss_count);
   let second = E.prepare ~pool s in
+  let s2 = Pc_exec.Store.stats store in
   Alcotest.(check int) "second driver hits the store"
     (List.length first)
-    (Pc_exec.Store.hits store - hits0);
+    (s2.Pc_exec.Store.hit_count - s1.Pc_exec.Store.hit_count);
   Alcotest.(check int) "no extra collections" (List.length first)
-    (Pc_exec.Store.misses store - misses0);
+    (s2.Pc_exec.Store.miss_count - s0.Pc_exec.Store.miss_count);
   List.iter2
     (fun (a : Pipeline.t) (b : Pipeline.t) ->
       Alcotest.(check bool) "memoized profile gives identical clone" true

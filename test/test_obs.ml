@@ -1,0 +1,275 @@
+(* pc_obs: metrics registry, spans, sinks — and the invariant that
+   enabling observability never changes experiment output.
+
+   The registry and the enabled flag are global, so every test that
+   flips [set_enabled] or calls [reset] restores the disabled default
+   before returning. *)
+
+module M = Pc_obs.Metrics
+module Span = Pc_obs.Span
+module Sink = Pc_obs.Sink
+module Pool = Pc_exec.Pool
+module E = Perfclone.Experiments
+
+let with_enabled f =
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () -> M.set_enabled false) f
+
+(* --- metrics registry --- *)
+
+let test_counter () =
+  let c = M.counter "obs.test.counter" in
+  let v0 = M.value c in
+  M.incr c;
+  M.add c 41;
+  Alcotest.(check int) "incr + add" (v0 + 42) (M.value c)
+
+let test_same_name_same_instrument () =
+  let a = M.counter "obs.test.shared" in
+  let b = M.counter "obs.test.shared" in
+  let v0 = M.value a in
+  M.incr a;
+  M.incr b;
+  Alcotest.(check int) "both handles hit one series" (v0 + 2) (M.value b)
+
+let test_kind_mismatch () =
+  ignore (M.counter "obs.test.kind");
+  match M.gauge "obs.test.kind" with
+  | _ -> Alcotest.fail "expected Invalid_argument for kind mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge () =
+  let g = M.gauge "obs.test.gauge" in
+  M.set g 7;
+  Alcotest.(check int) "set" 7 (M.gauge_value g);
+  M.record_max g 3;
+  Alcotest.(check int) "record_max keeps larger" 7 (M.gauge_value g);
+  M.record_max g 11;
+  Alcotest.(check int) "record_max takes larger" 11 (M.gauge_value g)
+
+let hist_view name snap =
+  match List.assoc_opt name snap.M.histograms with
+  | Some v -> v
+  | None -> Alcotest.failf "histogram %s missing from snapshot" name
+
+let test_histogram () =
+  let h = M.histogram ~buckets:[| 1.0; 2.0 |] "obs.test.hist" in
+  M.observe h 0.5;
+  M.observe h 1.5;
+  M.observe h 99.0;
+  let v = hist_view "obs.test.hist" (M.snapshot ()) in
+  Alcotest.(check (array (float 1e-9))) "bounds" [| 1.0; 2.0 |] v.M.le;
+  Alcotest.(check (array int)) "bucket counts (last = overflow)"
+    [| 1; 1; 1 |] v.M.bucket_counts;
+  Alcotest.(check int) "count" 3 v.M.count;
+  Alcotest.(check (float 1e-9)) "sum" 101.0 v.M.sum
+
+let test_histogram_bad_buckets () =
+  match M.histogram ~buckets:[| 2.0; 1.0 |] "obs.test.hist.bad" with
+  | _ -> Alcotest.fail "expected Invalid_argument for non-increasing buckets"
+  | exception Invalid_argument _ -> ()
+
+let test_snapshot_sorted_and_diff () =
+  let cb = M.counter "obs.test.diff.b" in
+  let ca = M.counter "obs.test.diff.a" in
+  let g = M.gauge "obs.test.diff.g" in
+  M.incr ca;
+  let before = M.snapshot () in
+  let names = List.map fst before.M.counters in
+  Alcotest.(check (list string)) "counter names sorted"
+    (List.sort compare names) names;
+  M.add ca 4;
+  M.add cb 2;
+  M.set g 9;
+  let after = M.snapshot () in
+  let d = M.diff ~before ~after in
+  Alcotest.(check (option int)) "counter delta" (Some 4)
+    (List.assoc_opt "obs.test.diff.a" d.M.counters);
+  Alcotest.(check (option int)) "other counter delta" (Some 2)
+    (List.assoc_opt "obs.test.diff.b" d.M.counters);
+  Alcotest.(check (option int)) "gauge keeps after value" (Some 9)
+    (List.assoc_opt "obs.test.diff.g" d.M.gauges)
+
+let test_reset () =
+  let c = M.counter "obs.test.reset" in
+  M.add c 5;
+  M.reset ();
+  Alcotest.(check int) "zeroed" 0 (M.value c);
+  let still_registered =
+    List.mem_assoc "obs.test.reset" (M.snapshot ()).M.counters
+  in
+  Alcotest.(check bool) "registration survives" true still_registered
+
+(* --- concurrency: no lost counts across pool domains --- *)
+
+let test_no_lost_counts =
+  QCheck.Test.make ~name:"concurrent increments lose no counts" ~count:20
+    QCheck.(pair (int_range 1 8) (int_range 1 500))
+    (fun (tasks, per_task) ->
+      let c = M.counter "obs.test.concurrent" in
+      let before = M.value c in
+      let pool = Pool.create ~num_domains:4 in
+      ignore
+        (Pool.map pool
+           (fun _ ->
+             for _ = 1 to per_task do
+               M.incr c
+             done)
+           (List.init tasks Fun.id));
+      M.value c - before = tasks * per_task)
+
+(* --- spans --- *)
+
+let test_span_disabled_records_nothing () =
+  Span.reset ();
+  let v = Span.with_ "ghost" (fun () -> 5) in
+  Alcotest.(check int) "value passes through" 5 v;
+  Alcotest.(check int) "no roots recorded" 0 (List.length (Span.roots ()))
+
+let test_span_nesting () =
+  with_enabled @@ fun () ->
+  Fun.protect ~finally:Span.reset @@ fun () ->
+  Span.reset ();
+  let v =
+    Span.with_ "outer" (fun () ->
+        ignore (Span.with_ "inner1" (fun () -> 1));
+        ignore (Span.with_ "inner2" (fun () -> 2));
+        42)
+  in
+  Alcotest.(check int) "value passes through" 42 v;
+  match Span.roots () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" (Span.name root);
+    Alcotest.(check (list string)) "children in completion order"
+      [ "inner1"; "inner2" ]
+      (List.map Span.name (Span.children root));
+    List.iter
+      (fun s ->
+        if Span.duration_s s < 0.0 then
+          Alcotest.failf "negative duration for %s" (Span.name s))
+      (root :: Span.children root)
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let test_span_pool_adoption () =
+  with_enabled @@ fun () ->
+  Fun.protect ~finally:Span.reset @@ fun () ->
+  Span.reset ();
+  let pool = Pool.create ~num_domains:4 in
+  ignore
+    (Span.with_ "parent" (fun () ->
+         Pool.map pool
+           (fun i -> Span.with_ (Printf.sprintf "task%d" i) (fun () -> i * i))
+           [ 1; 2; 3; 4 ]));
+  match Span.roots () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "parent" (Span.name root);
+    (* Sibling completion order is nondeterministic under a pool; only
+       the set of children is specified. *)
+    Alcotest.(check (list string)) "pool tasks attribute to the open span"
+      [ "task1"; "task2"; "task3"; "task4" ]
+      (List.sort compare (List.map Span.name (Span.children root)))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+(* --- sinks --- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains json needle =
+  if not (contains ~needle json) then
+    Alcotest.failf "JSON missing %s in: %s" needle json
+
+let test_json_sink () =
+  M.add (M.counter "obs.test.json.c") 7;
+  M.set (M.gauge "obs.test.json.g") 3;
+  M.observe (M.histogram ~buckets:[| 0.5 |] "obs.test.json.h") 1.5;
+  let spans =
+    with_enabled (fun () ->
+        Span.reset ();
+        ignore (Span.with_ "sink-span" (fun () -> ()));
+        Fun.protect ~finally:Span.reset Span.roots)
+  in
+  let json = Sink.json (M.snapshot ()) spans in
+  List.iter (check_contains json)
+    [
+      "\"schema\":\"pc-obs/1\"";
+      "\"obs.test.json.c\":7";
+      "\"obs.test.json.g\":3";
+      "\"obs.test.json.h\":{\"count\":1";
+      "{\"le\":\"inf\",\"count\":1}";
+      "\"name\":\"sink-span\"";
+      "\"children\":[]";
+    ]
+
+let test_write_json () =
+  let path = Filename.temp_file "pc_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sink.write_json path (M.snapshot ()) [];
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_contains contents "\"schema\":\"pc-obs/1\"";
+  Alcotest.(check bool) "trailing newline" true
+    (String.length contents > 0 && contents.[String.length contents - 1] = '\n')
+
+(* --- the invariant: observability never changes experiment output --- *)
+
+let test_fig6_byte_identity () =
+  let settings =
+    {
+      E.seed = 1;
+      profile_instrs = 100_000;
+      sim_instrs = 150_000;
+      clone_dynamic = 30_000;
+      benchmarks = [ "crc32"; "sha" ];
+    }
+  in
+  let render () =
+    E.clear_caches ();
+    let ps = E.prepare settings in
+    Format.asprintf "%a" E.pp_fig6 (E.base_runs settings ps)
+  in
+  let off = render () in
+  let on_ =
+    with_enabled (fun () -> Fun.protect ~finally:Span.reset render)
+  in
+  Alcotest.(check string) "fig6 byte-identical with observability on" off on_
+
+let () =
+  Alcotest.run "pc_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "shared name" `Quick test_same_name_same_instrument;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          Alcotest.test_case "snapshot + diff" `Quick test_snapshot_sorted_and_diff;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "concurrency",
+        [ QCheck_alcotest.to_alcotest ~long:false test_no_lost_counts ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "pool adoption" `Quick test_span_pool_adoption;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "json schema" `Quick test_json_sink;
+          Alcotest.test_case "write_json" `Quick test_write_json;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "fig6 byte-identity" `Slow test_fig6_byte_identity;
+        ] );
+    ]
