@@ -25,6 +25,7 @@ let bench_settings =
     sim_instrs = 60_000;
     clone_dynamic = 20_000;
     benchmarks = [ "crc32" ];
+    sample = None;
   }
 
 (* Shared pipelines, built once: each test measures only its own
@@ -49,6 +50,19 @@ let clone_fanout pool =
       Perfclone.Pipeline.clone_program ~profile_instrs:50_000
         ~target_dynamic:20_000 p)
     (Lazy.force fanout_programs)
+
+(* Sampled-vs-detailed timing pair, bypassing the memo stores so every
+   sample pays the full simulation cost: CI compares these two rows to
+   verify the wall-clock reduction sampling claims. *)
+let sample_budget = 240_000
+let sample_interval = 30_000
+let sample_program = lazy (Pc_workloads.Registry.(compile (find "crc32")))
+
+let sample_plan =
+  lazy
+    (Pc_sample.Sample.plan ~seed:1 ~interval:sample_interval
+       ~max_instrs:sample_budget
+       (Lazy.force sample_program))
 
 let tests =
   [
@@ -77,6 +91,19 @@ let tests =
       (Staged.stage (fun () ->
            Perfclone.Pipeline.clone_benchmark ~profile_instrs:50_000
              ~target_dynamic:20_000 "crc32"));
+    Test.make ~name:"sample:detailed-sim"
+      (Staged.stage (fun () ->
+           Pc_uarch.Sim.run ~max_instrs:sample_budget Pc_uarch.Config.base
+             (Lazy.force sample_program)));
+    Test.make ~name:"sample:plan"
+      (Staged.stage (fun () ->
+           Pc_sample.Sample.plan ~seed:1 ~interval:sample_interval
+             ~max_instrs:sample_budget
+             (Lazy.force sample_program)));
+    Test.make ~name:"sample:projected-sim"
+      (Staged.stage (fun () ->
+           Pc_sample.Sample.project_sim Pc_uarch.Config.base
+             (Lazy.force sample_plan)));
     Test.make ~name:"exec:clone-fanout-serial"
       (Staged.stage (fun () -> clone_fanout Pool.serial));
     Test.make

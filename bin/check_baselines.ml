@@ -1,0 +1,74 @@
+(* check_baselines: CI regression gate over archived artefacts.
+
+   Usage:
+     check_baselines metrics baselines/metrics.json metrics.json
+     check_baselines bench baselines/bench.json BENCH_results.json [--tolerance 0.2]
+
+   Exits 0 when the current artefact matches the baseline (exactly for
+   pc-obs/1 counters and gauges; within the median-normalised tolerance
+   for pc-bench/1 timings), 1 with one line per discrepancy otherwise.
+   Baselines are regenerated deliberately — see EXPERIMENTS.md. *)
+
+module Json = Pc_util.Json
+module Baseline = Pc_obs.Baseline
+
+let load path =
+  match Json.parse_file path with
+  | Ok doc -> doc
+  | Error msg ->
+    Printf.eprintf "check_baselines: %s: %s\n" path msg;
+    exit 2
+
+let main mode baseline_path current_path tolerance =
+  let baseline = load baseline_path and current = load current_path in
+  let issues =
+    match mode with
+    | `Metrics -> Baseline.check_metrics ~baseline ~current
+    | `Bench -> Baseline.check_bench ~tolerance ~baseline ~current
+  in
+  match issues with
+  | [] ->
+    Printf.printf "check_baselines: %s matches %s\n" current_path baseline_path;
+    0
+  | issues ->
+    List.iter (fun i -> Printf.printf "check_baselines: %s\n" i) issues;
+    Printf.printf "check_baselines: %d discrepancies against %s\n"
+      (List.length issues) baseline_path;
+    1
+
+open Cmdliner
+
+let mode_arg =
+  let modes = [ ("metrics", `Metrics); ("bench", `Bench) ] in
+  Arg.(
+    required
+    & pos 0 (some (enum modes)) None
+    & info [] ~docv:"MODE"
+        ~doc:"$(b,metrics) compares pc-obs/1 counters/gauges exactly; \
+              $(b,bench) compares pc-bench/1 timings median-normalised.")
+
+let baseline_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"BASELINE" ~doc:"Checked-in baseline artefact.")
+
+let current_arg =
+  Arg.(
+    required
+    & pos 2 (some file) None
+    & info [] ~docv:"CURRENT" ~doc:"Artefact produced by this run.")
+
+let tolerance_arg =
+  let doc =
+    "Allowed relative slowdown per bench entry after median \
+     normalisation (bench mode only)."
+  in
+  Arg.(value & opt float 0.20 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "check_baselines" ~doc:"gate CI artefacts against baselines")
+    Term.(const main $ mode_arg $ baseline_arg $ current_arg $ tolerance_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,7 @@
 
    Usage:
      run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
+                     [--sample N] [--sample-out FILE]
                      [--metrics] [--metrics-out FILE] [-v] [--quiet]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
@@ -9,9 +10,13 @@
 
    Per-benchmark and per-configuration work fans out over -j worker
    domains; all randomness is seeded per pipeline, so the output is
-   byte-identical at every -j.  Observability output (progress logs, the
-   --metrics console report) goes to stderr, and --metrics-out writes to
-   a file, so none of it can perturb the experiment tables on stdout. *)
+   byte-identical at every -j.  --sample N (or PC_SAMPLE=N) switches the
+   timing and cache estimators to SimPoint-style sampled simulation with
+   N-instruction intervals; off by default, so without it every table is
+   byte-identical to earlier releases.  Observability output (progress
+   logs, the --metrics console report) goes to stderr, and --metrics-out
+   / --sample-out write to files, so none of it can perturb the
+   experiment tables on stdout. *)
 
 module E = Perfclone.Experiments
 module Pool = Pc_exec.Pool
@@ -46,29 +51,112 @@ let print_table2 () =
   Format.fprintf pp "  memory latency: %d cycles@."
     c.Pc_uarch.Config.dcache.Pc_caches.Hierarchy.mem_latency
 
-let main experiments quick benches seed jobs metrics metrics_out verbosity quiet =
+(* pc-sample/1 JSON summary (schema documented in EXPERIMENTS.md): per
+   program the plan statistics plus projected-vs-detailed base-config
+   IPC, so the sampling error is measurable without re-deriving it.
+   The detailed runs are the expensive part; they fan out over [pool]
+   and are memoized alongside the unsampled estimators. *)
+let write_sample_summary ~pool ~interval settings pipelines path =
+  let module Sample = Pc_sample.Sample in
+  let module Sim = Pc_uarch.Sim in
+  let cfg = Pc_uarch.Config.base in
+  let err_gauge = Pc_obs.Metrics.gauge "sample.ipc_error_bp" in
+  let programs =
+    List.concat_map
+      (fun (p : Perfclone.Pipeline.t) ->
+        [
+          (p.Perfclone.Pipeline.name, "original", p.Perfclone.Pipeline.original);
+          (p.Perfclone.Pipeline.name, "clone", p.Perfclone.Pipeline.clone);
+        ])
+      pipelines
+  in
+  let rows =
+    Pool.map pool
+      (fun (bench, kind, program) ->
+        let plan = E.sample_plan settings ~interval program in
+        let projected = Sample.project_sim cfg plan in
+        let detailed = Sim.run ~max_instrs:settings.E.sim_instrs cfg program in
+        let error =
+          if detailed.Sim.ipc = 0.0 then 0.0
+          else abs_float (projected.Sim.ipc -. detailed.Sim.ipc) /. detailed.Sim.ipc
+        in
+        (bench, kind, plan, projected.Sim.ipc, detailed.Sim.ipc, error))
+      programs
+  in
+  List.iter
+    (fun (_, _, _, _, _, error) ->
+      Pc_obs.Metrics.record_max err_gauge
+        (int_of_float (Float.round (error *. 10_000.))))
+    rows;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"pc-sample/1\",\"interval\":%d,\"seed\":%d,\"budget\":%d,\"programs\":["
+       interval settings.E.seed settings.E.sim_instrs);
+  List.iteri
+    (fun i (bench, kind, (plan : Sample.plan), proj, det, error) ->
+      if i > 0 then Buffer.add_char b ',';
+      let replayed =
+        Array.fold_left
+          (fun acc (r : Sample.rep) -> acc + Array.length r.Sample.trace)
+          0 plan.Sample.reps
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"bench\":%S,\"kind\":%S,\"total_instrs\":%d,\"intervals\":%d,\
+            \"clusters\":%d,\"replayed_instrs\":%d,\"coverage\":%.6f,\
+            \"projected_ipc\":%.6f,\"detailed_ipc\":%.6f,\"ipc_error\":%.6f}"
+           bench kind plan.Sample.total_instrs plan.Sample.n_intervals
+           plan.Sample.k replayed plan.Sample.coverage proj det error))
+    rows;
+  Buffer.add_string b "]}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b))
+
+let main experiments quick benches seed jobs sample sample_out metrics
+    metrics_out verbosity quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
   if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
   let pool = Pool.create ~num_domains:jobs in
+  let sample =
+    match sample with
+    | Some _ as s -> s
+    | None -> (
+      match Option.bind (Sys.getenv_opt "PC_SAMPLE") int_of_string_opt with
+      | Some n when n > 0 -> Some n
+      | Some _ | None -> None)
+  in
   let settings =
     let base = if quick then E.quick_settings else E.default_settings in
-    { base with E.seed; benchmarks = (if benches = [] then base.E.benchmarks else benches) }
+    {
+      base with
+      E.seed;
+      benchmarks = (if benches = [] then base.E.benchmarks else benches);
+      sample;
+    }
   in
   let experiments = if experiments = [] then [ "all" ] else experiments in
   let wants name = List.mem name experiments || List.mem "all" experiments in
   if wants "table1" then print_table1 ();
   if wants "table2" then print_table2 ();
+  let sample_summary = if sample = None then None else sample_out in
+  if sample_out <> None && sample = None then
+    Format.eprintf "run_experiments: --sample-out ignored without --sample@.";
   let needs_pipelines =
-    List.exists wants
-      [
-        "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table3"; "fig8"; "fig9";
-        "ablation"; "statsim"; "portable"; "bpred"; "seeds";
-      ]
+    sample_summary <> None
+    || List.exists wants
+         [
+           "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table3"; "fig8"; "fig9";
+           "ablation"; "statsim"; "portable"; "bpred"; "seeds";
+         ]
   in
   if needs_pipelines then begin
     Format.fprintf pp "(preparing %s benchmark pipelines...)@."
       (match settings.E.benchmarks with [] -> "23" | l -> string_of_int (List.length l));
     let pipelines = E.prepare ~pool settings in
+    E.prepare_sample ~pool settings pipelines;
     if wants "fig3" then E.pp_fig3 pp (E.fig3 pipelines);
     if wants "fig4" || wants "fig5" then begin
       let studies = E.cache_studies ~pool settings pipelines in
@@ -92,7 +180,11 @@ let main experiments quick benches seed jobs metrics metrics_out verbosity quiet
     if wants "statsim" then E.pp_statsim pp (E.statsim_comparison ~pool settings pipelines);
     if wants "portable" then E.pp_portable pp (E.portable_comparison ~pool settings pipelines);
     if wants "bpred" then E.pp_bpred pp (E.bpred_studies ~pool settings pipelines);
-    if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness ~pool settings pipelines)
+    if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness ~pool settings pipelines);
+    match (sample_summary, settings.E.sample) with
+    | Some path, Some interval ->
+      write_sample_summary ~pool ~interval settings pipelines path
+    | _ -> ()
   end;
   let snap = Pc_obs.Metrics.snapshot () in
   let spans = Pc_obs.Span.roots () in
@@ -140,6 +232,36 @@ let jobs_arg =
     & opt positive_int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let sample_arg =
+  let doc =
+    "Estimate timing and cache results by SimPoint-style sampled \
+     simulation with $(docv)-instruction intervals instead of simulating \
+     every dynamic instruction.  Defaults to $(b,PC_SAMPLE) when that is \
+     set to a positive integer; off otherwise.  With sampling off the \
+     output is byte-identical to earlier releases."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "sample" ] ~docv:"N" ~doc)
+
+let sample_out_arg =
+  let doc =
+    "With $(b,--sample), also run the detailed (unsampled) base-config \
+     simulations and write a JSON summary (schema $(b,pc-sample/1)) of \
+     every plan's statistics and projected-vs-detailed IPC error to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "sample-out" ] ~docv:"FILE" ~doc)
+
 let metrics_arg =
   let doc =
     "Print the observability report (metrics registry and per-stage span \
@@ -170,7 +292,7 @@ let cmd =
     (Cmd.info "run_experiments" ~doc)
     Term.(
       const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ metrics_out_arg
+      $ sample_arg $ sample_out_arg $ metrics_arg $ metrics_out_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)
 

@@ -19,23 +19,33 @@ type result = { config : Cache.config; misses : int; accesses : int; mpi : float
 let c_runs = Pc_obs.Metrics.counter "study.runs"
 let c_refs = Pc_obs.Metrics.counter "study.trace_refs"
 
-let run_trace feed =
+let run_trace ?warmup feed =
   let caches = Array.map Cache.create configs in
   let emit addr = Array.iter (fun c -> ignore (Cache.access c addr)) caches in
+  (* References fed during warmup prime the tag state but are excluded
+     from the reported counts by snapshotting each cache's counters at
+     the warmup/measurement boundary. *)
+  let warm_misses, warm_accesses =
+    match warmup with
+    | None -> (Array.make (Array.length caches) 0, Array.make (Array.length caches) 0)
+    | Some warm ->
+      warm emit;
+      (Array.map Cache.misses caches, Array.map Cache.accesses caches)
+  in
   let instrs = feed emit in
   Pc_obs.Metrics.incr c_runs;
-  Pc_obs.Metrics.add c_refs (Cache.accesses caches.(reference_index));
-  Array.map2
-    (fun config cache ->
+  Pc_obs.Metrics.add c_refs
+    (Cache.accesses caches.(reference_index) - warm_accesses.(reference_index));
+  Array.init (Array.length configs) (fun i ->
+      let misses = Cache.misses caches.(i) - warm_misses.(i) in
       {
-        config;
-        misses = Cache.misses cache;
-        accesses = Cache.accesses cache;
+        config = configs.(i);
+        misses;
+        accesses = Cache.accesses caches.(i) - warm_accesses.(i);
         mpi =
           (if instrs = 0 then 0.0
-           else float_of_int (Cache.misses cache) /. float_of_int instrs);
+           else float_of_int misses /. float_of_int instrs);
       })
-    configs caches
 
 let relative_mpi results =
   let reference = results.(reference_index).mpi in

@@ -16,13 +16,20 @@ type result = {
   mpi : float;  (** misses per instruction *)
 }
 
-val run_trace : ((int -> unit) -> int) -> result array
+val run_trace :
+  ?warmup:((int -> unit) -> unit) -> ((int -> unit) -> int) -> result array
 (** [run_trace feed] simulates all 28 caches in one pass over a memory
     reference trace.  [feed emit] must call [emit addr] for every data
     reference and return the total dynamic instruction count (the
     misses-per-instruction denominator).  Each completed pass bumps the
     global [study.runs] counter and adds the trace's reference count to
-    [study.trace_refs]. *)
+    [study.trace_refs].
+
+    [warmup], when given, is fed first through the same caches: its
+    references prime the tag state but are excluded from every reported
+    [misses]/[accesses] count (and from [study.trace_refs]).  Sampled
+    simulation uses this to measure one representative window on a
+    warmed cache without a second pass. *)
 
 val relative_mpi : result array -> float array
 (** The paper's Figure-4 series: misses-per-instruction of each of the 27

@@ -19,6 +19,7 @@ type settings = {
   sim_instrs : int;
   clone_dynamic : int;
   benchmarks : string list;
+  sample : int option;
 }
 
 let default_settings =
@@ -28,6 +29,7 @@ let default_settings =
     sim_instrs = 2_000_000;
     clone_dynamic = 100_000;
     benchmarks = [];
+    sample = None;
   }
 
 let quick_settings =
@@ -37,6 +39,7 @@ let quick_settings =
     sim_instrs = 500_000;
     clone_dynamic = 50_000;
     benchmarks = [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ];
+    sample = None;
   }
 
 let prepare ?(pool = Pool.serial) settings =
@@ -74,10 +77,42 @@ let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 let trace_store : (string, float array) Store.t = Store.create ~name:"trace" ()
 let sim_store : (string, Sim.result) Store.t = Store.create ~name:"sim" ()
 
+let plan_store : (string, Pc_sample.Sample.plan) Store.t =
+  Store.create ~name:"sample.plan" ()
+
 let clear_caches () =
   Store.clear trace_store;
   Store.clear sim_store;
+  Store.clear plan_store;
   Store.clear Pipeline.profile_store
+
+(* Sampling plans are keyed per (program, budget, interval, seed) and
+   shared by every estimator that simulates the same program: the timing
+   model reuses the plan across all configurations (the BBV phases are
+   microarchitecture-independent), and the cache study replays the same
+   representative traces. *)
+let sample_plan settings ~interval program =
+  let key = digest (program, settings.sim_instrs, interval, settings.seed) in
+  Store.find_or_compute plan_store key (fun () ->
+      Pc_sample.Sample.plan ~seed:settings.seed ~interval
+        ~max_instrs:settings.sim_instrs program)
+
+let prepare_sample ?(pool = Pool.serial) settings pipelines =
+  match settings.sample with
+  | None -> ()
+  | Some interval ->
+    Span.with_ "sample_plans" @@ fun () ->
+    let programs =
+      List.concat_map
+        (fun (p : Pipeline.t) -> [ p.Pipeline.original; p.Pipeline.clone ])
+        pipelines
+    in
+    Log.info (fun m ->
+        m "building %d sampling plans (interval %d)" (List.length programs) interval);
+    ignore
+      (Pool.map pool
+         (fun program -> ignore (sample_plan settings ~interval program))
+         programs)
 
 (* --- Figure 3 --- *)
 
@@ -103,24 +138,40 @@ type cache_study = {
   clone_mpi : float array;
 }
 
-let mpi_trace ~max_instrs program =
-  let key = digest (program, max_instrs) in
+let mpi_trace settings program =
+  let max_instrs = settings.sim_instrs in
   let mpis =
-    Store.find_or_compute trace_store key (fun () ->
-        let results =
-          Study.run_trace (fun emit ->
-              let m = Machine.load program in
-              Machine.run ~max_instrs m (fun ev ->
-                  if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
-        in
-        Array.map (fun (r : Study.result) -> r.Study.mpi) results)
+    match settings.sample with
+    | None ->
+      let key = digest (program, max_instrs) in
+      Store.find_or_compute trace_store key (fun () ->
+          let results =
+            Study.run_trace (fun emit ->
+                let m = Machine.load program in
+                Machine.run ~max_instrs m (fun ev ->
+                    if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+          in
+          Array.map (fun (r : Study.result) -> r.Study.mpi) results)
+    | Some interval ->
+      let key = digest ("sampled-mpi", program, max_instrs, interval, settings.seed) in
+      Store.find_or_compute trace_store key (fun () ->
+          Pc_sample.Sample.project_mpi (sample_plan settings ~interval program))
   in
   Array.copy mpis
 
-let sim_run ~max_instrs config program =
-  let key = digest (config, program, max_instrs) in
-  Store.find_or_compute sim_store key (fun () ->
-      Sim.run ~max_instrs config program)
+let sim_run settings config program =
+  let max_instrs = settings.sim_instrs in
+  match settings.sample with
+  | None ->
+    let key = digest (config, program, max_instrs) in
+    Store.find_or_compute sim_store key (fun () ->
+        Sim.run ~max_instrs config program)
+  | Some interval ->
+    let key =
+      digest ("sampled-sim", config, program, max_instrs, interval, settings.seed)
+    in
+    Store.find_or_compute sim_store key (fun () ->
+        Pc_sample.Sample.project_sim config (sample_plan settings ~interval program))
 
 let study_of_mpis bench orig_mpi clone_mpi =
   let rel mpis =
@@ -138,8 +189,8 @@ let cache_studies ?(pool = Pool.serial) settings pipelines =
   Pool.map pool
     (fun (p : Pipeline.t) ->
       Span.with_ ("cache_study:" ^ p.Pipeline.name) @@ fun () ->
-      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
-      let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      let orig_mpi = mpi_trace settings p.Pipeline.original in
+      let clone_mpi = mpi_trace settings p.Pipeline.clone in
       study_of_mpis p.Pipeline.name orig_mpi clone_mpi)
     pipelines
 
@@ -197,8 +248,8 @@ let base_runs ?(pool = Pool.serial) settings pipelines =
   Pool.map pool
     (fun (p : Pipeline.t) ->
       Span.with_ ("base_run:" ^ p.Pipeline.name) @@ fun () ->
-      let ro = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
-      let rc = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      let ro = sim_run settings cfg p.Pipeline.original in
+      let rc = sim_run settings cfg p.Pipeline.clone in
       {
         bench = p.Pipeline.name;
         ipc_orig = ro.Sim.ipc;
@@ -284,8 +335,8 @@ let run_design_changes ?(pool = Pool.serial) settings pipelines =
   let base =
     Pool.map pool
       (fun (p : Pipeline.t) ->
-        let ro = sim_run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.original in
-        let rc = sim_run ~max_instrs:settings.sim_instrs base_cfg p.Pipeline.clone in
+        let ro = sim_run settings base_cfg p.Pipeline.original in
+        let rc = sim_run settings base_cfg p.Pipeline.clone in
         (p, ro, rc))
       pipelines
   in
@@ -294,8 +345,8 @@ let run_design_changes ?(pool = Pool.serial) settings pipelines =
       let rows =
         Pool.map pool
           (fun ((p : Pipeline.t), base_orig, base_clone) ->
-            let new_orig = sim_run ~max_instrs:settings.sim_instrs config p.Pipeline.original in
-            let new_clone = sim_run ~max_instrs:settings.sim_instrs config p.Pipeline.clone in
+            let new_orig = sim_run settings config p.Pipeline.original in
+            let new_clone = sim_run settings config p.Pipeline.clone in
             let ipc_ratio_orig = new_orig.Sim.ipc /. base_orig.Sim.ipc in
             let ipc_ratio_clone = new_clone.Sim.ipc /. base_clone.Sim.ipc in
             let pw_ratio_orig =
@@ -398,7 +449,7 @@ let bpred_studies ?(pool = Pool.serial) settings pipelines =
       (List.map
          (fun bp ->
            let cfg = Config.with_bpred bp Config.base in
-           Sim.mispredict_rate (sim_run ~max_instrs:settings.sim_instrs cfg program))
+           Sim.mispredict_rate (sim_run settings cfg program))
          bpred_configs)
   in
   Pool.map pool
@@ -438,7 +489,7 @@ let seed_robustness ?(pool = Pool.serial) ?(seeds = [ 1; 2; 3; 4; 5 ]) settings 
   Span.with_ "seeds" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
-      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
+      let orig_mpi = mpi_trace settings p.Pipeline.original in
       let correlations =
         Array.of_list
           (List.map
@@ -451,7 +502,7 @@ let seed_robustness ?(pool = Pool.serial) ?(seeds = [ 1; 2; 3; 4; 5 ]) settings 
                  }
                in
                let clone = Pc_synth.Synth.generate ~options p.Pipeline.profile in
-               let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs clone in
+               let clone_mpi = mpi_trace settings clone in
                (study_of_mpis p.Pipeline.name orig_mpi clone_mpi).correlation)
              seeds)
       in
@@ -486,8 +537,8 @@ let statsim_comparison ?(pool = Pool.serial) settings pipelines =
   let cfg = Config.base in
   Pool.map pool
     (fun (p : Pipeline.t) ->
-      let ro = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.original in
-      let rc = sim_run ~max_instrs:settings.sim_instrs cfg p.Pipeline.clone in
+      let ro = sim_run settings cfg p.Pipeline.original in
+      let rc = sim_run settings cfg p.Pipeline.clone in
       let rs =
         Pc_statsim.Statsim.estimate ~seed:settings.seed
           ~instrs:(min 200_000 settings.sim_instrs) cfg p.Pipeline.profile
@@ -531,13 +582,13 @@ let portable_comparison ?(pool = Pool.serial) settings pipelines =
   Span.with_ "portable" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
-      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
-      let asm_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      let orig_mpi = mpi_trace settings p.Pipeline.original in
+      let asm_mpi = mpi_trace settings p.Pipeline.clone in
       let kc_clone =
         Pc_synth.Portable.generate_compiled ~seed:settings.seed
           ~target_dynamic:settings.clone_dynamic p.Pipeline.profile
       in
-      let kc_mpi = mpi_trace ~max_instrs:settings.sim_instrs kc_clone in
+      let kc_mpi = mpi_trace settings kc_clone in
       {
         po_bench = p.Pipeline.name;
         po_asm_correlation = (study_of_mpis p.Pipeline.name orig_mpi asm_mpi).correlation;
@@ -571,12 +622,12 @@ let ablation ?(pool = Pool.serial) settings pipelines =
   Span.with_ "ablation" @@ fun () ->
   Pool.map pool
     (fun (p : Pipeline.t) ->
-      let orig_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.original in
-      let clone_mpi = mpi_trace ~max_instrs:settings.sim_instrs p.Pipeline.clone in
+      let orig_mpi = mpi_trace settings p.Pipeline.original in
+      let clone_mpi = mpi_trace settings p.Pipeline.clone in
       let baseline =
         Pipeline.microdep_baseline ~seed:settings.seed ~reference:Config.base p
       in
-      let dep_mpi = mpi_trace ~max_instrs:settings.sim_instrs baseline in
+      let dep_mpi = mpi_trace settings baseline in
       let indep = (study_of_mpis p.Pipeline.name orig_mpi clone_mpi).correlation in
       let dep = (study_of_mpis p.Pipeline.name orig_mpi dep_mpi).correlation in
       { ab_bench = p.Pipeline.name; indep_correlation = indep; dep_correlation = dep })

@@ -9,6 +9,12 @@ type settings = {
   sim_instrs : int;  (** timing/cache simulation budget per run *)
   clone_dynamic : int;  (** clone target dynamic length *)
   benchmarks : string list;  (** benchmark names; empty = all 23 *)
+  sample : int option;
+      (** [Some interval]: estimate timing and cache results by
+          SimPoint-style sampled simulation ({!Pc_sample.Sample}) with
+          the given interval size instead of simulating every dynamic
+          instruction.  [None] (the default everywhere) leaves every
+          figure byte-identical to unsampled operation. *)
 }
 
 val default_settings : settings
@@ -24,16 +30,37 @@ val prepare : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list
     per-benchmark work out through [pool] (default: serial).  Results
     are in registry order and bit-identical at every pool width. *)
 
+val sample_plan :
+  settings -> interval:int -> Pc_isa.Program.t -> Pc_sample.Sample.plan
+(** The memoized sampling plan for a program under these settings
+    (computed on first use, then shared).  The CLI uses this to report
+    per-program plan statistics without recomputing. *)
+
+val prepare_sample : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> unit
+(** When [settings.sample] is set, build the sampling plan of every
+    pipeline's original and clone program up front, fanning the
+    (functional-profiling + clustering) work out through [pool].  A
+    no-op with sampling off.  Drivers build missing plans lazily, so
+    this is purely a parallelism optimisation — call it from the top
+    level, never from inside a pool task. *)
+
 val clear_caches : unit -> unit
-(** Empty the memo stores ({!trace_store}, {!sim_store} and
-    {!Pipeline.profile_store}) and reset their counters.  Tests use this
-    to compare truly cold serial and parallel runs. *)
+(** Empty the memo stores ({!trace_store}, {!sim_store}, {!plan_store}
+    and {!Pipeline.profile_store}) and reset their counters.  Tests use
+    this to compare truly cold serial and parallel runs. *)
 
 val trace_store : (string, float array) Pc_exec.Store.t
-(** 28-cache-study MPI series, keyed by a digest of (program, budget). *)
+(** 28-cache-study MPI series, keyed by a digest of (program, budget)
+    — plus interval and seed for sampled projections. *)
 
 val sim_store : (string, Pc_uarch.Sim.result) Pc_exec.Store.t
-(** Timing-model results, keyed by a digest of (config, program, budget). *)
+(** Timing-model results, keyed by a digest of (config, program, budget)
+    — plus interval and seed for sampled projections. *)
+
+val plan_store : (string, Pc_sample.Sample.plan) Pc_exec.Store.t
+(** Sampling plans, keyed by a digest of (program, budget, interval,
+    seed); shared across every configuration that simulates the same
+    program (phases are microarchitecture-independent). *)
 
 (** {1 Figure 3 — single-stride coverage} *)
 

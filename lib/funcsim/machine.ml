@@ -69,6 +69,19 @@ let load program =
       };
   }
 
+type statics = {
+  s_classes : Instr.iclass array;
+  s_read_lists : int list array;
+  s_write_ids : int array;
+}
+
+let statics t =
+  {
+    s_classes = Array.copy t.classes;
+    s_read_lists = Array.copy t.read_lists;
+    s_write_ids = Array.copy t.write_ids;
+  }
+
 let halted t = t.halted
 let instruction_count t = t.icount
 let retired_by_class t = Array.copy t.retired

@@ -42,6 +42,19 @@ val run : ?max_instrs:int -> t -> (event -> unit) -> int
     per-class [funcsim.retired.<class>] counters and the
     [funcsim.mem.pages_touched] high-water gauge. *)
 
+type statics = {
+  s_classes : Pc_isa.Instr.iclass array;  (** class per static pc *)
+  s_read_lists : int list array;  (** register ids read per static pc *)
+  s_write_ids : int array;  (** register id written per static pc, or [-1] *)
+}
+
+val statics : t -> statics
+(** Per-static-instruction metadata (fresh copies, indexed by [pc]).
+    Together with the dynamic [(pc, taken, mem_addr)] triple this is
+    enough to reconstruct the full retired-event stream, which is what
+    lets sampled simulation record compact replay traces instead of
+    whole event records. *)
+
 val halted : t -> bool
 val instruction_count : t -> int
 

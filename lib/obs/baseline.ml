@@ -1,0 +1,106 @@
+module Json = Pc_util.Json
+
+let check_schema ~expected doc issues =
+  match Option.bind (Json.member "schema" doc) Json.to_string with
+  | Some s when s = expected -> issues
+  | Some s ->
+    Printf.sprintf "schema mismatch: expected %s, found %s" expected s :: issues
+  | None -> Printf.sprintf "schema field missing (expected %s)" expected :: issues
+
+(* The [counters] and [gauges] fields are flat {name: int} objects. *)
+let int_fields key doc =
+  match Json.member key doc with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (name, v) -> Option.map (fun i -> (name, i)) (Json.to_int v))
+      fields
+  | _ -> []
+
+let compare_exact ~kind ~baseline ~current =
+  let issues = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name current with
+      | Some c when c = b -> ()
+      | Some c -> report "%s %s: baseline %d, current %d" kind name b c
+      | None -> report "%s %s: missing from current run (baseline %d)" kind name b)
+    baseline;
+  List.iter
+    (fun (name, c) ->
+      if List.assoc_opt name baseline = None then
+        report "%s %s: not in baseline (current %d); regenerate baselines" kind
+          name c)
+    current;
+  List.rev !issues
+
+let check_metrics ~baseline ~current =
+  let issues =
+    check_schema ~expected:"pc-obs/1" baseline []
+    |> check_schema ~expected:"pc-obs/1" current
+  in
+  List.rev issues
+  @ compare_exact ~kind:"counter"
+      ~baseline:(int_fields "counters" baseline)
+      ~current:(int_fields "counters" current)
+  @ compare_exact ~kind:"gauge"
+      ~baseline:(int_fields "gauges" baseline)
+      ~current:(int_fields "gauges" current)
+
+(* --- bench timings --- *)
+
+let bench_rows doc =
+  match Option.bind (Json.member "results" doc) Json.to_list with
+  | None -> []
+  | Some rows ->
+    List.filter_map
+      (fun row ->
+        match Option.bind (Json.member "name" row) Json.to_string with
+        | None -> None
+        | Some name ->
+          Some (name, Option.bind (Json.member "ms_per_run" row) Json.to_float))
+      rows
+
+let median values =
+  match List.sort compare values with
+  | [] -> None
+  | sorted ->
+    let n = List.length sorted in
+    let nth i = List.nth sorted i in
+    Some
+      (if n mod 2 = 1 then nth (n / 2)
+       else 0.5 *. (nth ((n / 2) - 1) +. nth (n / 2)))
+
+let check_bench ~tolerance ~baseline ~current =
+  let issues =
+    check_schema ~expected:"pc-bench/1" baseline []
+    |> check_schema ~expected:"pc-bench/1" current
+    |> List.rev
+  in
+  let b_rows = bench_rows baseline and c_rows = bench_rows current in
+  let timings rows = List.filter_map snd rows in
+  match (median (timings b_rows), median (timings c_rows)) with
+  | None, _ | _, None ->
+    issues @ [ "bench report without any ms_per_run estimates" ]
+  | Some b_med, Some c_med when b_med <= 0.0 || c_med <= 0.0 ->
+    issues @ [ "bench report with non-positive median ms/run" ]
+  | Some b_med, Some c_med ->
+    let drifts = ref [] in
+    let report fmt = Printf.ksprintf (fun s -> drifts := s :: !drifts) fmt in
+    List.iter
+      (fun (name, b_ms) ->
+        match (b_ms, List.assoc_opt name c_rows) with
+        | None, _ -> ()
+        | Some b_ms, Some (Some c_ms) ->
+          let b_norm = b_ms /. b_med and c_norm = c_ms /. c_med in
+          if c_norm > b_norm *. (1.0 +. tolerance) then
+            report
+              "bench %s: %.1f%% slower than baseline (median-normalised %.4f \
+               vs %.4f)"
+              name
+              (100.0 *. ((c_norm /. b_norm) -. 1.0))
+              c_norm b_norm
+        | Some _, Some None | Some _, None ->
+          report "bench %s: missing from current run" name)
+      b_rows;
+    issues @ List.rev !drifts

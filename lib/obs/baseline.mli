@@ -1,0 +1,33 @@
+(** Regression gating against checked-in baseline artefacts.
+
+    CI archives two JSON artefacts per run: the [pc-obs/1] metrics
+    report and the [pc-bench/1] timing report.  This module compares a
+    current artefact against a committed baseline and reports
+    human-readable discrepancies; an empty list means the gate passes.
+
+    Metric counters and gauges are workload counts (instructions
+    retired, cache refs, store hits...), deterministic for a fixed
+    seed at [-j 1], so they are compared exactly: any drift means the
+    pipeline's behaviour changed and either a bug crept in or the
+    baseline must be regenerated deliberately.  Duration histograms
+    and spans are timing, not behaviour, and are ignored.
+
+    Bench timings are machine-dependent, so each report is first
+    normalised by its own median ms/run; a test regresses when its
+    normalised cost exceeds the baseline's by more than [tolerance]
+    (default 20%). *)
+
+val check_metrics :
+  baseline:Pc_util.Json.t -> current:Pc_util.Json.t -> string list
+(** Exact comparison of the [counters] and [gauges] objects of two
+    [pc-obs/1] documents: value drift, instruments missing from the
+    current run, and new instruments absent from the baseline are all
+    reported (the latter so baselines cannot silently go stale). *)
+
+val check_bench :
+  tolerance:float -> baseline:Pc_util.Json.t -> current:Pc_util.Json.t -> string list
+(** Median-normalised comparison of two [pc-bench/1] documents;
+    [tolerance] is the allowed relative slowdown per entry (the CI
+    gate uses 0.20).  Entries with a null [ms_per_run] on either side
+    are skipped; entries missing from the current run are reported;
+    faster-than-baseline entries never fail. *)

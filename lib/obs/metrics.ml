@@ -138,6 +138,13 @@ let snapshot () =
   }
 
 let diff ~before ~after =
+  (* Every instrument of [after] appears in the result.  An instrument
+     created between the snapshots (e.g. by a lazily-built store) has no
+     [before] entry and counts from zero — its [after] value IS the
+     window value.  A histogram whose bucket layout changed between
+     snapshots (re-registered after a registry wipe) is treated the same
+     way: subtracting across incompatible layouts would raise or
+     silently misattribute counts. *)
   let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
   {
     counters =
@@ -150,6 +157,7 @@ let diff ~before ~after =
         (fun (name, (h : hist_view)) ->
           match List.assoc_opt name before.histograms with
           | None -> (name, h)
+          | Some b when b.le <> h.le -> (name, h)
           | Some b ->
             ( name,
               {

@@ -93,9 +93,13 @@ val snapshot : unit -> snapshot
     read atomically; the set is read under the registry lock). *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
-(** Counter and histogram values of [after] minus [before] (instruments
-    missing from [before] count from zero); gauges keep their [after]
-    value.  Instruments only present in [before] are dropped. *)
+(** Counter and histogram values of [after] minus [before]; gauges keep
+    their [after] value.  Instruments missing from [before] — created
+    mid-run, e.g. by a lazily-built store — count from zero, so their
+    [after] value is reported unchanged.  A histogram whose bucket
+    layout differs between the snapshots is likewise reported with its
+    [after] value rather than a meaningless cross-layout subtraction.
+    Instruments only present in [before] are dropped. *)
 
 val reset : unit -> unit
 (** Zero every registered instrument (registrations survive).  For

@@ -1,0 +1,468 @@
+module I = Pc_isa.Instr
+module Machine = Pc_funcsim.Machine
+module Rng = Pc_util.Rng
+module Sim = Pc_uarch.Sim
+module Config = Pc_uarch.Config
+module Study = Pc_caches.Study
+module M = Pc_obs.Metrics
+
+(* --- packed replay events ---
+
+   The timing model reads only (pc, taken, mem_addr) dynamically; class,
+   register reads and the written register are static per-pc tables
+   (Machine.statics), and next_pc is never consulted.  One native int
+   per retired instruction therefore replays the exact event stream:
+
+     bit 0            taken
+     bits 1..22       static pc
+     bits 23..        mem_addr + 1   (0 = no memory access)
+
+   SRISC addresses stay below the stack base (< 2^23), so the packed
+   value fits comfortably in OCaml's 63-bit int. *)
+
+let pc_bits = 22
+let pc_mask = (1 lsl pc_bits) - 1
+
+let pack ~pc ~taken ~mem_addr =
+  if pc > pc_mask then
+    invalid_arg "Pc_sample: static program too large for packed replay traces";
+  ((mem_addr + 1) lsl (pc_bits + 1)) lor (pc lsl 1) lor (if taken then 1 else 0)
+
+let packed_pc v = (v lsr 1) land pc_mask
+let packed_taken v = v land 1 = 1
+let packed_mem_addr v = (v lsr (pc_bits + 1)) - 1
+
+type rep = {
+  cluster : int;
+  start : int;
+  window : int;
+  warmup : int;
+  weight : int;
+  trace : int array;
+}
+
+type plan = {
+  interval : int;
+  total_instrs : int;
+  n_intervals : int;
+  k : int;
+  dims : int;
+  coverage : float;
+  reps : rep array;
+  statics : Machine.statics;
+}
+
+(* --- metrics --- *)
+
+let c_plans = M.counter "sample.plans"
+let c_intervals = M.counter "sample.intervals"
+let c_clusters = M.counter "sample.clusters"
+let c_projections = M.counter "sample.projections"
+let c_replayed = M.counter "sample.replayed_instrs"
+let g_coverage = M.gauge "sample.coverage_bp"
+
+(* --- BBV collection ---
+
+   Per-interval execution-frequency vectors over static instructions,
+   randomly projected into [dims] dimensions by hashing the pc
+   (SimPoint projects basic-block vectors the same way; counting per
+   static instruction rather than per block leader carries the same
+   phase signal on SRISC's small programs).  Each vector is normalised
+   by the interval length so a short final interval clusters by shape,
+   not size. *)
+
+let dim_of_pc dims pc = (pc * 0x9E3779B9) land max_int mod dims
+
+let collect_bbvs ~dims ~interval ~max_instrs program =
+  let m = Machine.load program in
+  let counts = Array.make dims 0 in
+  let vectors = ref [] in
+  let filled = ref 0 in
+  let flush () =
+    if !filled > 0 then begin
+      let n = float_of_int !filled in
+      vectors := Array.map (fun c -> float_of_int c /. n) counts :: !vectors;
+      Array.fill counts 0 dims 0;
+      filled := 0
+    end
+  in
+  let total =
+    Machine.run ~max_instrs m (fun ev ->
+        let d = dim_of_pc dims ev.Machine.pc in
+        counts.(d) <- counts.(d) + 1;
+        incr filled;
+        if !filled = interval then flush ())
+  in
+  flush ();
+  (total, Array.of_list (List.rev !vectors), Machine.statics m)
+
+(* --- seeded k-means with BIC-style k selection --- *)
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let nearest centroids v =
+  let best = ref 0 and best_d = ref (sq_dist centroids.(0) v) in
+  for c = 1 to Array.length centroids - 1 do
+    let d = sq_dist centroids.(c) v in
+    if d < !best_d then begin
+      best := c;
+      best_d := d
+    end
+  done;
+  (!best, !best_d)
+
+(* k-means++ seeding: each subsequent centroid is drawn with probability
+   proportional to its squared distance from the chosen set. *)
+let seed_centroids rng k vectors =
+  let n = Array.length vectors in
+  let centroids = Array.make k vectors.(Rng.int rng n) in
+  for c = 1 to k - 1 do
+    let d2 = Array.map (fun v -> snd (nearest (Array.sub centroids 0 c) v)) vectors in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i d ->
+        acc := !acc +. d;
+        cdf.(i) <- !acc)
+      d2;
+    let pick = if !acc > 0.0 then Rng.sample_cdf rng cdf else Rng.int rng n in
+    centroids.(c) <- vectors.(pick)
+  done;
+  Array.map Array.copy centroids
+
+let kmeans rng ~k ~iters vectors =
+  let n = Array.length vectors in
+  let dims = Array.length vectors.(0) in
+  let centroids = seed_centroids rng k vectors in
+  let assignment = Array.make n (-1) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < iters do
+    incr rounds;
+    changed := false;
+    Array.iteri
+      (fun i v ->
+        let c, _ = nearest centroids v in
+        if c <> assignment.(i) then begin
+          assignment.(i) <- c;
+          changed := true
+        end)
+      vectors;
+    (* Recompute centroids; an emptied cluster adopts the point farthest
+       from its current centroid (deterministic, no extra draws). *)
+    let sums = Array.init k (fun _ -> Array.make dims 0.0) in
+    let members = Array.make k 0 in
+    Array.iteri
+      (fun i v ->
+        let c = assignment.(i) in
+        members.(c) <- members.(c) + 1;
+        Array.iteri (fun d x -> sums.(c).(d) <- sums.(c).(d) +. x) v)
+      vectors;
+    Array.iteri
+      (fun c sum ->
+        if members.(c) > 0 then begin
+          let inv = 1.0 /. float_of_int members.(c) in
+          centroids.(c) <- Array.map (fun x -> x *. inv) sum
+        end
+        else begin
+          let far = ref 0 and far_d = ref neg_infinity in
+          Array.iteri
+            (fun i v ->
+              let d = sq_dist centroids.(assignment.(i)) v in
+              if d > !far_d then begin
+                far := i;
+                far_d := d
+              end)
+            vectors;
+          centroids.(c) <- Array.copy vectors.(!far);
+          assignment.(!far) <- c;
+          changed := true
+        end)
+      sums
+  done;
+  let sse = ref 0.0 in
+  Array.iteri
+    (fun i v -> sse := !sse +. sq_dist centroids.(assignment.(i)) v)
+    vectors;
+  (assignment, centroids, !sse)
+
+(* BIC-style model selection (the SimPoint rule): score each k by a
+   spherical-Gaussian log-likelihood proxy penalised by parameter count,
+   then take the smallest k whose score reaches 90% of the way from the
+   worst to the best.  Favouring small k keeps the replay budget low
+   while still splitting genuinely distinct phases. *)
+let bic_score ~n ~dims ~k sse =
+  let nf = float_of_int n in
+  let ll = -0.5 *. nf *. log ((sse /. nf) +. 1e-12) in
+  let params = float_of_int (k * (dims + 1)) in
+  ll -. (0.5 *. params *. log nf)
+
+let choose_clustering rng ~max_k ~restarts vectors =
+  let n = Array.length vectors in
+  let dims = Array.length vectors.(0) in
+  let max_k = max 1 (min max_k n) in
+  let candidates =
+    Array.init max_k (fun i ->
+        let k = i + 1 in
+        let best = ref None in
+        for _ = 1 to restarts do
+          let (_, _, sse) as r = kmeans rng ~k ~iters:50 vectors in
+          match !best with
+          | Some (_, _, best_sse) when best_sse <= sse -> ()
+          | _ -> best := Some r
+        done;
+        let assignment, centroids, sse = Option.get !best in
+        (k, assignment, centroids, bic_score ~n ~dims ~k sse))
+  in
+  let scores = Array.map (fun (_, _, _, s) -> s) candidates in
+  let s_min = Array.fold_left min infinity scores in
+  let s_max = Array.fold_left max neg_infinity scores in
+  let threshold = s_min +. (0.9 *. (s_max -. s_min)) in
+  let chosen = ref (Array.length candidates - 1) in
+  (try
+     Array.iteri
+       (fun i (_, _, _, s) ->
+         if s >= threshold then begin
+           chosen := i;
+           raise Exit
+         end)
+       candidates
+   with Exit -> ());
+  let k, assignment, centroids, _ = candidates.(!chosen) in
+  (k, assignment, centroids)
+
+(* --- plan construction --- *)
+
+let interval_length ~interval ~total i =
+  min interval (total - (i * interval))
+
+let plan ?(dims = 32) ?(max_k = 6) ?(restarts = 3) ?warmup ~seed ~interval
+    ~max_instrs program =
+  if interval <= 0 then invalid_arg "Pc_sample.plan: interval must be positive";
+  (* Default warmup: one full interval.  The replayed representative
+     starts with cold caches and predictors that the detailed run has
+     long since warmed; anything shorter leaves a visible cold-start
+     bias (projected CPI systematically high) once L2 is in play. *)
+  let warmup_target = match warmup with Some w -> max 0 w | None -> interval in
+  let total_instrs, vectors, statics =
+    collect_bbvs ~dims ~interval ~max_instrs program
+  in
+  if total_instrs = 0 then invalid_arg "Pc_sample.plan: program retired no instructions";
+  let n_intervals = Array.length vectors in
+  let rng = Rng.create (seed lxor 0x53414d50 (* "SAMP" *)) in
+  let k, assignment, centroids = choose_clustering rng ~max_k ~restarts vectors in
+  (* Representative per cluster: the member interval nearest its
+     centroid; weight is the cluster's dynamic instruction count. *)
+  let rep_specs =
+    Array.init k (fun c ->
+        let best = ref (-1) and best_d = ref infinity in
+        let weight = ref 0 in
+        Array.iteri
+          (fun i v ->
+            if assignment.(i) = c then begin
+              weight := !weight + interval_length ~interval ~total:total_instrs i;
+              let d = sq_dist centroids.(c) v in
+              if d < !best_d then begin
+                best := i;
+                best_d := d
+              end
+            end)
+          vectors;
+        let idx = !best in
+        let start = idx * interval in
+        let window = interval_length ~interval ~total:total_instrs idx in
+        let warmup = min warmup_target start in
+        (c, start, window, warmup, !weight))
+  in
+  (* Second functional pass: record the packed replay trace of every
+     representative (warmup prefix + measurement window) in one sweep. *)
+  let traces =
+    Array.map (fun (_, start, window, warmup, _) ->
+        (start - warmup, start + window, Array.make (warmup + window) 0, ref 0))
+      rep_specs
+  in
+  let m = Machine.load program in
+  let index = ref 0 in
+  ignore
+    (Machine.run ~max_instrs m (fun ev ->
+         let i = !index in
+         incr index;
+         Array.iter
+           (fun (lo, hi, buf, cursor) ->
+             if i >= lo && i < hi then begin
+               buf.(!cursor) <-
+                 pack ~pc:ev.Machine.pc ~taken:ev.Machine.taken
+                   ~mem_addr:ev.Machine.mem_addr;
+               incr cursor
+             end)
+           traces));
+  let reps =
+    Array.mapi
+      (fun r (c, start, window, warmup, weight) ->
+        let _, _, trace, cursor = traces.(r) in
+        assert (!cursor = Array.length trace);
+        { cluster = c; start; window; warmup; weight; trace })
+      rep_specs
+  in
+  let replayed =
+    Array.fold_left (fun acc rep -> acc + Array.length rep.trace) 0 reps
+  in
+  let coverage = float_of_int replayed /. float_of_int total_instrs in
+  M.incr c_plans;
+  M.add c_intervals n_intervals;
+  M.add c_clusters k;
+  M.record_max g_coverage (int_of_float (coverage *. 10_000.0));
+  { interval; total_instrs; n_intervals; k; dims; coverage; reps; statics }
+
+(* --- replay --- *)
+
+let replay_events statics trace on_event =
+  let ev =
+    {
+      Machine.pc = 0;
+      iclass = I.C_other;
+      mem_addr = -1;
+      is_store = false;
+      is_branch = false;
+      taken = false;
+      next_pc = 0;
+      reads = [];
+      writes = -1;
+    }
+  in
+  Array.iter
+    (fun packed ->
+      let pc = packed_pc packed in
+      let cls = statics.Machine.s_classes.(pc) in
+      ev.Machine.pc <- pc;
+      ev.Machine.iclass <- cls;
+      ev.Machine.mem_addr <- packed_mem_addr packed;
+      ev.Machine.is_store <- cls = I.C_store;
+      ev.Machine.is_branch <- cls = I.C_branch;
+      ev.Machine.taken <- packed_taken packed;
+      ev.Machine.reads <- statics.Machine.s_read_lists.(pc);
+      ev.Machine.writes <- statics.Machine.s_write_ids.(pc);
+      on_event ev)
+    trace;
+  Array.length trace
+
+(* --- projection: timing --- *)
+
+let project_sim (cfg : Config.t) plan =
+  let runs =
+    Array.map
+      (fun rep ->
+        M.add c_replayed (Array.length rep.trace);
+        ( rep,
+          Sim.run_events ~measure_from:rep.warmup cfg
+            (replay_events plan.statics rep.trace) ))
+      plan.reps
+  in
+  (* Whole-program cycles: each cluster contributes its population's
+     instruction count at its representative's warmup-free CPI. *)
+  let cycles_f =
+    Array.fold_left
+      (fun acc (rep, (r : Sim.result)) ->
+        let cpi =
+          float_of_int r.Sim.measured_cycles /. float_of_int (max 1 r.Sim.measured_instrs)
+        in
+        acc +. (float_of_int rep.weight *. cpi))
+      0.0 runs
+  in
+  let cycles = max 1 (int_of_float (Float.round cycles_f)) in
+  let total = plan.total_instrs in
+  (* Event counters scale by cluster population over replayed length —
+     an approximation (the warmup share of each replay is attributed
+     pro rata), good enough for the power model and cross-checks. *)
+  let scaled field =
+    let acc =
+      Array.fold_left
+        (fun acc (rep, r) ->
+          let ratio =
+            float_of_int rep.weight /. float_of_int (max 1 (Array.length rep.trace))
+          in
+          acc +. (float_of_int (field r) *. ratio))
+        0.0 runs
+    in
+    int_of_float (Float.round acc)
+  in
+  let class_counts =
+    Array.init I.class_count (fun i -> scaled (fun r -> r.Sim.class_counts.(i)))
+  in
+  let maxed field = Array.fold_left (fun acc (_, r) -> max acc (field r)) 0 runs in
+  M.incr c_projections;
+  {
+    Sim.config_name = cfg.Config.name;
+    instrs = total;
+    cycles;
+    ipc = float_of_int total /. float_of_int cycles;
+    class_counts;
+    branches = scaled (fun r -> r.Sim.branches);
+    mispredictions = scaled (fun r -> r.Sim.mispredictions);
+    l1i_accesses = scaled (fun r -> r.Sim.l1i_accesses);
+    l1i_misses = scaled (fun r -> r.Sim.l1i_misses);
+    l1d_accesses = scaled (fun r -> r.Sim.l1d_accesses);
+    l1d_misses = scaled (fun r -> r.Sim.l1d_misses);
+    l2_accesses = scaled (fun r -> r.Sim.l2_accesses);
+    l2_misses = scaled (fun r -> r.Sim.l2_misses);
+    mem_accesses = scaled (fun r -> r.Sim.mem_accesses);
+    rob_high_water = maxed (fun r -> r.Sim.rob_high_water);
+    lsq_high_water = maxed (fun r -> r.Sim.lsq_high_water);
+    fetch_stall_icache_cycles = scaled (fun r -> r.Sim.fetch_stall_icache_cycles);
+    fetch_stall_mispredict_cycles =
+      scaled (fun r -> r.Sim.fetch_stall_mispredict_cycles);
+    measured_instrs = total;
+    measured_cycles = cycles;
+  }
+
+(* --- projection: the 28-cache study --- *)
+
+let feed_addrs trace ~from ~until emit =
+  for i = from to until - 1 do
+    let addr = packed_mem_addr trace.(i) in
+    if addr >= 0 then emit addr
+  done
+
+(* Cold-start bounds.  A replayed window starts from caches warmed only
+   by its short prefix; for configurations much larger than the prefix's
+   reach, re-touched lines miss spuriously and a cold replay
+   overestimates misses (upper bound).  Priming the caches with one
+   extra pass of the window itself before measuring removes those
+   misses but also the genuine compulsory ones (lower bound).  The
+   midpoint of the two bounds is the projection — the classic
+   cold/warm-bound estimator for sampled cache simulation. *)
+let project_mpi plan =
+  let n_configs = Array.length Study.configs in
+  let proj_misses = Array.make n_configs 0.0 in
+  Array.iter
+    (fun rep ->
+      M.add c_replayed (2 * Array.length rep.trace);
+      let len = Array.length rep.trace in
+      let run ~prime =
+        Study.run_trace
+          ~warmup:(fun emit ->
+            feed_addrs rep.trace ~from:0 ~until:rep.warmup emit;
+            if prime then feed_addrs rep.trace ~from:rep.warmup ~until:len emit)
+          (fun emit ->
+            feed_addrs rep.trace ~from:rep.warmup ~until:len emit;
+            rep.window)
+      in
+      let cold = run ~prime:false in
+      let warm = run ~prime:true in
+      let ratio = float_of_int rep.weight /. float_of_int (max 1 rep.window) in
+      Array.iteri
+        (fun i (c : Study.result) ->
+          let est =
+            0.5 *. float_of_int (c.Study.misses + warm.(i).Study.misses)
+          in
+          proj_misses.(i) <- proj_misses.(i) +. (est *. ratio))
+        cold)
+    plan.reps;
+  M.incr c_projections;
+  Array.map (fun misses -> misses /. float_of_int plan.total_instrs) proj_misses

@@ -1,0 +1,98 @@
+(** Sampled simulation: SimPoint-style interval selection.
+
+    Detailed timing simulation of every dynamic instruction is the cost
+    that dominates [run_experiments all]; most of those instructions sit
+    in program phases the model has already seen.  This module implements
+    the classic remedy (Sherwood et al.'s SimPoint, from the same
+    simulation-methodology lineage as the paper): slice the dynamic
+    stream into fixed-size intervals, summarise each interval by a
+    basic-block-style execution-frequency vector, cluster the vectors
+    with seeded k-means (random restarts, BIC-style k selection), and
+    simulate in detail only one representative interval per cluster —
+    preceded by a warmup prefix so caches and the branch predictor are
+    primed — recombining per-cluster results into whole-program
+    estimates weighted by cluster population.
+
+    Everything is deterministic for a fixed seed: the functional
+    profiling passes are exact replays, clustering draws all randomness
+    from one {!Pc_util.Rng} stream, and the replay traces are recorded
+    bit-exactly.  Plans are therefore safe to memoize and to compute
+    from any {!Pc_exec.Pool} worker (nothing here spawns nested pool
+    batches).
+
+    Metrics published via {!Pc_obs.Metrics}: [sample.plans],
+    [sample.intervals], [sample.clusters], [sample.projections],
+    [sample.replayed_instrs] counters and the [sample.coverage_bp]
+    high-water gauge (replayed fraction of the dynamic stream, in
+    basis points). *)
+
+type rep = {
+  cluster : int;  (** cluster index in [0, k) *)
+  start : int;  (** dynamic index of the first window instruction *)
+  window : int;  (** measurement-window length in instructions *)
+  warmup : int;  (** replayed warmup instructions before [start] *)
+  weight : int;  (** dynamic instructions attributed to the cluster *)
+  trace : int array;  (** packed replay events, warmup then window *)
+}
+
+type plan = {
+  interval : int;  (** interval size the plan was built with *)
+  total_instrs : int;  (** dynamic instructions in the full run *)
+  n_intervals : int;
+  k : int;  (** clusters chosen by the BIC-style rule *)
+  dims : int;  (** BBV projection dimensionality *)
+  coverage : float;  (** replayed fraction of the stream, incl. warmup *)
+  reps : rep array;  (** one representative per cluster *)
+  statics : Pc_funcsim.Machine.statics;  (** per-pc tables for replay *)
+}
+
+val plan :
+  ?dims:int ->
+  ?max_k:int ->
+  ?restarts:int ->
+  ?warmup:int ->
+  seed:int ->
+  interval:int ->
+  max_instrs:int ->
+  Pc_isa.Program.t ->
+  plan
+(** Build a sampling plan: one functional pass collects per-interval
+    vectors ([dims] dimensions, default 32), k-means over k = 1..[max_k]
+    (default 6) with [restarts] random restarts (default 3) picks the
+    phase clustering, and a second functional pass records each
+    representative's packed replay trace.  [warmup] is the warmup prefix
+    length in instructions (default one full [interval], clipped at the
+    start of the stream; shorter warmups leave a cold-start bias that
+    overestimates CPI).  Raises [Invalid_argument] for a non-positive
+    [interval] or a program that retires no instructions. *)
+
+val project_sim : Pc_uarch.Config.t -> plan -> Pc_uarch.Sim.result
+(** Replay every representative through the detailed timing model
+    ({!Pc_uarch.Sim.run_events} with [measure_from] at the warmup
+    boundary) and recombine: whole-program cycles are the sum over
+    clusters of population × the representative's warmup-free CPI.
+    Event counters (cache misses, branches, class counts — the power
+    model's inputs) are scaled from each representative pro rata; the
+    [ipc]/[cycles]/[instrs] fields estimate the full run. *)
+
+val project_mpi : plan -> float array
+(** Replay every representative's data references through the paper's
+    28-configuration cache study ({!Pc_caches.Study.run_trace} with the
+    warmup prefix excluded from the counts) and project whole-program
+    misses per instruction for each configuration, population-weighted
+    like {!project_sim}.  Each window is measured twice — once from the
+    warmup prefix alone (cold bound) and once additionally primed with
+    the window's own lines (warm bound) — and the projection is the
+    midpoint, cancelling the cold-start overestimate that large
+    configurations otherwise suffer. *)
+
+val replay_events :
+  Pc_funcsim.Machine.statics ->
+  int array ->
+  (Pc_funcsim.Machine.event -> unit) ->
+  int
+(** [replay_events statics trace on_event] reconstructs the full retired
+    event stream from a packed trace and the per-pc static tables,
+    invoking [on_event] once per instruction (the event record is
+    reused); returns the trace length.  Exposed for tests and custom
+    consumers. *)

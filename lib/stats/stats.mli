@@ -47,7 +47,17 @@ module Histogram : sig
   (** [create ~bounds] makes a histogram whose bucket [i] counts samples
       [x <= bounds.(i)] (and greater than the previous bound); one extra
       overflow bucket collects the rest.  [bounds] must be strictly
-      increasing. *)
+      increasing.
+
+      Upper bounds are {e inclusive}: with the paper's dependency-distance
+      bounds [(1, 2, 4, 6, 8, 16, 32)] a distance of exactly 8 lands in
+      the bucket labelled 8 (index 4) and 33 lands in the [>32] overflow
+      bucket, matching Table 1 of the paper. *)
+
+  val bucket_of : t -> int -> int
+  (** [bucket_of t x] is the index of the bucket [add] would count [x]
+      in: the smallest [i] with [x <= bounds.(i)], or
+      [Array.length bounds] for overflow. *)
 
   val add : t -> int -> unit
   (** Record one sample. *)

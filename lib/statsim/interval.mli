@@ -24,6 +24,13 @@ type estimate = {
   memory_cycles : float;  (** exposed long-latency miss cycles *)
 }
 
+val of_counters : Pc_uarch.Config.t -> Pc_uarch.Sim.result -> estimate
+(** Apply the interval formula to the event counters of an existing
+    run.  Only the counter fields of the result are read — never
+    [cycles] — so a timing result can be cross-checked against the
+    analytical model for free, which is how sampled simulation sanity-
+    checks its projections. *)
+
 val of_program :
   ?max_instrs:int -> Pc_uarch.Config.t -> Pc_isa.Program.t -> estimate
 (** Functionally simulate to count miss events under the configuration's

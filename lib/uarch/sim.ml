@@ -22,6 +22,8 @@ type result = {
   lsq_high_water : int;
   fetch_stall_icache_cycles : int;
   fetch_stall_mispredict_cycles : int;
+  measured_instrs : int;
+  measured_cycles : int;
 }
 
 (* In-order bandwidth tracker: at most [width] events per cycle, cycles
@@ -117,7 +119,8 @@ let g_lsq_hw = Pc_obs.Metrics.gauge "uarch.lsq.high_water"
 let c_stall_icache = Pc_obs.Metrics.counter "uarch.fetch_stall.icache_cycles"
 let c_stall_mispredict = Pc_obs.Metrics.counter "uarch.fetch_stall.mispredict_cycles"
 
-let run_events (cfg : Config.t) feed =
+let run_events ?(measure_from = 0) (cfg : Config.t) feed =
+  let measure_from = max 0 measure_from in
   let icache = Hierarchy.create cfg.icache in
   let dcache = Hierarchy.create cfg.dcache in
   let bpred = Predictor.create cfg.bpred in
@@ -148,9 +151,16 @@ let run_events (cfg : Config.t) feed =
   let stall_icache = ref 0 in
   let stall_mispredict = ref 0 in
   let i_lat = Array.get cfg.latencies in
+  (* Commit cycle at the measurement-window boundary.  [last_commit] is
+     monotone, so cycles spent strictly inside the window are the final
+     commit cycle minus its value just before instruction [measure_from]
+     is scheduled; the prefix acts as warmup (caches and predictor
+     already primed) without polluting the measured CPI. *)
+  let measure_start = ref 0 in
   let on_event (ev : Machine.event) =
     let i = !index in
     incr index;
+    if i = measure_from then measure_start := !last_commit;
     let cls = ev.Machine.iclass in
     let ci = I.class_index cls in
     class_counts.(ci) <- class_counts.(ci) + 1;
@@ -232,6 +242,12 @@ let run_events (cfg : Config.t) feed =
   in
   let instrs = feed on_event in
   let cycles = max !last_commit 1 in
+  let measured_instrs = max 0 (instrs - measure_from) in
+  let measured_cycles =
+    if measure_from = 0 then cycles
+    else if measured_instrs = 0 then 0
+    else max (!last_commit - !measure_start) 1
+  in
   Pc_obs.Metrics.add c_instrs instrs;
   Pc_obs.Metrics.add c_cycles cycles;
   Pc_obs.Metrics.record_max g_rob_hw !rob_hw;
@@ -260,6 +276,8 @@ let run_events (cfg : Config.t) feed =
     lsq_high_water = !lsq_hw;
     fetch_stall_icache_cycles = !stall_icache;
     fetch_stall_mispredict_cycles = !stall_mispredict;
+    measured_instrs;
+    measured_cycles;
   }
 
 let run ?(max_instrs = 10_000_000) cfg program =

@@ -44,6 +44,13 @@ type result = {
       (** fetch-ready pushback attributed to I-cache miss latency *)
   fetch_stall_mispredict_cycles : int;
       (** fetch-ready pushback attributed to mispredict redirects *)
+  measured_instrs : int;
+      (** instructions inside the measurement window (= [instrs] when no
+          [measure_from] was given) *)
+  measured_cycles : int;
+      (** commit cycles attributable to the measurement window (= [cycles]
+          when no [measure_from] was given); sampled simulation divides
+          these two for warmup-free CPI *)
 }
 
 val run : ?max_instrs:int -> Config.t -> Pc_isa.Program.t -> result
@@ -51,12 +58,21 @@ val run : ?max_instrs:int -> Config.t -> Pc_isa.Program.t -> result
     instruction through the timing model.  [max_instrs] (default 10
     million) bounds the simulated stream. *)
 
-val run_events : Config.t -> ((Pc_funcsim.Machine.event -> unit) -> int) -> result
+val run_events :
+  ?measure_from:int -> Config.t -> ((Pc_funcsim.Machine.event -> unit) -> int) -> result
 (** Schedule an arbitrary retired-instruction stream: [run_events cfg
     feed] calls [feed on_event]; [feed] must invoke [on_event] once per
     instruction (the event record may be reused between calls) and return
     the instruction count.  This is how statistical simulation drives the
     same timing model with a synthetic stream.
+
+    [measure_from] (default 0) marks the first instruction of the
+    measurement window: everything before it still executes — warming
+    caches, predictor and in-flight state — but [measured_instrs] /
+    [measured_cycles] report only the window, via the commit-cycle
+    boundary at instruction [measure_from].  Whole-run fields
+    ([instrs], [cycles], [ipc], cache and branch counters) are
+    unaffected.
 
     Both entry points publish lifetime aggregates into the global
     {!Pc_obs.Metrics} registry at the end of each run: [uarch.instrs],

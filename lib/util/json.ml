@@ -1,0 +1,195 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+(* Recursive-descent parser over the raw string; [pos] is the cursor. *)
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail st "bad \\u escape"
+          in
+          (* Escaped control characters are ASCII in our schemas; wider
+             code points are emitted raw by the writers, never escaped. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else fail st "non-ASCII \\u escape unsupported"
+        | _ -> fail st "bad escape");
+        loop ())
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char b c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected number";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> f
+  | None -> fail st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elements ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length src then Ok v
+    else Error (Printf.sprintf "trailing input at byte %d" st.pos)
+  | exception Fail (pos, msg) ->
+    Error (Printf.sprintf "parse error at byte %d: %s" pos msg)
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse contents
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None

@@ -22,13 +22,33 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* Above this bound the bias of [v mod bound] over 62 random bits stops
+   being negligible (worst case ~2^-31), so we switch to rejection
+   sampling.  Every bound the pipeline uses today is far below the
+   threshold, so existing seeded streams are unchanged. *)
+let mod_bias_threshold = 1 lsl 31
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 random bits so the value fits OCaml's 63-bit native int
-     without wrapping negative; modulo bias is negligible for bounds far
-     below 2^62. *)
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  if bound <= mod_bias_threshold then
+    (* Keep 62 random bits so the value fits OCaml's 63-bit native int
+       without wrapping negative; modulo bias is < 2^-31 here. *)
+    bits62 t mod bound
+  else begin
+    (* Rejection sampling: draw until the value falls below the largest
+       multiple of [bound] no greater than [max_int] (= 2^62 - 1, the
+       range of [bits62]), so every residue is equally likely.  Each draw
+       succeeds with probability > 1/2, and the number of draws depends
+       only on the stream, keeping results deterministic per seed. *)
+    let limit = max_int / bound * bound in
+    let rec draw () =
+      let v = bits62 t in
+      if v >= limit then draw () else v mod bound
+    in
+    draw ()
+  end
 
 let float t bound =
   (* 53 random bits scaled into [0, 1). *)
@@ -44,7 +64,16 @@ let pick t a =
 let sample_cdf t cdf =
   let n = Array.length cdf in
   if n = 0 then invalid_arg "Rng.sample_cdf: empty cdf";
-  let u = float t 1.0 in
+  let total = cdf.(n - 1) in
+  if not (total > 0.0) then
+    invalid_arg "Rng.sample_cdf: cdf total mass must be positive";
+  (* Scale the draw by the actual accumulated mass instead of assuming it
+     is exactly 1.0: float accumulation routinely leaves the final entry
+     at 1 ± a few ulps, and clamping the binary search to the last index
+     silently over- (or under-) weighted the final bucket.  When the CDF
+     does end at exactly 1.0 this draws the same value as before, so
+     well-formed streams are unchanged. *)
+  let u = float t total in
   (* Binary search for the smallest index with cdf.(i) >= u. *)
   let rec search lo hi =
     if lo >= hi then lo

@@ -23,7 +23,11 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive.
+    Bounds up to [2^31] consume exactly one draw from the stream; larger
+    bounds use rejection sampling (unbiased, but the number of draws
+    consumed then depends on the stream), so raising a bound across the
+    threshold changes every subsequent value for a given seed. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
@@ -36,8 +40,12 @@ val pick : t -> 'a array -> 'a
 
 val sample_cdf : t -> float array -> int
 (** [sample_cdf t cdf] draws an index from a cumulative distribution.
-    [cdf] must be non-decreasing with [cdf.(Array.length cdf - 1)]
-    approximately 1.  Returns the smallest [i] with [u <= cdf.(i)]. *)
+    [cdf] must be non-decreasing; the draw is scaled by the final entry,
+    so a CDF whose accumulated mass lands at [1 ± ulps] (or any positive
+    total) still samples every bucket in proportion.  Returns the
+    smallest [i] with [u <= cdf.(i)].  Raises [Invalid_argument] when the
+    CDF is empty or its total mass is not positive (an all-zero CDF is a
+    caller bug, not a silent index 0). *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

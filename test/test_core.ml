@@ -19,6 +19,7 @@ let settings =
     sim_instrs = 600_000;
     clone_dynamic = 60_000;
     benchmarks = [ "crc32"; "sha"; "dijkstra"; "qsort" ];
+    sample = None;
   }
 
 (* Shared across tests (expensive to build). *)

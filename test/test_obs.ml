@@ -90,6 +90,51 @@ let test_snapshot_sorted_and_diff () =
   Alcotest.(check (option int)) "gauge keeps after value" (Some 9)
     (List.assoc_opt "obs.test.diff.g" d.M.gauges)
 
+let test_diff_after_only_instruments () =
+  (* Instruments created between the snapshots (e.g. by a lazily-built
+     sample store) have no [before] entry; the diff must keep their
+     [after] value instead of dropping or misattributing them. *)
+  let before = { M.counters = []; gauges = []; histograms = [] } in
+  let hv =
+    { M.le = [| 1.0 |]; bucket_counts = [| 2; 1 |]; count = 3; sum = 4.5 }
+  in
+  let after =
+    {
+      M.counters = [ ("late.counter", 7) ];
+      gauges = [ ("late.gauge", 3) ];
+      histograms = [ ("late.hist", hv) ];
+    }
+  in
+  let d = M.diff ~before ~after in
+  Alcotest.(check (option int)) "after-only counter kept" (Some 7)
+    (List.assoc_opt "late.counter" d.M.counters);
+  Alcotest.(check (option int)) "after-only gauge kept" (Some 3)
+    (List.assoc_opt "late.gauge" d.M.gauges);
+  let v = hist_view "late.hist" d in
+  Alcotest.(check (array int)) "after-only histogram counts kept"
+    [| 2; 1 |] v.M.bucket_counts;
+  Alcotest.(check int) "after-only histogram count kept" 3 v.M.count;
+  Alcotest.(check (float 1e-9)) "after-only histogram sum kept" 4.5 v.M.sum
+
+let test_diff_mismatched_histogram_layout () =
+  (* A histogram re-registered with a different bucket layout between
+     snapshots must not be subtracted across layouts (which would raise
+     or silently misattribute counts); the [after] view wins. *)
+  let b =
+    { M.le = [| 1.0; 2.0; 3.0 |]; bucket_counts = [| 1; 1; 1; 1 |];
+      count = 4; sum = 6.0 }
+  in
+  let a =
+    { M.le = [| 5.0 |]; bucket_counts = [| 2; 3 |]; count = 5; sum = 9.0 }
+  in
+  let mk hv = { M.counters = []; gauges = []; histograms = [ ("h", hv) ] } in
+  let d = M.diff ~before:(mk b) ~after:(mk a) in
+  let v = hist_view "h" d in
+  Alcotest.(check (array (float 1e-9))) "after layout" [| 5.0 |] v.M.le;
+  Alcotest.(check (array int)) "after counts" [| 2; 3 |] v.M.bucket_counts;
+  Alcotest.(check int) "after count" 5 v.M.count;
+  Alcotest.(check (float 1e-9)) "after sum" 9.0 v.M.sum
+
 let test_reset () =
   let c = M.counter "obs.test.reset" in
   M.add c 5;
@@ -217,6 +262,100 @@ let test_write_json () =
   Alcotest.(check bool) "trailing newline" true
     (String.length contents > 0 && contents.[String.length contents - 1] = '\n')
 
+(* --- baseline gating --- *)
+
+let json_exn src =
+  match Pc_util.Json.parse src with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "test fixture failed to parse: %s" msg
+
+let test_baseline_metrics_gate () =
+  let baseline =
+    json_exn
+      {|{"schema":"pc-obs/1","counters":{"a":10,"b":20},"gauges":{"g":5},"histograms":{"h":{"count":1,"sum":0.5,"buckets":[]}}}|}
+  in
+  Alcotest.(check (list string)) "identical reports pass" []
+    (Pc_obs.Baseline.check_metrics ~baseline ~current:baseline);
+  let drifted =
+    json_exn
+      {|{"schema":"pc-obs/1","counters":{"a":11,"b":20},"gauges":{"g":5},"histograms":{}}|}
+  in
+  Alcotest.(check int) "counter drift is one issue" 1
+    (List.length (Pc_obs.Baseline.check_metrics ~baseline ~current:drifted));
+  (* Histograms are timing (duration buckets) — never compared. *)
+  let new_instrument =
+    json_exn
+      {|{"schema":"pc-obs/1","counters":{"a":10,"b":20,"c":1},"gauges":{"g":5},"histograms":{}}|}
+  in
+  (match Pc_obs.Baseline.check_metrics ~baseline ~current:new_instrument with
+  | [ issue ] ->
+    Alcotest.(check bool) "new instrument asks for regeneration" true
+      (String.length issue > 0
+      && String.sub issue 0 9 = "counter c")
+  | issues -> Alcotest.failf "expected one issue, got %d" (List.length issues));
+  let missing =
+    json_exn {|{"schema":"pc-obs/1","counters":{"a":10},"gauges":{},"histograms":{}}|}
+  in
+  Alcotest.(check int) "missing counter and gauge reported" 2
+    (List.length (Pc_obs.Baseline.check_metrics ~baseline ~current:missing));
+  let wrong_schema =
+    json_exn {|{"schema":"pc-obs/2","counters":{"a":10,"b":20},"gauges":{"g":5}}|}
+  in
+  Alcotest.(check bool) "schema mismatch reported" true
+    (Pc_obs.Baseline.check_metrics ~baseline ~current:wrong_schema <> [])
+
+let test_baseline_bench_gate () =
+  let bench rows =
+    json_exn
+      (Printf.sprintf {|{"schema":"pc-bench/1","results":[%s]}|}
+         (String.concat ","
+            (List.map
+               (fun (name, ms) ->
+                 match ms with
+                 | Some v ->
+                   Printf.sprintf {|{"name":"%s","ms_per_run":%f}|} name v
+                 | None -> Printf.sprintf {|{"name":"%s","ms_per_run":null}|} name)
+               rows)))
+  in
+  let baseline =
+    bench
+      [
+        ("fast", Some 1.0); ("small", Some 2.0); ("mid", Some 10.0);
+        ("big", Some 50.0); ("slow", Some 100.0); ("nul", None);
+      ]
+  in
+  Alcotest.(check (list string)) "identical timings pass" []
+    (Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:baseline);
+  (* A uniformly 3x slower machine shifts the median too: no issues. *)
+  let slower_machine =
+    bench
+      [
+        ("fast", Some 3.0); ("small", Some 6.0); ("mid", Some 30.0);
+        ("big", Some 150.0); ("slow", Some 300.0); ("nul", None);
+      ]
+  in
+  Alcotest.(check (list string)) "uniform machine slowdown passes" []
+    (Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:slower_machine);
+  (* One test doubling its cost while the others (and so the median)
+     hold is flagged, and only it. *)
+  let regressed =
+    bench
+      [
+        ("fast", Some 2.0); ("small", Some 2.0); ("mid", Some 10.0);
+        ("big", Some 50.0); ("slow", Some 100.0); ("nul", None);
+      ]
+  in
+  (match
+     Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:regressed
+   with
+  | [ issue ] ->
+    Alcotest.(check bool) "regression names the test" true
+      (String.length issue >= 10 && String.sub issue 0 10 = "bench fast")
+  | issues -> Alcotest.failf "expected one issue, got %d" (List.length issues));
+  let missing = bench [ ("fast", Some 1.0); ("slow", Some 100.0) ] in
+  Alcotest.(check bool) "missing entry reported" true
+    (Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:missing <> [])
+
 (* --- the invariant: observability never changes experiment output --- *)
 
 let test_fig6_byte_identity () =
@@ -227,6 +366,7 @@ let test_fig6_byte_identity () =
       sim_instrs = 150_000;
       clone_dynamic = 30_000;
       benchmarks = [ "crc32"; "sha" ];
+      sample = None;
     }
   in
   let render () =
@@ -252,6 +392,10 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
           Alcotest.test_case "snapshot + diff" `Quick test_snapshot_sorted_and_diff;
+          Alcotest.test_case "diff keeps after-only instruments" `Quick
+            test_diff_after_only_instruments;
+          Alcotest.test_case "diff survives a histogram layout change" `Quick
+            test_diff_mismatched_histogram_layout;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
       ( "concurrency",
@@ -267,6 +411,11 @@ let () =
         [
           Alcotest.test_case "json schema" `Quick test_json_sink;
           Alcotest.test_case "write_json" `Quick test_write_json;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "metrics gate" `Quick test_baseline_metrics_gate;
+          Alcotest.test_case "bench gate" `Quick test_baseline_bench_gate;
         ] );
       ( "invariant",
         [

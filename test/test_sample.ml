@@ -1,0 +1,230 @@
+(* pc_sample: plan invariants, replay fidelity, determinism under the
+   pool, and projected-vs-detailed accuracy on real workloads. *)
+
+module Sample = Pc_sample.Sample
+module Machine = Pc_funcsim.Machine
+module Config = Pc_uarch.Config
+module Sim = Pc_uarch.Sim
+module Pool = Pc_exec.Pool
+module E = Perfclone.Experiments
+
+let program name = Pc_workloads.Registry.(compile (find name))
+
+let test_plan_invariants () =
+  let interval = 20_000 and max_instrs = 150_000 in
+  let p = program "crc32" in
+  let plan = Sample.plan ~seed:1 ~interval ~max_instrs p in
+  Alcotest.(check bool) "at least one interval" true (plan.Sample.n_intervals >= 1);
+  Alcotest.(check int) "one rep per cluster" plan.Sample.k
+    (Array.length plan.Sample.reps);
+  Alcotest.(check bool) "k bounded by intervals" true
+    (plan.Sample.k <= plan.Sample.n_intervals);
+  let weight_sum =
+    Array.fold_left (fun acc r -> acc + r.Sample.weight) 0 plan.Sample.reps
+  in
+  Alcotest.(check int) "cluster weights partition the stream"
+    plan.Sample.total_instrs weight_sum;
+  Array.iter
+    (fun (r : Sample.rep) ->
+      Alcotest.(check int) "trace covers warmup + window"
+        (r.Sample.warmup + r.Sample.window)
+        (Array.length r.Sample.trace);
+      Alcotest.(check bool) "window within the stream" true
+        (r.Sample.start >= 0
+        && r.Sample.start + r.Sample.window <= plan.Sample.total_instrs);
+      Alcotest.(check bool) "warmup fits before the window" true
+        (r.Sample.warmup <= r.Sample.start))
+    plan.Sample.reps;
+  Alcotest.(check bool) "coverage in (0, 1.5]" true
+    (plan.Sample.coverage > 0.0 && plan.Sample.coverage <= 1.5)
+
+let test_replay_fidelity () =
+  (* A plan whose single window spans the whole run must replay the exact
+     event stream the functional simulator produced. *)
+  let max_instrs = 30_000 in
+  let p = program "qsort" in
+  let plan = Sample.plan ~seed:1 ~interval:max_instrs ~max_instrs p in
+  Alcotest.(check int) "single interval" 1 plan.Sample.n_intervals;
+  let rep = plan.Sample.reps.(0) in
+  let record on_event =
+    let m = Machine.load p in
+    ignore (Machine.run ~max_instrs m on_event)
+  in
+  let capture feed =
+    let acc = ref [] in
+    feed (fun (ev : Machine.event) ->
+        acc :=
+          ( ev.Machine.pc,
+            ev.Machine.iclass,
+            ev.Machine.mem_addr,
+            ev.Machine.is_store,
+            ev.Machine.is_branch,
+            ev.Machine.taken,
+            ev.Machine.reads,
+            ev.Machine.writes )
+          :: !acc);
+    List.rev !acc
+  in
+  let direct = capture record in
+  let replayed =
+    capture (fun f ->
+        ignore (Sample.replay_events plan.Sample.statics rep.Sample.trace f))
+  in
+  Alcotest.(check int) "same stream length" (List.length direct)
+    (List.length replayed);
+  List.iter2
+    (fun a b -> if a <> b then Alcotest.fail "replayed event differs from direct")
+    direct replayed
+
+let test_full_coverage_projection_matches_detailed () =
+  (* With one cluster covering the entire run and no warmup, projection
+     degenerates to detailed simulation: identical cycles and counters. *)
+  let max_instrs = 30_000 in
+  let p = program "sha" in
+  let plan = Sample.plan ~seed:1 ~interval:max_instrs ~max_instrs p in
+  let cfg = Config.base in
+  let detailed = Sim.run ~max_instrs cfg p in
+  let projected = Sample.project_sim cfg plan in
+  Alcotest.(check int) "cycles" detailed.Sim.cycles projected.Sim.cycles;
+  Alcotest.(check int) "instrs" detailed.Sim.instrs projected.Sim.instrs;
+  Alcotest.(check int) "l1d misses" detailed.Sim.l1d_misses projected.Sim.l1d_misses;
+  Alcotest.(check int) "mispredictions" detailed.Sim.mispredictions
+    projected.Sim.mispredictions
+
+let test_projection_accuracy () =
+  (* The acceptance bar: sampled CPI within 5% of detailed on bundled
+     workloads at interval 100k on the default simulation budget. *)
+  let max_instrs = 2_000_000 and interval = 100_000 in
+  let cfg = Config.base in
+  List.iter
+    (fun name ->
+      let p = program name in
+      let detailed = Sim.run ~max_instrs cfg p in
+      let plan = Sample.plan ~seed:1 ~interval ~max_instrs p in
+      let projected = Sample.project_sim cfg plan in
+      let err =
+        abs_float (projected.Sim.ipc -. detailed.Sim.ipc) /. detailed.Sim.ipc
+      in
+      if err > 0.05 then
+        Alcotest.failf "%s: projected IPC %.4f vs detailed %.4f (%.1f%% error)"
+          name projected.Sim.ipc detailed.Sim.ipc (100.0 *. err))
+    [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ]
+
+let test_mpi_projection_accuracy () =
+  (* The cache study consumes the *series* of 28 MPIs (figures 4/5
+     correlate relative series), so the bar is series fidelity: high
+     correlation with the detailed study plus a bounded per-config
+     drift.  Per-config sampling bias is real but roughly uniform
+     across configurations, which the correlations are insensitive
+     to. *)
+  let max_instrs = 300_000 and interval = 50_000 in
+  List.iter
+    (fun name ->
+      let p = program name in
+      let detailed =
+        Pc_caches.Study.run_trace (fun emit ->
+            let m = Machine.load p in
+            Machine.run ~max_instrs m (fun ev ->
+                if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+      in
+      let det = Array.map (fun (r : Pc_caches.Study.result) -> r.Pc_caches.Study.mpi) detailed in
+      let plan = Sample.plan ~seed:1 ~interval ~max_instrs p in
+      let projected = Sample.project_mpi plan in
+      let r = Pc_stats.Stats.pearson projected det in
+      if r < 0.95 then
+        Alcotest.failf "%s: projected/detailed MPI correlation %.3f < 0.95" name r;
+      Array.iteri
+        (fun i d ->
+          if abs_float (projected.(i) -. d) > (0.25 *. d) +. 0.003 then
+            Alcotest.failf "%s config %d: projected MPI %.5f vs detailed %.5f"
+              name i projected.(i) d)
+        det)
+    [ "crc32"; "qsort"; "sha"; "dijkstra" ]
+
+let test_plan_determinism () =
+  let p = program "fft" in
+  let mk () = Sample.plan ~seed:7 ~interval:25_000 ~max_instrs:120_000 p in
+  let a = mk () and b = mk () in
+  Alcotest.(check int) "same k" a.Sample.k b.Sample.k;
+  Array.iteri
+    (fun i (ra : Sample.rep) ->
+      let rb = b.Sample.reps.(i) in
+      Alcotest.(check int) "same start" ra.Sample.start rb.Sample.start;
+      Alcotest.(check bool) "same trace" true (ra.Sample.trace = rb.Sample.trace))
+    a.Sample.reps
+
+let test_seed_changes_clustering_stream () =
+  (* Different seeds may pick different restarts; the plan stays valid. *)
+  let p = program "fft" in
+  let a = Sample.plan ~seed:1 ~interval:25_000 ~max_instrs:120_000 p in
+  let b = Sample.plan ~seed:2 ~interval:25_000 ~max_instrs:120_000 p in
+  Alcotest.(check int) "same total" a.Sample.total_instrs b.Sample.total_instrs;
+  Alcotest.(check int) "same intervals" a.Sample.n_intervals b.Sample.n_intervals
+
+let test_sampled_experiments_deterministic_across_pools () =
+  (* Sampling on: fig6/fig4 output identical at -j1 and -j4. *)
+  let settings =
+    {
+      E.seed = 1;
+      profile_instrs = 100_000;
+      sim_instrs = 120_000;
+      clone_dynamic = 30_000;
+      benchmarks = [ "crc32"; "sha" ];
+      sample = Some 30_000;
+    }
+  in
+  let render pool =
+    E.clear_caches ();
+    let ps = E.prepare ~pool settings in
+    Format.asprintf "%a%a" E.pp_fig6
+      (E.base_runs ~pool settings ps)
+      E.pp_fig4
+      (E.cache_studies ~pool settings ps)
+  in
+  let serial = render Pool.serial in
+  let parallel = render (Pool.create ~num_domains:4) in
+  Alcotest.(check string) "sampled figs identical at -j1 and -j4" serial parallel
+
+let test_sampling_off_matches_seed_behaviour () =
+  (* The default settings carry [sample = None]; a sampled and an
+     unsampled run use different estimators, so their outputs differ —
+     but the unsampled path must not depend on the sample field's mere
+     presence.  (Byte-identity of the unsampled path against main is
+     enforced by the existing fig tests, which all run with
+     [sample = None].) *)
+  Alcotest.(check bool) "default settings sample off" true
+    (E.default_settings.E.sample = None);
+  Alcotest.(check bool) "quick settings sample off" true
+    (E.quick_settings.E.sample = None)
+
+let () =
+  Alcotest.run "pc_sample"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "invariants" `Quick test_plan_invariants;
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "seed robustness" `Quick
+            test_seed_changes_clustering_stream;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "fidelity" `Quick test_replay_fidelity;
+          Alcotest.test_case "full-coverage projection is exact" `Quick
+            test_full_coverage_projection_matches_detailed;
+        ] );
+      ( "accuracy",
+        [
+          Alcotest.test_case "projected IPC within 5%" `Slow
+            test_projection_accuracy;
+          Alcotest.test_case "projected MPI tracks detailed" `Slow
+            test_mpi_projection_accuracy;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "sampled figs deterministic across pools" `Slow
+            test_sampled_experiments_deterministic_across_pools;
+          Alcotest.test_case "sampling off by default" `Quick
+            test_sampling_off_matches_seed_behaviour;
+        ] );
+    ]

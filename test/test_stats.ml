@@ -77,6 +77,38 @@ let test_histogram () =
   let fr = Stats.Histogram.fractions h in
   check_f "fractions sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 fr)
 
+let test_histogram_paper_boundaries () =
+  (* The paper buckets dependency distances as 1, 2, 4, 6, 8, 16, 32, >32
+     with inclusive upper bounds: a distance of exactly 8 belongs to the
+     bucket labelled 8, not the next one up.  Pin every boundary so a
+     change in inclusivity cannot slip through. *)
+  let bounds = Pc_profile.Profile.dep_bounds in
+  Alcotest.(check (array int)) "paper bounds" [| 1; 2; 4; 6; 8; 16; 32 |] bounds;
+  let h = Stats.Histogram.create ~bounds in
+  let expect =
+    [
+      (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (6, 3); (7, 4); (8, 4);
+      (9, 5); (16, 5); (17, 6); (32, 6); (33, 7); (1000, 7);
+    ]
+  in
+  List.iter
+    (fun (x, bucket) ->
+      Alcotest.(check int)
+        (Printf.sprintf "distance %d -> bucket %d" x bucket)
+        bucket
+        (Stats.Histogram.bucket_of h x))
+    expect;
+  (* bucket_of and add must agree. *)
+  List.iter
+    (fun (x, bucket) ->
+      let h' = Stats.Histogram.create ~bounds in
+      Stats.Histogram.add h' x;
+      Alcotest.(check int)
+        (Printf.sprintf "add %d counts bucket %d" x bucket)
+        1
+        (Stats.Histogram.counts h').(bucket))
+    expect
+
 let test_histogram_merge () =
   let h1 = Stats.Histogram.create ~bounds:[| 1; 2 |] in
   let h2 = Stats.Histogram.create ~bounds:[| 1; 2 |] in
@@ -154,6 +186,8 @@ let () =
           Alcotest.test_case "relative design error" `Quick test_relative_design_error;
           Alcotest.test_case "percentile interpolation" `Quick test_percentile;
           Alcotest.test_case "histogram bucketing" `Quick test_histogram;
+          Alcotest.test_case "histogram paper bucket boundaries" `Quick
+            test_histogram_paper_boundaries;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "histogram empty fractions" `Quick
             test_histogram_empty_fractions;

@@ -1,6 +1,8 @@
-(* Tests for Pc_util.Rng: determinism, ranges, distribution sanity. *)
+(* Tests for Pc_util.Rng (determinism, ranges, distribution sanity)
+   and Pc_util.Json (the artefact-schema parser). *)
 
 module Rng = Pc_util.Rng
+module Json = Pc_util.Json
 
 let test_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -80,6 +82,81 @@ let test_sample_cdf_degenerate () =
     if i = 0 then Alcotest.fail "sampled a zero-probability bucket"
   done
 
+let test_sample_cdf_unnormalised () =
+  (* Float accumulation often leaves the final CDF entry below 1.0; the
+     last bucket must not absorb the missing mass. *)
+  let t = Rng.create 11 in
+  let cdf = [| 0.3; 0.6; 0.9 |] in
+  let counts = Array.make 3 0 in
+  let n = 90_000 in
+  for _ = 1 to n do
+    let i = Rng.sample_cdf t cdf in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      if abs_float (frac -. (1.0 /. 3.0)) > 0.02 then
+        Alcotest.failf "bucket %d fraction %f too far from 1/3" i frac)
+    counts
+
+let test_sample_cdf_overfull () =
+  (* A CDF that accumulated slightly past 1.0 must keep the last bucket
+     reachable instead of under-weighting everything else. *)
+  let t = Rng.create 12 in
+  let cdf = [| 0.5; 1.0 +. 1e-12 |] in
+  let seen_last = ref false in
+  for _ = 1 to 1000 do
+    if Rng.sample_cdf t cdf = 1 then seen_last := true
+  done;
+  Alcotest.(check bool) "last bucket reachable" true !seen_last
+
+let test_sample_cdf_all_zero () =
+  let t = Rng.create 13 in
+  Alcotest.(check bool) "all-zero cdf rejected" true
+    (match Rng.sample_cdf t [| 0.0; 0.0; 0.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty cdf rejected" true
+    (match Rng.sample_cdf t [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_int_large_bound_range () =
+  let t = Rng.create 14 in
+  let bound = (1 lsl 62) - 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t bound in
+    if v < 0 || v >= bound then Alcotest.fail "Rng.int out of range for huge bound"
+  done
+
+let test_int_large_bound_unbiased () =
+  (* bound = 3 * 2^60: with [v mod bound] over 62 bits the low third of
+     the range is drawn twice as often, dragging the mean ~17% low.
+     Rejection sampling keeps the mean at bound/2. *)
+  let t = Rng.create 15 in
+  let bound = 3 * (1 lsl 60) in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. float_of_int (Rng.int t bound)
+  done;
+  let mean = !acc /. float_of_int n in
+  let expected = float_of_int bound /. 2.0 in
+  if abs_float (mean -. expected) /. expected > 0.02 then
+    Alcotest.failf "large-bound mean %e too far from %e" mean expected
+
+let test_int_small_bound_stream_unchanged () =
+  (* The rejection path must not disturb the draws existing seeded
+     pipelines make: below the threshold, Rng.int consumes exactly one
+     64-bit draw and returns the 62-bit value mod bound. *)
+  let a = Rng.create 16 and b = Rng.create 16 in
+  for _ = 1 to 1000 do
+    let v = Rng.int a 1024 in
+    let raw = Int64.to_int (Int64.shift_right_logical (Rng.bits64 b) 2) in
+    Alcotest.(check int) "one draw, mod bound" (raw mod 1024) v
+  done
+
 let test_shuffle_permutation () =
   let t = Rng.create 9 in
   let a = Array.init 50 (fun i -> i) in
@@ -97,6 +174,76 @@ let test_pick_covers () =
     seen.(Rng.pick t [| 0; 1; 2; 3 |]) <- true
   done;
   Alcotest.(check (array bool)) "all elements reachable" [| true; true; true; true |] seen
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let src =
+    {|{"schema":"pc-bench/1","results":[{"name":"a \"b\"","ms_per_run":1.25},{"name":"c","ms_per_run":null}],"n":-3,"ok":true,"empty":{},"none":[]}|}
+  in
+  match Json.parse src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check (option string)) "schema" (Some "pc-bench/1")
+      (Option.bind (Json.member "schema" doc) Json.to_string);
+    Alcotest.(check (option int)) "negative int" (Some (-3))
+      (Option.bind (Json.member "n" doc) Json.to_int);
+    Alcotest.(check bool) "bool field" true (Json.member "ok" doc = Some (Json.Bool true));
+    Alcotest.(check bool) "empty containers" true
+      (Json.member "empty" doc = Some (Json.Obj [])
+      && Json.member "none" doc = Some (Json.List []));
+    let rows =
+      Option.bind (Json.member "results" doc) Json.to_list |> Option.get
+    in
+    Alcotest.(check int) "two rows" 2 (List.length rows);
+    let first = List.hd rows in
+    Alcotest.(check (option string)) "escaped name" (Some {|a "b"|})
+      (Option.bind (Json.member "name" first) Json.to_string);
+    Alcotest.(check bool) "float field" true
+      (Option.bind (Json.member "ms_per_run" first) Json.to_float = Some 1.25);
+    Alcotest.(check bool) "null field" true
+      (Json.member "ms_per_run" (List.nth rows 1) = Some Json.Null)
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; ""; "{\"a\" 1}"; "nul" ]
+
+let test_json_parses_own_artefacts () =
+  (* The parser must accept what the repo's own writers emit. *)
+  let snap =
+    {
+      Pc_obs.Metrics.counters = [ ("a.b", 3) ];
+      gauges = [ ("g", 12) ];
+      histograms =
+        [
+          ( "h",
+            {
+              Pc_obs.Metrics.count = 2;
+              sum = 0.5;
+              le = [| 0.1; 1.0 |];
+              bucket_counts = [| 1; 1; 0 |];
+            } );
+        ];
+    }
+  in
+  let path = Filename.temp_file "pc_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pc_obs.Sink.write_json path snap [];
+      match Json.parse_file path with
+      | Error msg -> Alcotest.failf "pc-obs/1 artefact rejected: %s" msg
+      | Ok doc ->
+        Alcotest.(check (option string)) "schema" (Some "pc-obs/1")
+          (Option.bind (Json.member "schema" doc) Json.to_string);
+        Alcotest.(check (option int)) "counter" (Some 3)
+          (Option.bind
+             (Option.bind (Json.member "counters" doc) (Json.member "a.b"))
+             Json.to_int))
 
 let qcheck_split_streams_differ =
   QCheck.Test.make ~name:"split produces a distinct stream" ~count:100
@@ -121,8 +268,28 @@ let () =
           Alcotest.test_case "sample_cdf matches probabilities" `Quick test_sample_cdf;
           Alcotest.test_case "sample_cdf skips empty buckets" `Quick
             test_sample_cdf_degenerate;
+          Alcotest.test_case "sample_cdf normalises a short cdf" `Quick
+            test_sample_cdf_unnormalised;
+          Alcotest.test_case "sample_cdf keeps an overfull cdf's last bucket"
+            `Quick test_sample_cdf_overfull;
+          Alcotest.test_case "sample_cdf rejects zero-mass cdfs" `Quick
+            test_sample_cdf_all_zero;
+          Alcotest.test_case "int range for huge bounds" `Quick
+            test_int_large_bound_range;
+          Alcotest.test_case "int unbiased for huge bounds" `Quick
+            test_int_large_bound_unbiased;
+          Alcotest.test_case "int stream unchanged below threshold" `Quick
+            test_int_small_bound_stream_unchanged;
           Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
           Alcotest.test_case "pick covers all elements" `Quick test_pick_covers;
           QCheck_alcotest.to_alcotest qcheck_split_streams_differ;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip accessors" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_json_rejects_malformed;
+          Alcotest.test_case "parses the repo's own artefacts" `Quick
+            test_json_parses_own_artefacts;
         ] );
     ]
