@@ -104,6 +104,13 @@ let tests =
       (Staged.stage (fun () ->
            Pc_sample.Sample.project_sim Pc_uarch.Config.base
              (Lazy.force sample_plan)));
+    Test.make ~name:"fidelity:clone-reprofile"
+      (Staged.stage (fun () ->
+           let p = List.hd (Lazy.force pipelines) in
+           Pc_trace.Fidelity.measure ~max_instrs:50_000
+             ~bench:p.Perfclone.Pipeline.name
+             ~original:p.Perfclone.Pipeline.profile
+             p.Perfclone.Pipeline.clone));
     Test.make ~name:"exec:clone-fanout-serial"
       (Staged.stage (fun () -> clone_fanout Pool.serial));
     Test.make

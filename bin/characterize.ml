@@ -2,7 +2,8 @@
    of one or more workloads as human-readable tables — the data a
    performance engineer inspects before trusting a clone.
 
-     characterize [BENCH]... [--instrs N]     (default: all benchmarks) *)
+     characterize [BENCH]... [--instrs N] [--trace FILE]
+                                              (default: all benchmarks) *)
 
 open Cmdliner
 module Profile = Pc_profile.Profile
@@ -11,9 +12,16 @@ module I = Pc_isa.Instr
 let pct v = 100.0 *. v
 
 let characterize instrs name =
+  Pc_obs.Span.with_ ("characterize:" ^ name) @@ fun () ->
   let entry = Pc_workloads.Registry.find name in
-  let program = Pc_workloads.Registry.compile entry in
-  let p = Pc_profile.Collector.profile ~max_instrs:instrs program in
+  let program =
+    Pc_obs.Span.with_ ("compile:" ^ name) (fun () ->
+        Pc_workloads.Registry.compile entry)
+  in
+  let p =
+    Pc_obs.Span.with_ ("profile:" ^ name) (fun () ->
+        Pc_profile.Collector.profile ~max_instrs:instrs program)
+  in
   Printf.printf "=== %s (%s) ===\n" name entry.Pc_workloads.Registry.domain;
   Printf.printf "dynamic instructions   %d\n" p.Profile.instr_count;
   Printf.printf "static instructions    %d\n" (Pc_isa.Program.length program);
@@ -73,7 +81,8 @@ let characterize instrs name =
   end;
   print_newline ()
 
-let main benches instrs =
+let main benches instrs trace =
+  Pc_trace.Chrome.with_trace trace @@ fun () ->
   let names = if benches = [] then Pc_workloads.Registry.names else benches in
   List.iter
     (fun name ->
@@ -88,9 +97,15 @@ let instrs_arg =
   Arg.(value & opt int 1_000_000 & info [ "instrs" ] ~docv:"N"
          ~doc:"Profiling budget in dynamic instructions.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:
+           "Write a Chrome trace_event timeline (schema pc-trace/1) of the \
+            run to $(docv); loads in Perfetto / chrome://tracing.")
+
 let cmd =
   Cmd.v
     (Cmd.info "characterize" ~doc:"print workload characterizations")
-    Term.(const main $ benches_arg $ instrs_arg)
+    Term.(const main $ benches_arg $ instrs_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -3,11 +3,14 @@
    Usage:
      check_baselines metrics baselines/metrics.json metrics.json
      check_baselines bench baselines/bench.json BENCH_results.json [--tolerance 0.2]
+     check_baselines fidelity baselines/fidelity.json fidelity.json
 
    Exits 0 when the current artefact matches the baseline (exactly for
    pc-obs/1 counters and gauges; within the median-normalised tolerance
-   for pc-bench/1 timings), 1 with one line per discrepancy otherwise.
-   Baselines are regenerated deliberately — see EXPERIMENTS.md. *)
+   for pc-bench/1 timings; within the pc-fidelity-thresholds/1 bounds
+   for pc-fidelity/1 clone-fidelity reports), 1 with one line per
+   discrepancy otherwise.  Baselines are regenerated deliberately — see
+   EXPERIMENTS.md. *)
 
 module Json = Pc_util.Json
 module Baseline = Pc_obs.Baseline
@@ -25,6 +28,7 @@ let main mode baseline_path current_path tolerance =
     match mode with
     | `Metrics -> Baseline.check_metrics ~baseline ~current
     | `Bench -> Baseline.check_bench ~tolerance ~baseline ~current
+    | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
   in
   match issues with
   | [] ->
@@ -39,13 +43,17 @@ let main mode baseline_path current_path tolerance =
 open Cmdliner
 
 let mode_arg =
-  let modes = [ ("metrics", `Metrics); ("bench", `Bench) ] in
+  let modes =
+    [ ("metrics", `Metrics); ("bench", `Bench); ("fidelity", `Fidelity) ]
+  in
   Arg.(
     required
     & pos 0 (some (enum modes)) None
     & info [] ~docv:"MODE"
         ~doc:"$(b,metrics) compares pc-obs/1 counters/gauges exactly; \
-              $(b,bench) compares pc-bench/1 timings median-normalised.")
+              $(b,bench) compares pc-bench/1 timings median-normalised; \
+              $(b,fidelity) gates a pc-fidelity/1 report against \
+              pc-fidelity-thresholds/1 bounds.")
 
 let baseline_arg =
   Arg.(

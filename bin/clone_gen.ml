@@ -7,7 +7,12 @@
      clone_gen profile BENCH -o workload.profile
      clone_gen synth -p workload.profile -o clone.s [--format c|asm]
      clone_gen clone BENCH --format c       (profile + synth in one step)
-     clone_gen list *)
+     clone_gen list
+
+   clone/synth take --fidelity-out FILE to re-profile the generated
+   clone and write a pc-fidelity/1 comparison against the original's
+   profile; profile/synth/clone take --trace FILE to write a pc-trace/1
+   Chrome timeline of the run. *)
 
 open Cmdliner
 
@@ -35,7 +40,20 @@ let cmd_list () =
       List.iter (fun n -> Printf.printf "%-14s %s\n" n domain) names)
     Pc_workloads.Registry.domains
 
-let cmd_profile () bench output instrs =
+(* Fidelity sidecar: re-profile the clone and compare it with the
+   original's profile on the paper characteristics.  stderr table +
+   pc-fidelity/1 JSON, so stdout clone output is untouched. *)
+let write_fidelity path ~bench ~original ~seed ~instrs ~dynamic clone =
+  let report =
+    Pc_trace.Fidelity.measure ~max_instrs:instrs ~bench ~original clone
+  in
+  Pc_trace.Fidelity.write_json path ~seed ~profile_instrs:instrs
+    ~clone_dynamic:dynamic [ report ];
+  Format.eprintf "%a" Pc_trace.Fidelity.pp [ report ];
+  Log.info (fun m -> m "wrote fidelity report to %s" path)
+
+let cmd_profile () trace bench output instrs =
+  Pc_trace.Chrome.with_trace trace @@ fun () ->
   let program = load_bench bench in
   Log.info (fun m -> m "profiling %s (%d dynamic instructions)" bench instrs);
   let profile = Pc_profile.Collector.profile ~max_instrs:instrs program in
@@ -49,7 +67,8 @@ let emit_clone clone fmt output =
       | "bin" -> Pc_isa.Encoding.write oc clone
       | "asm" | _ -> output_string oc (Pc_isa.Parser.roundtrip_text clone))
 
-let cmd_synth () profile_path output fmt seed dynamic =
+let cmd_synth () trace fidelity_out profile_path output fmt seed dynamic =
+  Pc_trace.Chrome.with_trace trace @@ fun () ->
   let ic = open_in profile_path in
   let profile =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Pc_profile.Profile.load ic)
@@ -60,10 +79,17 @@ let cmd_synth () profile_path output fmt seed dynamic =
   in
   let clone = Pc_synth.Synth.generate ~options profile in
   emit_clone clone fmt output;
+  Option.iter
+    (fun path ->
+      write_fidelity path ~bench:profile.Pc_profile.Profile.name
+        ~original:profile ~seed ~instrs:profile.Pc_profile.Profile.instr_count
+        ~dynamic clone)
+    fidelity_out;
   Log.info (fun m -> m "wrote %s clone to %s" fmt
                (Option.value output ~default:"<stdout>"))
 
-let cmd_clone () bench output fmt seed instrs dynamic =
+let cmd_clone () trace fidelity_out bench output fmt seed instrs dynamic =
+  Pc_trace.Chrome.with_trace trace @@ fun () ->
   let program = load_bench bench in
   Log.info (fun m -> m "cloning %s (profile %d instrs, seed %d)" bench instrs seed);
   let pipeline =
@@ -71,6 +97,11 @@ let cmd_clone () bench output fmt seed instrs dynamic =
       ~target_dynamic:dynamic program
   in
   emit_clone pipeline.Perfclone.Pipeline.clone fmt output;
+  Option.iter
+    (fun path ->
+      write_fidelity path ~bench ~original:pipeline.Perfclone.Pipeline.profile
+        ~seed ~instrs ~dynamic pipeline.Perfclone.Pipeline.clone)
+    fidelity_out;
   Log.info (fun m -> m "wrote %s clone to %s" fmt
                (Option.value output ~default:"<stdout>"))
 
@@ -103,6 +134,21 @@ let profile_arg =
   Arg.(required & opt (some string) None & info [ "p"; "profile" ] ~docv:"FILE"
          ~doc:"Profile file produced by 'clone_gen profile'.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:
+           "Write a Chrome trace_event timeline (schema pc-trace/1) of the \
+            run to $(docv); loads in Perfetto / chrome://tracing.")
+
+let fidelity_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fidelity-out" ] ~docv:"FILE"
+         ~doc:
+           "Re-profile the generated clone and write a pc-fidelity/1 JSON \
+            report comparing it with the original's profile (instruction \
+            mix, dependency distances, strides, branch rates, SFG size) to \
+            $(docv).  A summary table goes to stderr.")
+
 let setup_term =
   let verbose_arg =
     Arg.(value & flag_all
@@ -121,17 +167,19 @@ let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list available benchmarks")
 
 let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc:"profile a workload")
-    Term.(const cmd_profile $ setup_term $ bench_pos $ output_arg $ instrs_arg)
+    Term.(const cmd_profile $ setup_term $ trace_arg $ bench_pos $ output_arg
+          $ instrs_arg)
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"synthesize a clone from a saved profile")
-    Term.(const cmd_synth $ setup_term $ profile_arg $ output_arg $ format_arg
-          $ seed_arg $ dynamic_arg)
+    Term.(const cmd_synth $ setup_term $ trace_arg $ fidelity_out_arg
+          $ profile_arg $ output_arg $ format_arg $ seed_arg $ dynamic_arg)
 
 let clone_cmd =
   Cmd.v (Cmd.info "clone" ~doc:"profile and synthesize in one step")
-    Term.(const cmd_clone $ setup_term $ bench_pos $ output_arg $ format_arg
-          $ seed_arg $ instrs_arg $ dynamic_arg)
+    Term.(const cmd_clone $ setup_term $ trace_arg $ fidelity_out_arg
+          $ bench_pos $ output_arg $ format_arg $ seed_arg $ instrs_arg
+          $ dynamic_arg)
 
 let main_cmd =
   Cmd.group

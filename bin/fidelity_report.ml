@@ -1,0 +1,94 @@
+(* fidelity_report: measure how faithfully the generated clones
+   reproduce the paper's microarchitecture-independent characteristics.
+
+   Usage:
+     fidelity_report [--quick] [--bench NAME]... [--seed N] [-j N]
+                     [--instrs N] [--dynamic N] [-o FILE] [--trace FILE]
+
+   Runs the cloning pipeline for the selected benchmarks, re-profiles
+   every clone, and prints one table row per benchmark (stdout).  -o
+   writes the same data as pc-fidelity/1 JSON, the artefact that
+   check_baselines gates against baselines/fidelity.json. *)
+
+module E = Perfclone.Experiments
+module Pool = Pc_exec.Pool
+
+let main quick benches seed jobs instrs dynamic output trace =
+  Pc_trace.Chrome.with_trace trace @@ fun () ->
+  let pool = Pool.create ~num_domains:jobs in
+  let settings =
+    let base = if quick then E.quick_settings else E.default_settings in
+    {
+      base with
+      E.seed;
+      profile_instrs = Option.value instrs ~default:base.E.profile_instrs;
+      clone_dynamic = Option.value dynamic ~default:base.E.clone_dynamic;
+      benchmarks = (if benches = [] then base.E.benchmarks else benches);
+    }
+  in
+  let pipelines = E.prepare ~pool settings in
+  let reports = E.fidelity_reports ~pool settings pipelines in
+  Pc_trace.Fidelity.pp Format.std_formatter reports;
+  Option.iter
+    (fun path ->
+      Pc_trace.Fidelity.write_json path ~seed:settings.E.seed
+        ~profile_instrs:settings.E.profile_instrs
+        ~clone_dynamic:settings.E.clone_dynamic reports)
+    output
+
+open Cmdliner
+
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Quick mode: fewer benchmarks, shorter profiles.")
+
+let bench_arg =
+  Arg.(value & opt_all string []
+       & info [ "bench"; "b" ] ~docv:"NAME"
+           ~doc:"Restrict to the named benchmark (repeatable).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generation seed.")
+
+let jobs_arg =
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "must be a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value
+       & opt positive_int (Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for per-benchmark fan-out.")
+
+let instrs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "instrs" ] ~docv:"N"
+           ~doc:"Profiling budget in dynamic instructions (for both the \
+                 original's profile and the clone's re-profile).")
+
+let dynamic_arg =
+  Arg.(value & opt (some int) None
+       & info [ "dynamic" ] ~docv:"N"
+           ~doc:"Target dynamic length of the clones.")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the report as pc-fidelity/1 JSON to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a pc-trace/1 Chrome timeline of the run to $(docv).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "fidelity_report" ~doc:"measure clone fidelity on the paper characteristics")
+    Term.(const main $ quick_arg $ bench_arg $ seed_arg $ jobs_arg $ instrs_arg
+          $ dynamic_arg $ output_arg $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

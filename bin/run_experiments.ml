@@ -2,7 +2,8 @@
 
    Usage:
      run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
-                     [--sample N] [--sample-out FILE]
+                     [--sample N] [--sample-out FILE] [--sample-no-ref]
+                     [--trace FILE] [--trace-period-ms MS]
                      [--metrics] [--metrics-out FILE] [-v] [--quiet]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
@@ -56,7 +57,7 @@ let print_table2 () =
    IPC, so the sampling error is measurable without re-deriving it.
    The detailed runs are the expensive part; they fan out over [pool]
    and are memoized alongside the unsampled estimators. *)
-let write_sample_summary ~pool ~interval settings pipelines path =
+let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
   let module Sample = Pc_sample.Sample in
   let module Sim = Pc_uarch.Sim in
   let cfg = Pc_uarch.Config.base in
@@ -75,18 +76,31 @@ let write_sample_summary ~pool ~interval settings pipelines path =
       (fun (bench, kind, program) ->
         let plan = E.sample_plan settings ~interval program in
         let projected = Sample.project_sim cfg plan in
-        let detailed = Sim.run ~max_instrs:settings.E.sim_instrs cfg program in
-        let error =
-          if detailed.Sim.ipc = 0.0 then 0.0
-          else abs_float (projected.Sim.ipc -. detailed.Sim.ipc) /. detailed.Sim.ipc
+        (* --sample-no-ref: plan statistics and projections only — the
+           detailed reference simulations are the expensive part. *)
+        let reference =
+          if no_ref then None
+          else begin
+            let detailed = Sim.run ~max_instrs:settings.E.sim_instrs cfg program in
+            let error =
+              if detailed.Sim.ipc = 0.0 then 0.0
+              else
+                abs_float (projected.Sim.ipc -. detailed.Sim.ipc)
+                /. detailed.Sim.ipc
+            in
+            Some (detailed.Sim.ipc, error)
+          end
         in
-        (bench, kind, plan, projected.Sim.ipc, detailed.Sim.ipc, error))
+        (bench, kind, plan, projected.Sim.ipc, reference))
       programs
   in
   List.iter
-    (fun (_, _, _, _, _, error) ->
-      Pc_obs.Metrics.record_max err_gauge
-        (int_of_float (Float.round (error *. 10_000.))))
+    (fun (_, _, _, _, reference) ->
+      match reference with
+      | None -> ()
+      | Some (_, error) ->
+        Pc_obs.Metrics.record_max err_gauge
+          (int_of_float (Float.round (error *. 10_000.))))
     rows;
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -94,7 +108,7 @@ let write_sample_summary ~pool ~interval settings pipelines path =
        "{\"schema\":\"pc-sample/1\",\"interval\":%d,\"seed\":%d,\"budget\":%d,\"programs\":["
        interval settings.E.seed settings.E.sim_instrs);
   List.iteri
-    (fun i (bench, kind, (plan : Sample.plan), proj, det, error) ->
+    (fun i (bench, kind, (plan : Sample.plan), proj, reference) ->
       if i > 0 then Buffer.add_char b ',';
       let replayed =
         Array.fold_left
@@ -105,9 +119,15 @@ let write_sample_summary ~pool ~interval settings pipelines path =
         (Printf.sprintf
            "{\"bench\":%S,\"kind\":%S,\"total_instrs\":%d,\"intervals\":%d,\
             \"clusters\":%d,\"replayed_instrs\":%d,\"coverage\":%.6f,\
-            \"projected_ipc\":%.6f,\"detailed_ipc\":%.6f,\"ipc_error\":%.6f}"
+            \"projected_ipc\":%.6f"
            bench kind plan.Sample.total_instrs plan.Sample.n_intervals
-           plan.Sample.k replayed plan.Sample.coverage proj det error))
+           plan.Sample.k replayed plan.Sample.coverage proj);
+      (match reference with
+      | Some (det, error) ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"detailed_ipc\":%.6f,\"ipc_error\":%.6f" det error)
+      | None -> ());
+      Buffer.add_char b '}')
     rows;
   Buffer.add_string b "]}\n";
   let oc = open_out path in
@@ -115,10 +135,14 @@ let write_sample_summary ~pool ~interval settings pipelines path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Buffer.contents b))
 
-let main experiments quick benches seed jobs sample sample_out metrics
-    metrics_out verbosity quiet =
+let main experiments quick benches seed jobs sample sample_out sample_no_ref
+    trace trace_period_ms metrics metrics_out verbosity quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
   if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
+  Pc_trace.Chrome.with_trace
+    ~period_s:(float_of_int trace_period_ms /. 1000.0)
+    trace
+  @@ fun () ->
   let pool = Pool.create ~num_domains:jobs in
   let sample =
     match sample with
@@ -144,6 +168,8 @@ let main experiments quick benches seed jobs sample sample_out metrics
   let sample_summary = if sample = None then None else sample_out in
   if sample_out <> None && sample = None then
     Format.eprintf "run_experiments: --sample-out ignored without --sample@.";
+  if sample_no_ref && sample_summary = None then
+    Format.eprintf "run_experiments: --sample-no-ref ignored without --sample-out@.";
   let needs_pipelines =
     sample_summary <> None
     || List.exists wants
@@ -183,7 +209,8 @@ let main experiments quick benches seed jobs sample sample_out metrics
     if wants "seeds" then E.pp_seed_robustness pp (E.seed_robustness ~pool settings pipelines);
     match (sample_summary, settings.E.sample) with
     | Some path, Some interval ->
-      write_sample_summary ~pool ~interval settings pipelines path
+      write_sample_summary ~pool ~interval ~no_ref:sample_no_ref settings
+        pipelines path
     | _ -> ()
   end;
   let snap = Pc_obs.Metrics.snapshot () in
@@ -262,6 +289,33 @@ let sample_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "sample-out" ] ~docv:"FILE" ~doc)
 
+let sample_no_ref_arg =
+  let doc =
+    "With $(b,--sample-out), skip the detailed (unsampled) reference \
+     simulations: the summary reports plan statistics and projected IPC \
+     only, omitting the $(b,detailed_ipc) and $(b,ipc_error) fields.  \
+     Much cheaper when only the plan shape matters."
+  in
+  Arg.(value & flag & info [ "sample-no-ref" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event timeline (schema $(b,pc-trace/1), loads \
+     in Perfetto / chrome://tracing) of the whole run to $(docv): one \
+     lane per worker domain from the span tree, plus counter tracks \
+     sampled from the metrics registry.  Implies metric and event \
+     collection; never touches stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_period_ms_arg =
+  let doc =
+    "Counter-sampling period for $(b,--trace), in milliseconds.  0 \
+     disables periodic sampling (counters are still sampled once at \
+     exit)."
+  in
+  Arg.(value & opt int 50 & info [ "trace-period-ms" ] ~docv:"MS" ~doc)
+
 let metrics_arg =
   let doc =
     "Print the observability report (metrics registry and per-stage span \
@@ -292,7 +346,8 @@ let cmd =
     (Cmd.info "run_experiments" ~doc)
     Term.(
       const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
-      $ sample_arg $ sample_out_arg $ metrics_arg $ metrics_out_arg
+      $ sample_arg $ sample_out_arg $ sample_no_ref_arg $ trace_arg
+      $ trace_period_ms_arg $ metrics_arg $ metrics_out_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)
 

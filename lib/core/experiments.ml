@@ -80,10 +80,14 @@ let sim_store : (string, Sim.result) Store.t = Store.create ~name:"sim" ()
 let plan_store : (string, Pc_sample.Sample.plan) Store.t =
   Store.create ~name:"sample.plan" ()
 
+let fidelity_store : (string, Pc_trace.Fidelity.report) Store.t =
+  Store.create ~name:"fidelity" ()
+
 let clear_caches () =
   Store.clear trace_store;
   Store.clear sim_store;
   Store.clear plan_store;
+  Store.clear fidelity_store;
   Store.clear Pipeline.profile_store
 
 (* Sampling plans are keyed per (program, budget, interval, seed) and
@@ -113,6 +117,28 @@ let prepare_sample ?(pool = Pool.serial) settings pipelines =
       (Pool.map pool
          (fun program -> ignore (sample_plan settings ~interval program))
          programs)
+
+(* --- clone fidelity ---
+
+   Re-profiles each clone with the same budget that profiled the
+   original and compares the two profiles on the paper characteristics.
+   Keyed by (clone program, original profile, budget): the comparison is
+   a pure function of those, so a [run_experiments all] and a later
+   [--fidelity-out] share the work. *)
+
+let fidelity_reports ?(pool = Pool.serial) settings pipelines =
+  Span.with_ "fidelity" @@ fun () ->
+  Log.info (fun m -> m "measuring clone fidelity for %d benchmarks" (List.length pipelines));
+  Pool.map pool
+    (fun (p : Pipeline.t) ->
+      let key =
+        digest (p.Pipeline.clone, p.Pipeline.profile, settings.profile_instrs)
+      in
+      Store.find_or_compute fidelity_store key (fun () ->
+          Pc_trace.Fidelity.measure ~max_instrs:settings.profile_instrs
+            ~bench:p.Pipeline.name ~original:p.Pipeline.profile
+            p.Pipeline.clone))
+    pipelines
 
 (* --- Figure 3 --- *)
 

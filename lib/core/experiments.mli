@@ -45,9 +45,10 @@ val prepare_sample : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> unit
     level, never from inside a pool task. *)
 
 val clear_caches : unit -> unit
-(** Empty the memo stores ({!trace_store}, {!sim_store}, {!plan_store}
-    and {!Pipeline.profile_store}) and reset their counters.  Tests use
-    this to compare truly cold serial and parallel runs. *)
+(** Empty the memo stores ({!trace_store}, {!sim_store}, {!plan_store},
+    {!fidelity_store} and {!Pipeline.profile_store}) and reset their
+    counters.  Tests use this to compare truly cold serial and parallel
+    runs. *)
 
 val trace_store : (string, float array) Pc_exec.Store.t
 (** 28-cache-study MPI series, keyed by a digest of (program, budget)
@@ -61,6 +62,22 @@ val plan_store : (string, Pc_sample.Sample.plan) Pc_exec.Store.t
 (** Sampling plans, keyed by a digest of (program, budget, interval,
     seed); shared across every configuration that simulates the same
     program (phases are microarchitecture-independent). *)
+
+val fidelity_store : (string, Pc_trace.Fidelity.report) Pc_exec.Store.t
+(** Clone-fidelity reports, keyed by a digest of (clone program,
+    original profile, budget). *)
+
+(** {1 Clone fidelity — pc-fidelity/1} *)
+
+val fidelity_reports :
+  ?pool:Pc_exec.Pool.t ->
+  settings ->
+  Pipeline.t list ->
+  Pc_trace.Fidelity.report list
+(** Re-profile every pipeline's clone ({!Pc_trace.Fidelity.measure} with
+    [settings.profile_instrs] as the budget) and compare it with the
+    original's profile.  Results are memoized in {!fidelity_store} and
+    deterministic at every pool width. *)
 
 (** {1 Figure 3 — single-stride coverage} *)
 

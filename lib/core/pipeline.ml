@@ -44,6 +44,14 @@ let clone_benchmark ?(seed = 1) ?(profile_instrs = 1_000_000) ?(target_dynamic =
     Pc_obs.Span.with_ ("synth:" ^ name) (fun () ->
         Pc_synth.Synth.generate ~options profile)
   in
+  (* Deterministic trace marker: same (name, args) at every pool width,
+     so it is part of the -j event-set equivalence contract. *)
+  Pc_obs.Event.instant
+    ("pipeline:done:" ^ name)
+    [
+      ("sfg_nodes", Pc_obs.Event.Int (Array.length profile.Pc_profile.Profile.nodes));
+      ("clone_static", Pc_obs.Event.Int (Pc_isa.Program.length clone));
+    ];
   { name = program.Pc_isa.Program.name; original = program; profile; clone }
 
 let microdep_baseline ?(seed = 1) ~reference t =

@@ -66,16 +66,23 @@ let run_batch pool tasks =
     in
     loop ()
   in
-  let worker () =
+  (* Workers keep a stable per-slot event track (worker [i] → track [i])
+     so trace timelines show one lane per pool slot across batches, and
+     flush their domain-local event buffers before terminating — the
+     "merge at pool joins" half of the {!Pc_obs.Event} contract. *)
+  let worker i () =
     Domain.DLS.set inside_batch true;
-    Pc_obs.Span.with_ctx span_ctx work
+    Pc_obs.Event.set_track i;
+    Fun.protect
+      ~finally:Pc_obs.Event.flush_local
+      (fun () -> Pc_obs.Span.with_ctx span_ctx work)
   in
   let helpers =
     let wanted = max 0 (min (pool.num_domains - 1) (n - 1)) in
     let rec spawn k acc =
       if k = 0 then acc
       else
-        match Domain.spawn worker with
+        match Domain.spawn (worker k) with
         | d -> spawn (k - 1) (d :: acc)
         | exception _ -> acc (* no more domains: degrade towards serial *)
     in
@@ -85,6 +92,7 @@ let run_batch pool tasks =
   work ();
   Domain.DLS.set inside_batch false;
   List.iter Domain.join helpers;
+  Pc_obs.Event.flush_local ();
   Array.map (function Some r -> r | None -> assert false) results
 
 let map pool f xs =

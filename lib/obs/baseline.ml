@@ -77,7 +77,33 @@ let check_bench ~tolerance ~baseline ~current =
     |> check_schema ~expected:"pc-bench/1" current
     |> List.rev
   in
-  let b_rows = bench_rows baseline and c_rows = bench_rows current in
+  (* A NaN/infinite timing (reachable through the JSON parser, e.g.
+     [1e999]) would poison the median and make every [>] comparison
+     silently false, masking real drift: report it and demote the row to
+     "no estimate" before any arithmetic sees it. *)
+  let sanitize label rows =
+    let bad =
+      List.filter_map
+        (fun (name, ms) ->
+          match ms with
+          | Some v when not (Float.is_finite v) ->
+            Some
+              (Printf.sprintf "bench %s: non-finite ms_per_run in %s report"
+                 name label)
+          | _ -> None)
+        rows
+    in
+    let rows =
+      List.map
+        (fun (name, ms) ->
+          (name, Option.bind ms (fun v -> if Float.is_finite v then Some v else None)))
+        rows
+    in
+    (bad, rows)
+  in
+  let b_bad, b_rows = sanitize "baseline" (bench_rows baseline) in
+  let c_bad, c_rows = sanitize "current" (bench_rows current) in
+  let issues = issues @ b_bad @ c_bad in
   let timings rows = List.filter_map snd rows in
   match (median (timings b_rows), median (timings c_rows)) with
   | None, _ | _, None ->

@@ -1,0 +1,74 @@
+type arg = Int of int | Float of float | Str of string
+type phase = Begin | End | Instant
+
+type t = {
+  ts : float;
+  track : int;
+  phase : phase;
+  name : string;
+  args : (string * arg) list;
+}
+
+let collecting_flag = Atomic.make false
+let collecting () = Atomic.get collecting_flag
+let set_collecting b = Atomic.set collecting_flag b
+
+(* Domain-local append buffer.  Appends touch only domain-local state, so
+   the hot path takes no lock; the buffer drains into the shared [merged]
+   list under [lock] at flush points (pool joins, tracer shutdown). *)
+type buf = { mutable items : t array; mutable len : int }
+
+let lock = Mutex.create ()
+let merged = ref ([] : t list)  (* flushed events, most recent flush first *)
+
+let track_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { items = [||]; len = 0 })
+
+let set_track i = Domain.DLS.set track_key i
+let track () = Domain.DLS.get track_key
+
+let emit phase name args =
+  if collecting () then begin
+    let b = Domain.DLS.get buf_key in
+    if b.len = Array.length b.items then begin
+      let cap = max 256 (2 * Array.length b.items) in
+      let items =
+        Array.make cap
+          { ts = 0.0; track = 0; phase = Instant; name = ""; args = [] }
+      in
+      Array.blit b.items 0 items 0 b.len;
+      b.items <- items
+    end;
+    b.items.(b.len) <-
+      {
+        ts = Unix.gettimeofday ();
+        track = Domain.DLS.get track_key;
+        phase;
+        name;
+        args;
+      };
+    b.len <- b.len + 1
+  end
+
+let instant name args = emit Instant name args
+
+let flush_local () =
+  let b = Domain.DLS.get buf_key in
+  if b.len > 0 then begin
+    let evs = Array.to_list (Array.sub b.items 0 b.len) in
+    b.len <- 0;
+    Mutex.protect lock (fun () -> merged := List.rev_append evs !merged)
+  end
+
+let drain () =
+  flush_local ();
+  Mutex.protect lock (fun () ->
+      let evs = !merged in
+      merged := [];
+      List.rev evs)
+
+let reset () =
+  let b = Domain.DLS.get buf_key in
+  b.len <- 0;
+  Mutex.protect lock (fun () -> merged := [])

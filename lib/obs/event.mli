@@ -1,0 +1,62 @@
+(** Typed trace events: the timeline companion to {!Span}'s duration
+    tree.
+
+    An event is a timestamped [Begin]/[End]/[Instant] record with a
+    name, an argument list, and a track id.  {!Span.with_} emits a
+    [Begin]/[End] pair around every span when collection is on, and
+    instrumented code adds [Instant] markers; {!Pc_trace.Chrome} turns
+    the drained stream into Chrome [trace_event] JSON.
+
+    Collection is gated separately from {!Metrics.enabled} by
+    {!set_collecting} (flipped by the tracer, never by [--metrics]), so
+    ordinary metric runs allocate nothing here.
+
+    Concurrency contract: each domain appends to a domain-local buffer
+    with no lock.  Buffers survive into the shared stream only via
+    {!flush_local}, which every domain that emitted events must call
+    before it terminates — {!Pc_exec.Pool} flushes its workers at every
+    batch join, and {!drain} flushes the calling domain itself.  Events
+    therefore merge into one coherent timeline at pool joins regardless
+    of which domain executed the work. *)
+
+type arg = Int of int | Float of float | Str of string
+type phase = Begin | End | Instant
+
+type t = {
+  ts : float;  (** wall-clock seconds ({!Span.now_s} clock) *)
+  track : int;  (** timeline track: 0 = main domain, [i] = pool worker [i] *)
+  phase : phase;
+  name : string;
+  args : (string * arg) list;
+}
+
+val collecting : unit -> bool
+val set_collecting : bool -> unit
+(** Master event-collection switch, off by default.  While off, {!emit}
+    is a single atomic load. *)
+
+val set_track : int -> unit
+(** Assign the calling domain's track id (domain-local).  The pool gives
+    worker [i] track [i]; the spawning domain keeps track 0. *)
+
+val track : unit -> int
+
+val emit : phase -> string -> (string * arg) list -> unit
+(** Append one event to the calling domain's buffer (when
+    {!collecting}).  Lock-free; safe from any domain. *)
+
+val instant : string -> (string * arg) list -> unit
+(** [emit Instant] — a point-in-time marker. *)
+
+val flush_local : unit -> unit
+(** Move the calling domain's buffered events into the shared stream.
+    Must run on a domain before it terminates or its events are lost;
+    cheap no-op when the buffer is empty. *)
+
+val drain : unit -> t list
+(** Flush the calling domain, then return and clear the shared stream in
+    flush order.  Call after worker domains have joined — only then is
+    the stream complete. *)
+
+val reset : unit -> unit
+(** Drop the calling domain's buffer and the shared stream. *)

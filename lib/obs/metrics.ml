@@ -104,6 +104,30 @@ type hist_view = {
   sum : float;
 }
 
+(* Prometheus-style bucket quantile: find the bucket holding the q-th
+   observation and interpolate linearly inside it.  The overflow bucket
+   has no upper bound, so ranks landing there clamp to the last finite
+   bound — an underestimate, which is the conservative direction for
+   duration data. *)
+let hist_quantile v q =
+  let n_bounds = Array.length v.le in
+  if v.count = 0 || n_bounds = 0 then 0.0
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int v.count in
+    let rec go i cum =
+      if i >= n_bounds then v.le.(n_bounds - 1)
+      else
+        let here = v.bucket_counts.(i) in
+        let cum' = cum + here in
+        if float_of_int cum' >= rank && here > 0 then
+          let lo = if i = 0 then 0.0 else v.le.(i - 1) in
+          let hi = v.le.(i) in
+          lo +. ((hi -. lo) *. ((rank -. float_of_int cum) /. float_of_int here))
+        else go (i + 1) cum'
+    in
+    go 0 0
+
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * int) list;

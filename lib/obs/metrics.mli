@@ -82,6 +82,14 @@ type hist_view = {
   sum : float;
 }
 
+val hist_quantile : hist_view -> float -> float
+(** [hist_quantile v q] estimates the [q]-quantile ([0..1], clamped) of
+    the observations from the bucket counts, Prometheus-style: linear
+    interpolation inside the bucket containing the [q]-th observation.
+    Ranks landing in the unbounded overflow bucket clamp to the last
+    finite bound; an empty histogram reports 0.  The sinks report p50/
+    p95/p99 through this. *)
+
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   gauges : (string * int) list;

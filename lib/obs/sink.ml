@@ -16,8 +16,17 @@ let escape b s =
     s;
   Buffer.add_char b '"'
 
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  escape b s;
+  Buffer.contents b
+
+(* JSON has no NaN/Infinity literals; a non-finite value (e.g. a
+   histogram fed an infinite observation) must degrade to null, not
+   corrupt the document. *)
 let number b f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.1f" f)
   else Buffer.add_string b (Printf.sprintf "%.9g" f)
 
@@ -43,6 +52,9 @@ let hist b (h : Metrics.hist_view) =
     [
       ("count", fun () -> Buffer.add_string b (string_of_int h.Metrics.count));
       ("sum", fun () -> number b h.Metrics.sum);
+      ("p50", fun () -> number b (Metrics.hist_quantile h 0.50));
+      ("p95", fun () -> number b (Metrics.hist_quantile h 0.95));
+      ("p99", fun () -> number b (Metrics.hist_quantile h 0.99));
       ( "buckets",
         fun () ->
           Buffer.add_char b '[';
@@ -134,8 +146,13 @@ let pp_console ppf (snap : Metrics.snapshot) spans =
           if h.Metrics.count = 0 then 0.0
           else h.Metrics.sum /. float_of_int h.Metrics.count
         in
-        Format.fprintf ppf "  %-40s count %8d  sum %10.4f  mean %8.4f@." name
-          h.Metrics.count h.Metrics.sum mean)
+        Format.fprintf ppf
+          "  %-40s count %8d  sum %10.4f  mean %8.4f  p50 %8.4f  p95 %8.4f  \
+           p99 %8.4f@."
+          name h.Metrics.count h.Metrics.sum mean
+          (Metrics.hist_quantile h 0.50)
+          (Metrics.hist_quantile h 0.95)
+          (Metrics.hist_quantile h 0.99))
       snap.Metrics.histograms
   end;
   if spans <> [] then begin

@@ -13,6 +13,8 @@
       "counters":   { "<name>": <int>, ... },
       "gauges":     { "<name>": <int>, ... },
       "histograms": { "<name>": { "count": <int>, "sum": <float>,
+                                  "p50": <float>, "p95": <float>,
+                                  "p99": <float>,
                                   "buckets": [ { "le": <float|"inf">,
                                                  "count": <int> }, ... ] } },
       "spans": [ { "name": <string>, "duration_s": <float>,
@@ -20,8 +22,15 @@
     v}
 
       Counter/gauge/histogram keys are sorted by name; spans are in
-      completion order.
+      completion order; [p50]/[p95]/[p99] are bucket-interpolated
+      quantile estimates ({!Metrics.hist_quantile}).  Non-finite floats
+      serialise as [null] — JSON has no NaN/Infinity.
     - {!null}: does nothing — the disabled path. *)
+
+val json_string : string -> string
+(** The JSON string literal (quotes included) for [s], escaping
+    quotes, backslashes and control characters.  Shared by every
+    exporter that writes metric, span or event names into JSON. *)
 
 val pp_console : Format.formatter -> Metrics.snapshot -> Span.t list -> unit
 

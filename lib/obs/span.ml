@@ -17,6 +17,7 @@ let current : open_t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 let now_s () = Unix.gettimeofday ()
 
 let finish parent o =
+  Event.emit Event.End o.oname [];
   let stop = now_s () in
   Mutex.protect lock (fun () ->
       let t =
@@ -26,10 +27,11 @@ let finish parent o =
       | Some p -> p.kids_rev <- t :: p.kids_rev
       | None -> root_spans := t :: !root_spans)
 
-let with_ name f =
+let with_ ?(args = []) name f =
   if not (Metrics.enabled ()) then f ()
   else begin
     let parent = Domain.DLS.get current in
+    Event.emit Event.Begin name args;
     let o = { oname = name; start = now_s (); kids_rev = [] } in
     Domain.DLS.set current (Some o);
     Fun.protect

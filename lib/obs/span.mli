@@ -22,9 +22,13 @@ val duration_s : t -> float
 val children : t -> t list
 (** In completion order. *)
 
-val with_ : string -> (unit -> 'a) -> 'a
+val with_ : ?args:(string * Event.arg) list -> string -> (unit -> 'a) -> 'a
 (** Time [f] and record the span (when {!Metrics.enabled}); the span is
-    recorded even if [f] raises.  Safe from any domain. *)
+    recorded even if [f] raises.  Safe from any domain.  When event
+    collection is on ({!Event.set_collecting}), also emits an
+    {!Event.Begin}/{!Event.End} pair on the calling domain's track —
+    [args] ride on the [Begin] event and appear in exported trace
+    timelines; the span tree itself never stores them. *)
 
 type ctx
 (** A handle on a domain's currently-open span (possibly none), used to

@@ -318,6 +318,15 @@ let plan ?(dims = 32) ?(max_k = 6) ?(restarts = 3) ?warmup ~seed ~interval
   M.add c_intervals n_intervals;
   M.add c_clusters k;
   M.record_max g_coverage (int_of_float (coverage *. 10_000.0));
+  (* Deterministic trace marker (plans are memoized per key upstream, so
+     each fires once per plan at every pool width). *)
+  Pc_obs.Event.instant
+    ("sample:plan:" ^ program.Pc_isa.Program.name)
+    [
+      ("n_intervals", Pc_obs.Event.Int n_intervals);
+      ("k", Pc_obs.Event.Int k);
+      ("coverage_bp", Pc_obs.Event.Int (int_of_float (coverage *. 10_000.0)));
+    ];
   { interval; total_instrs; n_intervals; k; dims; coverage; reps; statics }
 
 (* --- replay --- *)

@@ -1,0 +1,173 @@
+module M = Pc_obs.Metrics
+module Event = Pc_obs.Event
+module Span = Pc_obs.Span
+module Sink = Pc_obs.Sink
+
+(* One counter-track sample: a metric's value at an instant.  Samples
+   are produced by the sampler domain (and a final sample at [stop]),
+   never by instrumented code, so they stay out of the {!Event} stream
+   and out of the -j determinism contract. *)
+type sample = { s_ts : float; s_name : string; s_value : int }
+
+type t = {
+  path : string;
+  epoch : float;
+  stop_flag : bool Atomic.t;
+  sampler : unit Domain.t option;
+  samples : sample list ref;
+  restore_enabled : bool;
+  restore_collecting : bool;
+}
+
+let sample_registry acc =
+  let ts = Span.now_s () in
+  let snap = M.snapshot () in
+  let add acc (s_name, s_value) = { s_ts = ts; s_name; s_value } :: acc in
+  List.fold_left add (List.fold_left add acc snap.M.counters) snap.M.gauges
+
+(* --- Chrome trace_event JSON --- *)
+
+let number b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.9g" f)
+
+let arg_value b = function
+  | Event.Int i -> Buffer.add_string b (string_of_int i)
+  | Event.Float f -> number b f
+  | Event.Str s -> Buffer.add_string b (Sink.json_string s)
+
+let args_obj b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Sink.json_string k);
+      Buffer.add_char b ':';
+      arg_value b v)
+    args;
+  Buffer.add_char b '}'
+
+let track_label = function
+  | 0 -> "main"
+  | i -> Printf.sprintf "worker-%d" i
+
+let to_json ~epoch events samples =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char b ',' in
+  let ts_us ts = Printf.sprintf "%.3f" (Float.max 0.0 ((ts -. epoch) *. 1e6)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  sep ();
+  Buffer.add_string b
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"perfclone\"}}";
+  let tracks =
+    List.sort_uniq compare (List.map (fun (e : Event.t) -> e.Event.track) events)
+  in
+  List.iter
+    (fun tr ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
+           tr
+           (Sink.json_string (track_label tr))))
+    tracks;
+  (* Stable sort: per-track order (chronological by construction) breaks
+     timestamp ties, keeping Begin/End nesting valid per track. *)
+  let events =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> compare a.Event.ts b.Event.ts)
+      events
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      sep ();
+      let ph, extra =
+        match e.Event.phase with
+        | Event.Begin -> ("B", "")
+        | Event.End -> ("E", "")
+        | Event.Instant -> ("i", ",\"s\":\"t\"")
+      in
+      Buffer.add_string b
+        (Printf.sprintf "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"cat\":\"pc\",\"name\":%s%s,\"args\":"
+           ph e.Event.track (ts_us e.Event.ts)
+           (Sink.json_string e.Event.name)
+           extra);
+      args_obj b e.Event.args;
+      Buffer.add_char b '}')
+    events;
+  List.iter
+    (fun s ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%d}}"
+           (ts_us s.s_ts)
+           (Sink.json_string s.s_name)
+           s.s_value))
+    samples;
+  Buffer.add_string b
+    "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"pc-trace/1\"}}";
+  Buffer.contents b
+
+(* --- tracer lifecycle --- *)
+
+let default_period_s = 0.05
+
+let start ?(period_s = default_period_s) path =
+  let restore_enabled = M.enabled () in
+  let restore_collecting = Event.collecting () in
+  M.set_enabled true;
+  Event.set_collecting true;
+  let epoch = Span.now_s () in
+  let stop_flag = Atomic.make false in
+  let samples = ref [] in
+  let sampler =
+    if period_s <= 0.0 then None
+    else
+      (* Sleep in short slices so [stop] never waits a full period. *)
+      let rec pause deadline =
+        if not (Atomic.get stop_flag) then begin
+          let now = Span.now_s () in
+          if now < deadline then begin
+            Unix.sleepf (Float.min 0.01 (deadline -. now));
+            pause deadline
+          end
+        end
+      in
+      let rec loop () =
+        if not (Atomic.get stop_flag) then begin
+          samples := sample_registry !samples;
+          pause (Span.now_s () +. period_s);
+          loop ()
+        end
+      in
+      match Domain.spawn loop with
+      | d -> Some d
+      | exception _ -> None (* no spare domain: counters sample once at stop *)
+  in
+  { path; epoch; stop_flag; sampler; samples; restore_enabled; restore_collecting }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Option.iter Domain.join t.sampler;
+  (* Final sample after the join: every counter track exists even for
+     runs shorter than one sampling period. *)
+  t.samples := sample_registry !(t.samples);
+  let events = Event.drain () in
+  Event.set_collecting t.restore_collecting;
+  M.set_enabled t.restore_enabled;
+  let json = to_json ~epoch:t.epoch events (List.rev !(t.samples)) in
+  let oc = open_out t.path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n')
+
+let with_trace ?period_s path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    let t = start ?period_s path in
+    Fun.protect ~finally:(fun () -> stop t) f

@@ -1,0 +1,322 @@
+module Profile = Pc_profile.Profile
+module Json = Pc_util.Json
+module Sink = Pc_obs.Sink
+module M = Pc_obs.Metrics
+
+type characteristics = {
+  instr_mix_l1 : float;
+  dep_dist_l1 : float;
+  stride_agreement : float;
+  single_stride_err : float;
+  taken_rate_err : float;
+  transition_rate_err : float;
+  sfg_block_ratio : float;
+  avg_block_size_ratio : float;
+}
+
+type report = {
+  bench : string;
+  orig_instrs : int;
+  clone_instrs : int;
+  c : characteristics;
+}
+
+(* Characteristic names as they appear in pc-fidelity/1 rows and in the
+   thresholds file — one source of truth for emit, check and pp. *)
+let characteristic_fields c =
+  [
+    ("instr_mix_l1", c.instr_mix_l1);
+    ("dep_dist_l1", c.dep_dist_l1);
+    ("stride_agreement", c.stride_agreement);
+    ("single_stride_err", c.single_stride_err);
+    ("taken_rate_err", c.taken_rate_err);
+    ("transition_rate_err", c.transition_rate_err);
+    ("sfg_block_ratio", c.sfg_block_ratio);
+    ("avg_block_size_ratio", c.avg_block_size_ratio);
+  ]
+
+let characteristic_names = List.map fst (characteristic_fields
+  { instr_mix_l1 = 0.; dep_dist_l1 = 0.; stride_agreement = 0.;
+    single_stride_err = 0.; taken_rate_err = 0.; transition_rate_err = 0.;
+    sfg_block_ratio = 0.; avg_block_size_ratio = 0. })
+
+(* --- distribution distances over profile aggregates --- *)
+
+let l1 a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get arr i = if i < Array.length arr then arr.(i) else 0.0 in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. Float.abs (get a i -. get b i)
+  done;
+  !s
+
+(* Dynamic-instruction-weighted dependency-distance distribution: each
+   SFG node's bucket fractions weighted by its execution count. *)
+let dep_distribution (p : Profile.t) =
+  let n_buckets = Array.length Profile.dep_bounds + 1 in
+  let acc = Array.make n_buckets 0.0 in
+  let total = ref 0.0 in
+  Array.iter
+    (fun (node : Profile.node) ->
+      let w = float_of_int node.Profile.count in
+      Array.iteri
+        (fun i f -> if i < n_buckets then acc.(i) <- acc.(i) +. (w *. f))
+        node.Profile.dep_fractions;
+      total := !total +. w)
+    p.Profile.nodes;
+  if !total > 0.0 then Array.map (fun v -> v /. !total) acc else acc
+
+(* Reference-weighted distribution over dominant strides. *)
+let stride_distribution (p : Profile.t) =
+  let tbl = Hashtbl.create 64 in
+  let total = ref 0.0 in
+  Array.iter
+    (fun (node : Profile.node) ->
+      Array.iter
+        (fun (m : Profile.mem_op) ->
+          let w = float_of_int m.Profile.refs in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl m.Profile.stride) in
+          Hashtbl.replace tbl m.Profile.stride (prev +. w);
+          total := !total +. w)
+        node.Profile.mem_ops)
+    p.Profile.nodes;
+  (tbl, !total)
+
+(* Histogram intersection of the two stride distributions: 1.0 when the
+   clone reproduces the original's stride population exactly, 0.0 when
+   they are disjoint. *)
+let stride_agreement orig clone =
+  let o_tbl, o_total = stride_distribution orig in
+  let c_tbl, c_total = stride_distribution clone in
+  if o_total <= 0.0 || c_total <= 0.0 then
+    if o_total <= 0.0 && c_total <= 0.0 then 1.0 else 0.0
+  else
+    Hashtbl.fold
+      (fun stride w acc ->
+        match Hashtbl.find_opt c_tbl stride with
+        | Some w' -> acc +. Float.min (w /. o_total) (w' /. c_total)
+        | None -> acc)
+      o_tbl 0.0
+
+(* Execution-weighted means of per-branch taken / transition rates. *)
+let branch_rates (p : Profile.t) =
+  let execs = ref 0.0 and taken = ref 0.0 and trans = ref 0.0 in
+  Array.iter
+    (fun (node : Profile.node) ->
+      match node.Profile.branch with
+      | None -> ()
+      | Some b ->
+        let w = float_of_int b.Profile.execs in
+        execs := !execs +. w;
+        taken := !taken +. (w *. b.Profile.taken_rate);
+        trans := !trans +. (w *. b.Profile.transition_rate))
+    p.Profile.nodes;
+  if !execs > 0.0 then (!taken /. !execs, !trans /. !execs) else (0.0, 0.0)
+
+let ratio num den =
+  if den = 0.0 then if num = 0.0 then 1.0 else Float.infinity
+  else num /. den
+
+let compare_profiles ~(original : Profile.t) ~(clone : Profile.t) =
+  let o_taken, o_trans = branch_rates original in
+  let c_taken, c_trans = branch_rates clone in
+  {
+    instr_mix_l1 = l1 original.Profile.global_mix clone.Profile.global_mix;
+    dep_dist_l1 = l1 (dep_distribution original) (dep_distribution clone);
+    stride_agreement = stride_agreement original clone;
+    single_stride_err =
+      Float.abs
+        (original.Profile.single_stride_fraction
+        -. clone.Profile.single_stride_fraction);
+    taken_rate_err = Float.abs (o_taken -. c_taken);
+    transition_rate_err = Float.abs (o_trans -. c_trans);
+    sfg_block_ratio =
+      ratio
+        (float_of_int (Array.length clone.Profile.nodes))
+        (float_of_int (Array.length original.Profile.nodes));
+    avg_block_size_ratio =
+      ratio clone.Profile.avg_block_size original.Profile.avg_block_size;
+  }
+
+(* --- measurement: re-profile a generated clone --- *)
+
+let g_mix = M.gauge "fidelity.instr_mix_l1_bp_max"
+let g_dep = M.gauge "fidelity.dep_dist_l1_bp_max"
+let g_stride = M.gauge "fidelity.stride_agreement_bp_min"
+let c_measured = M.counter "fidelity.benchmarks_measured"
+
+let bp v =
+  if Float.is_finite v then int_of_float (Float.round (v *. 10_000.0)) else -1
+
+let measure ?max_instrs ~bench ~(original : Profile.t) clone_program =
+  Pc_obs.Span.with_ ~args:[ ("bench", Pc_obs.Event.Str bench) ]
+    "fidelity:measure"
+  @@ fun () ->
+  let clone = Pc_profile.Collector.profile ?max_instrs clone_program in
+  let c = compare_profiles ~original ~clone in
+  M.incr c_measured;
+  M.record_max g_mix (bp c.instr_mix_l1);
+  M.record_max g_dep (bp c.dep_dist_l1);
+  (* stride agreement gates from below; track the worst (lowest) seen as
+     a negated max so the gauge's record_max semantics still apply *)
+  M.record_max g_stride (-bp c.stride_agreement);
+  Pc_obs.Event.instant
+    ("fidelity:" ^ bench)
+    [
+      ("instr_mix_l1", Pc_obs.Event.Float c.instr_mix_l1);
+      ("dep_dist_l1", Pc_obs.Event.Float c.dep_dist_l1);
+      ("stride_agreement", Pc_obs.Event.Float c.stride_agreement);
+    ];
+  {
+    bench;
+    orig_instrs = original.Profile.instr_count;
+    clone_instrs = clone.Profile.instr_count;
+    c;
+  }
+
+(* --- pc-fidelity/1 JSON --- *)
+
+let number f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let json ~seed ~profile_instrs ~clone_dynamic reports =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"pc-fidelity/1\",\"seed\":%d,\"profile_instrs\":%d,\"clone_dynamic\":%d,\"benchmarks\":["
+       seed profile_instrs clone_dynamic);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"bench\":%s,\"orig_instrs\":%d,\"clone_instrs\":%d"
+           (Sink.json_string r.bench)
+           r.orig_instrs r.clone_instrs);
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"%s\":%s" name (number v)))
+        (characteristic_fields r.c);
+      Buffer.add_char b '}')
+    reports;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_json path ~seed ~profile_instrs ~clone_dynamic reports =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json ~seed ~profile_instrs ~clone_dynamic reports);
+      output_char oc '\n')
+
+(* --- threshold gate (check_baselines fidelity) --- *)
+
+let schema_of doc = Option.bind (Json.member "schema" doc) Json.to_string
+
+let bench_rows doc =
+  match Option.bind (Json.member "benchmarks" doc) Json.to_list with
+  | Some rows -> rows
+  | None -> []
+
+let row_bench row =
+  Option.value ~default:"?"
+    (Option.bind (Json.member "bench" row) Json.to_string)
+
+let check ~thresholds ~report =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  (match schema_of thresholds with
+  | Some "pc-fidelity-thresholds/1" -> ()
+  | s ->
+    issue "thresholds: expected schema pc-fidelity-thresholds/1, got %s"
+      (Option.value ~default:"<none>" s));
+  (match schema_of report with
+  | Some "pc-fidelity/1" -> ()
+  | s ->
+    issue "report: expected schema pc-fidelity/1, got %s"
+      (Option.value ~default:"<none>" s));
+  let bound_map key =
+    match Json.member key thresholds with
+    | Some (Json.Obj fields) -> fields
+    | Some _ ->
+      issue "thresholds: %S must be an object" key;
+      []
+    | None -> []
+  in
+  let maxima = bound_map "max" in
+  let minima = bound_map "min" in
+  let ranges = bound_map "range" in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name characteristic_names) then
+        issue "thresholds: unknown characteristic %S" name)
+    (maxima @ minima @ ranges);
+  let value_of row name =
+    match Json.member name row with
+    | None -> Error (Printf.sprintf "missing characteristic %S" name)
+    | Some Json.Null -> Error (Printf.sprintf "non-finite %S" name)
+    | Some v -> (
+      match Json.to_float v with
+      | Some f when Float.is_finite f -> Ok f
+      | Some _ -> Error (Printf.sprintf "non-finite %S" name)
+      | None -> Error (Printf.sprintf "non-numeric %S" name))
+  in
+  let rows = bench_rows report in
+  if rows = [] then issue "report: no benchmarks";
+  List.iter
+    (fun row ->
+      let bench = row_bench row in
+      let with_value name k =
+        match value_of row name with
+        | Ok v -> k v
+        | Error msg -> issue "%s: %s" bench msg
+      in
+      List.iter
+        (fun (name, bound) ->
+          match Json.to_float bound with
+          | None -> issue "thresholds: max.%s is not a number" name
+          | Some b ->
+            with_value name (fun v ->
+                if v > b then
+                  issue "%s: %s = %.6f exceeds max %.6f" bench name v b))
+        maxima;
+      List.iter
+        (fun (name, bound) ->
+          match Json.to_float bound with
+          | None -> issue "thresholds: min.%s is not a number" name
+          | Some b ->
+            with_value name (fun v ->
+                if v < b then
+                  issue "%s: %s = %.6f below min %.6f" bench name v b))
+        minima;
+      List.iter
+        (fun (name, bound) ->
+          match bound with
+          | Json.List [ lo; hi ] -> (
+            match (Json.to_float lo, Json.to_float hi) with
+            | Some lo, Some hi ->
+              with_value name (fun v ->
+                  if v < lo || v > hi then
+                    issue "%s: %s = %.6f outside [%.6f, %.6f]" bench name v
+                      lo hi)
+            | _ -> issue "thresholds: range.%s bounds are not numbers" name)
+          | _ -> issue "thresholds: range.%s must be [lo, hi]" name)
+        ranges)
+    rows;
+  List.rev !issues
+
+(* --- console table --- *)
+
+let pp ppf reports =
+  Format.fprintf ppf "%-12s %12s %12s %8s %8s %8s %8s %8s %8s@."
+    "bench" "orig-instrs" "clone-instrs" "mix-l1" "dep-l1" "stride"
+    "taken" "trans" "blocks";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %12d %12d %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f@."
+        r.bench r.orig_instrs r.clone_instrs r.c.instr_mix_l1
+        r.c.dep_dist_l1 r.c.stride_agreement r.c.taken_rate_err
+        r.c.transition_rate_err r.c.sfg_block_ratio)
+    reports

@@ -1,0 +1,96 @@
+(** Clone-fidelity reports: re-profile a generated clone with
+    {!Pc_profile.Collector} and compare it against the original's
+    profile on the paper's microarchitecture-independent
+    characteristics (Section 3.1).
+
+    Distances are all "0 is perfect" errors except [stride_agreement]
+    (histogram intersection, 1 is perfect) and the two [_ratio] fields
+    (1 is perfect):
+
+    - [instr_mix_l1]: L1 distance between global instruction-mix
+      vectors (0..2);
+    - [dep_dist_l1]: L1 distance between execution-weighted
+      dependency-distance distributions (paper buckets, 0..2);
+    - [stride_agreement]: intersection of reference-weighted dominant-
+      stride distributions (0..1);
+    - [single_stride_err]: |Δ| of Figure 3's single-stride fraction;
+    - [taken_rate_err] / [transition_rate_err]: |Δ| of the
+      execution-weighted mean branch taken / transition rates
+      (Haungs-style, Section 3.1.4);
+    - [sfg_block_ratio]: clone SFG nodes / original SFG nodes;
+    - [avg_block_size_ratio]: clone / original mean basic-block size.
+
+    Reports serialise as schema ["pc-fidelity/1"] and gate CI through
+    {!check} against a ["pc-fidelity-thresholds/1"] document
+    ([baselines/fidelity.json]). *)
+
+type characteristics = {
+  instr_mix_l1 : float;
+  dep_dist_l1 : float;
+  stride_agreement : float;
+  single_stride_err : float;
+  taken_rate_err : float;
+  transition_rate_err : float;
+  sfg_block_ratio : float;
+  avg_block_size_ratio : float;
+}
+
+type report = {
+  bench : string;
+  orig_instrs : int;  (** dynamic instructions in the original's profile *)
+  clone_instrs : int;  (** dynamic instructions in the clone re-profile *)
+  c : characteristics;
+}
+
+val characteristic_names : string list
+(** The pc-fidelity/1 row field names, in emission order. *)
+
+val compare_profiles :
+  original:Pc_profile.Profile.t -> clone:Pc_profile.Profile.t -> characteristics
+(** Pure comparison of two profiles; [measure] without the
+    re-profiling. *)
+
+val measure :
+  ?max_instrs:int ->
+  bench:string ->
+  original:Pc_profile.Profile.t ->
+  Pc_isa.Program.t ->
+  report
+(** [measure ~bench ~original clone_program] re-profiles the clone
+    ([max_instrs] defaults to {!Pc_profile.Collector.profile}'s budget)
+    and compares.  Instrumented: a ["fidelity:measure"] span, gauges
+    tracking the worst characteristics seen, and one deterministic
+    instant event per benchmark carrying the headline numbers. *)
+
+val json :
+  seed:int -> profile_instrs:int -> clone_dynamic:int -> report list -> string
+(** The pc-fidelity/1 document (no trailing newline).  Non-finite
+    characteristic values serialise as [null] — JSON has no [NaN]. *)
+
+val write_json :
+  string ->
+  seed:int ->
+  profile_instrs:int ->
+  clone_dynamic:int ->
+  report list ->
+  unit
+
+val check : thresholds:Pc_util.Json.t -> report:Pc_util.Json.t -> string list
+(** Gate a parsed pc-fidelity/1 report against a parsed
+    pc-fidelity-thresholds/1 document:
+
+    {v
+    { "schema": "pc-fidelity-thresholds/1",
+      "max":   { "instr_mix_l1": 0.10, ... },
+      "min":   { "stride_agreement": 0.60, ... },
+      "range": { "sfg_block_ratio": [0.02, 3.0], ... } }
+    v}
+
+    Every bound applies to every benchmark row.  Returns one message per
+    violation; missing, non-numeric or non-finite ([null]) values and
+    unknown characteristic names in the thresholds are themselves
+    violations, so a drifting or corrupt report can never pass
+    silently.  Empty list = pass. *)
+
+val pp : Format.formatter -> report list -> unit
+(** Console table, one row per benchmark. *)

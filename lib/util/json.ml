@@ -189,7 +189,9 @@ let to_list = function List l -> Some l | _ -> None
 let to_float = function Num f -> Some f | _ -> None
 
 let to_int = function
-  | Num f when Float.is_integer f -> Some (int_of_float f)
+  (* [is_integer] is true of infinities, whose [int_of_float] is
+     undefined: require finiteness before converting. *)
+  | Num f when Float.is_finite f && Float.is_integer f -> Some (int_of_float f)
   | _ -> None
 
 let to_string = function Str s -> Some s | _ -> None

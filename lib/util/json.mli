@@ -26,6 +26,8 @@ val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option
 val to_int : t -> int option
-(** [Num] fields only, and for {!to_int} only integral values. *)
+(** [Num] fields only, and for {!to_int} only finite integral values
+    (infinities — reachable via e.g. [1e999] — are rejected, not
+    truncated to an arbitrary int). *)
 
 val to_string : t -> string option

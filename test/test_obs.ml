@@ -215,6 +215,27 @@ let test_span_pool_adoption () =
       (List.sort compare (List.map Span.name (Span.children root)))
   | l -> Alcotest.failf "expected one root, got %d" (List.length l)
 
+let test_hist_quantile () =
+  (* 10 observations in [|1;2;4|]-bounded buckets: 5 in (0,1], 4 in
+     (1,2], 1 overflow.  p50 = rank 5 → upper edge of the first bucket;
+     p90 = rank 9 → exhausts (1,2]; p99 lands in the overflow bucket and
+     clamps to the last finite bound. *)
+  let v =
+    { M.le = [| 1.0; 2.0; 4.0 |]; bucket_counts = [| 5; 4; 0; 1 |];
+      count = 10; sum = 0.0 }
+  in
+  Alcotest.(check (float 1e-9)) "p50" 1.0 (M.hist_quantile v 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 2.0 (M.hist_quantile v 0.9);
+  Alcotest.(check (float 1e-9)) "p99 clamps to last bound" 4.0
+    (M.hist_quantile v 0.99);
+  Alcotest.(check (float 1e-9)) "interpolates inside a bucket" 0.5
+    (M.hist_quantile v 0.25);
+  let empty =
+    { M.le = [| 1.0 |]; bucket_counts = [| 0; 0 |]; count = 0; sum = 0.0 }
+  in
+  Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.0
+    (M.hist_quantile empty 0.5)
+
 (* --- sinks --- *)
 
 let contains ~needle haystack =
@@ -247,6 +268,44 @@ let test_json_sink () =
       "\"name\":\"sink-span\"";
       "\"children\":[]";
     ]
+
+let test_json_string_escaping () =
+  Alcotest.(check string) "plain" {|"abc"|} (Sink.json_string "abc");
+  Alcotest.(check string) "quote" {|"a\"b"|} (Sink.json_string {|a"b|});
+  Alcotest.(check string) "backslash" {|"a\\b"|} (Sink.json_string {|a\b|});
+  Alcotest.(check string) "newline and tab" {|"a\nb\tc"|}
+    (Sink.json_string "a\nb\tc");
+  Alcotest.(check string) "control char" {|"a\u0001b"|}
+    (Sink.json_string "a\001b");
+  (* Round-trip through the repo's own parser: escaping and parsing must
+     agree, or artefact names with quotes corrupt pc-obs/1 reports. *)
+  let nasty = "sp\"an\\na\nme\001" in
+  match Pc_util.Json.parse (Sink.json_string nasty) with
+  | Ok (Pc_util.Json.Str s) ->
+    Alcotest.(check string) "parse round-trip" nasty s
+  | Ok _ -> Alcotest.fail "escaped string parsed as non-string"
+  | Error msg -> Alcotest.failf "escaped string failed to parse: %s" msg
+
+let test_json_non_finite_floats () =
+  (* A histogram that observed a non-finite value must serialise its sum
+     as null (JSON has no NaN/Infinity), and the document must still
+     parse. *)
+  let h = M.histogram ~buckets:[| 1.0 |] "obs.test.json.nonfinite" in
+  M.observe h Float.infinity;
+  let json = Sink.json (M.snapshot ()) [] in
+  check_contains json "\"sum\":null";
+  (match Pc_util.Json.parse json with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "report with null sum failed to parse: %s" msg);
+  M.reset ()
+
+let test_json_sink_quantiles () =
+  let h = M.histogram ~buckets:[| 1.0; 2.0 |] "obs.test.json.quant" in
+  for _ = 1 to 9 do M.observe h 0.5 done;
+  M.observe h 1.5;
+  let json = Sink.json (M.snapshot ()) [] in
+  List.iter (check_contains json) [ "\"p50\":"; "\"p95\":"; "\"p99\":" ];
+  M.reset ()
 
 let test_write_json () =
   let path = Filename.temp_file "pc_obs_test" ".json" in
@@ -356,6 +415,66 @@ let test_baseline_bench_gate () =
   Alcotest.(check bool) "missing entry reported" true
     (Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:missing <> [])
 
+let test_baseline_bench_non_finite () =
+  (* [1e999] parses as infinity through the repo's Json module; a report
+     that smuggles one in must be flagged, not silently compared (every
+     ratio against an infinite median passes or fails arbitrarily). *)
+  let baseline =
+    json_exn
+      {|{"schema":"pc-bench/1","results":[{"name":"a","ms_per_run":1.0},{"name":"b","ms_per_run":2.0},{"name":"c","ms_per_run":3.0}]}|}
+  in
+  let poisoned =
+    json_exn
+      {|{"schema":"pc-bench/1","results":[{"name":"a","ms_per_run":1e999},{"name":"b","ms_per_run":2.0},{"name":"c","ms_per_run":3.0}]}|}
+  in
+  let issues =
+    Pc_obs.Baseline.check_bench ~tolerance:0.2 ~baseline ~current:poisoned
+  in
+  Alcotest.(check bool) "infinite timing flagged" true
+    (List.exists (fun i -> contains ~needle:"non-finite" i) issues);
+  (* The poisoned row must also not poison the median: the finite rows
+     still compare cleanly, so the only issues mention 'a'. *)
+  Alcotest.(check bool) "finite rows unaffected" true
+    (List.for_all (fun i -> contains ~needle:"a" i) issues)
+
+(* --- span trees under store-memoised pool tasks --- *)
+
+let test_cached_task_emits_no_spans () =
+  (* A pool task whose value is memoised in a Store must not replay the
+     compute's span tree on a warm hit: the work did not happen again,
+     so the timeline must not claim it did. *)
+  with_enabled @@ fun () ->
+  Fun.protect ~finally:Span.reset @@ fun () ->
+  Span.reset ();
+  let store = Pc_exec.Store.create ~name:"obs.test.memo" () in
+  let keys = [ "k1"; "k2"; "k3" ] in
+  let compute k =
+    Pc_exec.Store.find_or_compute store k (fun () ->
+        Span.with_ ("compute:" ^ k) (fun () -> String.length k))
+  in
+  (* Cold serial pass: every key computes under its span exactly once. *)
+  ignore (Span.with_ "cold" (fun () -> Pool.map Pool.serial compute keys));
+  (* Warm parallel pass: all hits — no compute spans may (re)appear. *)
+  ignore
+    (Span.with_ "warm" (fun () ->
+         Pool.map (Pool.create ~num_domains:4) compute keys));
+  let roots = Span.roots () in
+  let tree_names root =
+    let rec go acc s = List.fold_left go (Span.name s :: acc) (Span.children s) in
+    go [] root
+  in
+  let find name =
+    match List.find_opt (fun r -> Span.name r = name) roots with
+    | Some r -> r
+    | None -> Alcotest.failf "missing %S root" name
+  in
+  Alcotest.(check (list string)) "cold pass computes each key once"
+    [ "cold"; "compute:k1"; "compute:k2"; "compute:k3" ]
+    (List.sort compare (tree_names (find "cold")));
+  Alcotest.(check (list string)) "warm pass emits no compute spans"
+    [ "warm" ]
+    (tree_names (find "warm"))
+
 (* --- the invariant: observability never changes experiment output --- *)
 
 let test_fig6_byte_identity () =
@@ -397,6 +516,7 @@ let () =
           Alcotest.test_case "diff survives a histogram layout change" `Quick
             test_diff_mismatched_histogram_layout;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "hist_quantile" `Quick test_hist_quantile;
         ] );
       ( "concurrency",
         [ QCheck_alcotest.to_alcotest ~long:false test_no_lost_counts ] );
@@ -406,16 +526,26 @@ let () =
             test_span_disabled_records_nothing;
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "pool adoption" `Quick test_span_pool_adoption;
+          Alcotest.test_case "cached store task emits no spans" `Quick
+            test_cached_task_emits_no_spans;
         ] );
       ( "sinks",
         [
           Alcotest.test_case "json schema" `Quick test_json_sink;
+          Alcotest.test_case "json string escaping" `Quick
+            test_json_string_escaping;
+          Alcotest.test_case "non-finite floats serialise as null" `Quick
+            test_json_non_finite_floats;
+          Alcotest.test_case "histogram quantiles in json" `Quick
+            test_json_sink_quantiles;
           Alcotest.test_case "write_json" `Quick test_write_json;
         ] );
       ( "baselines",
         [
           Alcotest.test_case "metrics gate" `Quick test_baseline_metrics_gate;
           Alcotest.test_case "bench gate" `Quick test_baseline_bench_gate;
+          Alcotest.test_case "bench gate rejects non-finite timings" `Quick
+            test_baseline_bench_non_finite;
         ] );
       ( "invariant",
         [

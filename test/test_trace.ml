@@ -1,0 +1,313 @@
+(* pc_trace: Chrome trace export and clone-fidelity reports.
+
+   The load-bearing property is the determinism contract: the set of
+   (phase, name, args) events a run emits is identical at every pool
+   width — only timestamps and lane assignment may differ — and tracing
+   never changes experiment output (covered byte-for-byte in
+   test_obs.ml). *)
+
+module M = Pc_obs.Metrics
+module Event = Pc_obs.Event
+module Span = Pc_obs.Span
+module Chrome = Pc_trace.Chrome
+module Fidelity = Pc_trace.Fidelity
+module Json = Pc_util.Json
+module Pool = Pc_exec.Pool
+module E = Perfclone.Experiments
+
+let small_settings =
+  {
+    E.seed = 1;
+    profile_instrs = 100_000;
+    sim_instrs = 150_000;
+    clone_dynamic = 30_000;
+    benchmarks = [ "crc32"; "sha" ];
+    sample = None;
+  }
+
+let with_collection f =
+  M.set_enabled true;
+  Event.set_collecting true;
+  Fun.protect
+    ~finally:(fun () ->
+      Event.set_collecting false;
+      Event.reset ();
+      Span.reset ();
+      M.set_enabled false)
+    f
+
+(* --- event layer --- *)
+
+let test_event_off_by_default () =
+  Event.reset ();
+  Event.instant "ghost" [];
+  Alcotest.(check int) "nothing collected while off" 0
+    (List.length (Event.drain ()))
+
+let test_event_collection_and_args () =
+  with_collection @@ fun () ->
+  Event.emit Event.Begin "work" [ ("n", Event.Int 3) ];
+  Event.emit Event.End "work" [];
+  Event.instant "mark" [ ("which", Event.Str "x") ];
+  let evs = Event.drain () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  (match evs with
+  | [ b; e; i ] ->
+    Alcotest.(check bool) "begin phase" true (b.Event.phase = Event.Begin);
+    Alcotest.(check string) "begin name" "work" b.Event.name;
+    Alcotest.(check bool) "begin arg" true (b.Event.args = [ ("n", Event.Int 3) ]);
+    Alcotest.(check bool) "end phase" true (e.Event.phase = Event.End);
+    Alcotest.(check bool) "instant phase" true (i.Event.phase = Event.Instant);
+    Alcotest.(check bool) "monotonic within a domain" true
+      (b.Event.ts <= e.Event.ts && e.Event.ts <= i.Event.ts)
+  | _ -> Alcotest.fail "unexpected event shapes");
+  Alcotest.(check int) "drain empties the stream" 0
+    (List.length (Event.drain ()))
+
+(* The comparable projection of an event stream: everything but
+   timestamps and lane assignment, sorted. *)
+let event_set evs =
+  List.sort compare
+    (List.map (fun (e : Event.t) -> (e.Event.phase, e.Event.name, e.Event.args)) evs)
+
+let run_prepare jobs =
+  E.clear_caches ();
+  Event.reset ();
+  Span.reset ();
+  let pool = Pool.create ~num_domains:jobs in
+  ignore (E.prepare ~pool small_settings);
+  Event.drain ()
+
+let test_event_set_deterministic_across_jobs () =
+  with_collection @@ fun () ->
+  let serial = run_prepare 1 in
+  let parallel = run_prepare 4 in
+  Alcotest.(check bool) "events were collected" true (serial <> []);
+  Alcotest.(check bool) "span begin events present" true
+    (List.exists
+       (fun (e : Event.t) ->
+         e.Event.phase = Event.Begin && e.Event.name = "pipeline:crc32")
+       serial);
+  Alcotest.(check bool) "pipeline instants carry deterministic args" true
+    (List.exists
+       (fun (e : Event.t) ->
+         e.Event.phase = Event.Instant
+         && e.Event.name = "pipeline:done:crc32"
+         && List.mem_assoc "sfg_nodes" e.Event.args)
+       serial);
+  Alcotest.(check bool) "event set identical at -j1 and -j4" true
+    (event_set serial = event_set parallel)
+
+let test_worker_tracks_cover_pool () =
+  with_collection @@ fun () ->
+  Event.reset ();
+  let pool = Pool.create ~num_domains:2 in
+  ignore
+    (Pool.map pool
+       (fun i -> Event.instant "task" [ ("i", Event.Int i) ])
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  let evs = Event.drain () in
+  Alcotest.(check int) "all tasks emitted" 8 (List.length evs);
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.track < 0 || e.Event.track > 1 then
+        Alcotest.failf "track %d outside pool slots" e.Event.track)
+    evs
+
+(* --- Chrome export --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let json_exn src =
+  match Json.parse src with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "trace JSON failed to parse: %s" msg
+
+let test_chrome_trace_file () =
+  let path = Filename.temp_file "pc_trace_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let c = M.counter "trace.test.counter" in
+  (* period 0: no sampler domain; the final sample still yields counter
+     events, so short runs get their counter tracks. *)
+  Chrome.with_trace ~period_s:0.0 (Some path) (fun () ->
+      M.incr c;
+      Span.with_ "outer" (fun () ->
+          Span.with_ ~args:[ ("k", Event.Str "v") ] "inner" (fun () -> ());
+          Event.instant "marker" [ ("n", Event.Int 7) ]));
+  Event.reset ();
+  Span.reset ();
+  let doc = json_exn (read_file path) in
+  let schema =
+    Option.bind (Json.member "otherData" doc) (fun o ->
+        Option.bind (Json.member "schema" o) Json.to_string)
+  in
+  Alcotest.(check (option string)) "schema" (Some "pc-trace/1") schema;
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents missing"
+  in
+  let phase e = Option.bind (Json.member "ph" e) Json.to_string in
+  let name e = Option.bind (Json.member "name" e) Json.to_string in
+  let with_phase p = List.filter (fun e -> phase e = Some p) events in
+  let names p = List.filter_map name (with_phase p) in
+  Alcotest.(check bool) "begin events for both spans" true
+    (List.mem "outer" (names "B") && List.mem "inner" (names "B"));
+  Alcotest.(check bool) "balanced begin/end" true
+    (List.length (with_phase "B") = List.length (with_phase "E"));
+  Alcotest.(check bool) "instant present" true (List.mem "marker" (names "i"));
+  Alcotest.(check bool) "counter sampled at stop" true
+    (List.mem "trace.test.counter" (names "C"));
+  Alcotest.(check bool) "thread metadata present" true
+    (List.mem "thread_name" (names "M"));
+  (* Timestamps are non-negative microseconds from the trace epoch. *)
+  List.iter
+    (fun e ->
+      match Option.bind (Json.member "ts" e) Json.to_float with
+      | Some ts when ts >= 0.0 -> ()
+      | Some ts -> Alcotest.failf "negative ts %f" ts
+      | None -> ())
+    events;
+  (* Collection state is restored: nothing accumulates after the trace. *)
+  Event.instant "after" [];
+  Alcotest.(check int) "collection off after with_trace" 0
+    (List.length (Event.drain ()))
+
+let test_chrome_trace_none_is_identity () =
+  Alcotest.(check int) "with_trace None runs the thunk" 41
+    (Chrome.with_trace None (fun () -> 41))
+
+(* --- fidelity --- *)
+
+let profile_of name budget =
+  let entry = Pc_workloads.Registry.find name in
+  let program = Pc_workloads.Registry.compile entry in
+  (program, Pc_profile.Collector.profile ~max_instrs:budget program)
+
+let test_fidelity_self_comparison () =
+  let _, p = profile_of "crc32" 50_000 in
+  let c = Fidelity.compare_profiles ~original:p ~clone:p in
+  Alcotest.(check (float 1e-9)) "mix l1" 0.0 c.Fidelity.instr_mix_l1;
+  Alcotest.(check (float 1e-9)) "dep l1" 0.0 c.Fidelity.dep_dist_l1;
+  Alcotest.(check (float 1e-9)) "stride agreement" 1.0 c.Fidelity.stride_agreement;
+  Alcotest.(check (float 1e-9)) "taken err" 0.0 c.Fidelity.taken_rate_err;
+  Alcotest.(check (float 1e-9)) "block ratio" 1.0 c.Fidelity.sfg_block_ratio;
+  Alcotest.(check (float 1e-9)) "block size ratio" 1.0
+    c.Fidelity.avg_block_size_ratio
+
+let test_fidelity_measure_and_json () =
+  let program, p = profile_of "crc32" 50_000 in
+  let clone =
+    Perfclone.Pipeline.clone_program ~seed:1 ~profile_instrs:50_000
+      ~target_dynamic:20_000 program
+  in
+  let r =
+    Fidelity.measure ~max_instrs:50_000 ~bench:"crc32" ~original:p
+      clone.Perfclone.Pipeline.clone
+  in
+  Alcotest.(check string) "bench" "crc32" r.Fidelity.bench;
+  Alcotest.(check bool) "clone ran" true (r.Fidelity.clone_instrs > 0);
+  let finite v = Float.is_finite v in
+  let c = r.Fidelity.c in
+  Alcotest.(check bool) "all characteristics finite" true
+    (List.for_all finite
+       [
+         c.Fidelity.instr_mix_l1; c.Fidelity.dep_dist_l1;
+         c.Fidelity.stride_agreement; c.Fidelity.single_stride_err;
+         c.Fidelity.taken_rate_err; c.Fidelity.transition_rate_err;
+         c.Fidelity.sfg_block_ratio; c.Fidelity.avg_block_size_ratio;
+       ]);
+  Alcotest.(check bool) "stride agreement in [0,1]" true
+    (c.Fidelity.stride_agreement >= 0.0 && c.Fidelity.stride_agreement <= 1.0);
+  let json =
+    Fidelity.json ~seed:1 ~profile_instrs:50_000 ~clone_dynamic:20_000 [ r ]
+  in
+  let doc = json_exn json in
+  Alcotest.(check (option string)) "schema" (Some "pc-fidelity/1")
+    (Option.bind (Json.member "schema" doc) Json.to_string);
+  (match Option.bind (Json.member "benchmarks" doc) Json.to_list with
+  | Some [ row ] ->
+    Alcotest.(check (option string)) "row bench" (Some "crc32")
+      (Option.bind (Json.member "bench" row) Json.to_string);
+    List.iter
+      (fun field ->
+        match Option.bind (Json.member field row) Json.to_float with
+        | Some _ -> ()
+        | None -> Alcotest.failf "characteristic %s missing from row" field)
+      Fidelity.characteristic_names
+  | _ -> Alcotest.fail "expected one benchmark row")
+
+let thresholds_doc =
+  {|{"schema":"pc-fidelity-thresholds/1",
+     "max":{"instr_mix_l1":0.5},
+     "min":{"stride_agreement":0.1},
+     "range":{"sfg_block_ratio":[0.1,5.0]}}|}
+
+let report_doc mix =
+  Printf.sprintf
+    {|{"schema":"pc-fidelity/1","seed":1,"profile_instrs":1,"clone_dynamic":1,
+       "benchmarks":[{"bench":"x","orig_instrs":1,"clone_instrs":1,
+         "instr_mix_l1":%s,"dep_dist_l1":0.1,"stride_agreement":0.9,
+         "single_stride_err":0.1,"taken_rate_err":0.1,"transition_rate_err":0.1,
+         "sfg_block_ratio":1.5,"avg_block_size_ratio":1.0}]}|}
+    mix
+
+let test_fidelity_check_gate () =
+  let thresholds = json_exn thresholds_doc in
+  Alcotest.(check (list string)) "in-bounds report passes" []
+    (Fidelity.check ~thresholds ~report:(json_exn (report_doc "0.2")));
+  Alcotest.(check bool) "max violation flagged" true
+    (Fidelity.check ~thresholds ~report:(json_exn (report_doc "0.9")) <> []);
+  Alcotest.(check bool) "non-finite value flagged" true
+    (Fidelity.check ~thresholds ~report:(json_exn (report_doc "null")) <> []);
+  Alcotest.(check bool) "infinite value flagged" true
+    (Fidelity.check ~thresholds ~report:(json_exn (report_doc "1e999")) <> []);
+  let wrong_schema =
+    json_exn {|{"schema":"pc-fidelity/2","benchmarks":[]}|}
+  in
+  Alcotest.(check bool) "schema drift flagged" true
+    (Fidelity.check ~thresholds ~report:wrong_schema <> []);
+  let unknown =
+    json_exn
+      {|{"schema":"pc-fidelity-thresholds/1","max":{"no_such_metric":1.0}}|}
+  in
+  Alcotest.(check bool) "unknown characteristic in thresholds flagged" true
+    (Fidelity.check ~thresholds:unknown ~report:(json_exn (report_doc "0.2"))
+    <> [])
+
+let () =
+  Alcotest.run "pc_trace"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "off by default" `Quick test_event_off_by_default;
+          Alcotest.test_case "collection and args" `Quick
+            test_event_collection_and_args;
+          Alcotest.test_case "worker tracks cover pool slots" `Quick
+            test_worker_tracks_cover_pool;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "event set identical at -j1 and -j4" `Slow
+            test_event_set_deterministic_across_jobs;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "trace file well-formed" `Quick
+            test_chrome_trace_file;
+          Alcotest.test_case "no path is identity" `Quick
+            test_chrome_trace_none_is_identity;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "self-comparison is perfect" `Quick
+            test_fidelity_self_comparison;
+          Alcotest.test_case "measure + pc-fidelity/1 json" `Slow
+            test_fidelity_measure_and_json;
+          Alcotest.test_case "threshold gate" `Quick test_fidelity_check_gate;
+        ] );
+    ]
