@@ -26,6 +26,7 @@ let bench_settings =
     clone_dynamic = 20_000;
     benchmarks = [ "crc32" ];
     sample = None;
+    plan_cache = None;
   }
 
 (* Shared pipelines, built once: each test measures only its own

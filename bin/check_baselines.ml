@@ -22,12 +22,12 @@ let load path =
     Printf.eprintf "check_baselines: %s: %s\n" path msg;
     exit 2
 
-let main mode baseline_path current_path tolerance =
+let main mode baseline_path current_path tolerance floor_ms =
   let baseline = load baseline_path and current = load current_path in
   let issues =
     match mode with
     | `Metrics -> Baseline.check_metrics ~baseline ~current
-    | `Bench -> Baseline.check_bench ~tolerance ~baseline ~current
+    | `Bench -> Baseline.check_bench ~floor_ms ~tolerance ~baseline ~current ()
     | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
   in
   match issues with
@@ -74,9 +74,20 @@ let tolerance_arg =
   in
   Arg.(value & opt float 0.20 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
 
+let floor_ms_arg =
+  let doc =
+    "Absolute floor in ms applied to medians and per-entry timings \
+     before normalisation (bench mode only): guards the \
+     median-normalised comparison against 0 ms medians, and entries at \
+     or below the floor on both sides are skipped as noise."
+  in
+  Arg.(value & opt float 0.001 & info [ "floor-ms" ] ~docv:"MS" ~doc)
+
 let cmd =
   Cmd.v
     (Cmd.info "check_baselines" ~doc:"gate CI artefacts against baselines")
-    Term.(const main $ mode_arg $ baseline_arg $ current_arg $ tolerance_arg)
+    Term.(
+      const main $ mode_arg $ baseline_arg $ current_arg $ tolerance_arg
+      $ floor_ms_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,7 +3,7 @@
    Usage:
      run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
                      [--sample N] [--sample-out FILE] [--sample-no-ref]
-                     [--trace FILE] [--trace-period-ms MS]
+                     [--plan-cache [DIR]] [--trace FILE] [--trace-period-ms MS]
                      [--metrics] [--metrics-out FILE] [-v] [--quiet]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
@@ -62,45 +62,75 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
   let module Sim = Pc_uarch.Sim in
   let cfg = Pc_uarch.Config.base in
   let err_gauge = Pc_obs.Metrics.gauge "sample.ipc_error_bp" in
+  let power_err_gauge = Pc_obs.Metrics.gauge "sample.power_error_bp" in
+  let statsim_err_gauge = Pc_obs.Metrics.gauge "sample.statsim_error_bp" in
+  let rel_err ~detailed ~projected =
+    if detailed = 0.0 then 0.0 else abs_float (projected -. detailed) /. detailed
+  in
+  let detailed_settings = { settings with E.sample = None } in
   let programs =
     List.concat_map
       (fun (p : Perfclone.Pipeline.t) ->
         [
-          (p.Perfclone.Pipeline.name, "original", p.Perfclone.Pipeline.original);
-          (p.Perfclone.Pipeline.name, "clone", p.Perfclone.Pipeline.clone);
+          ( p.Perfclone.Pipeline.name, "original", p.Perfclone.Pipeline.original,
+            Some p );
+          (p.Perfclone.Pipeline.name, "clone", p.Perfclone.Pipeline.clone, None);
         ])
       pipelines
   in
   let rows =
     Pool.map pool
-      (fun (bench, kind, program) ->
+      (fun (bench, kind, program, pipeline) ->
         let plan = E.sample_plan settings ~interval program in
-        let projected = Sample.project_sim cfg plan in
+        let projected = E.sim_run settings cfg program in
+        let projected_power = E.power_total settings cfg program projected in
         (* --sample-no-ref: plan statistics and projections only — the
            detailed reference simulations are the expensive part. *)
         let reference =
           if no_ref then None
           else begin
-            let detailed = Sim.run ~max_instrs:settings.E.sim_instrs cfg program in
-            let error =
-              if detailed.Sim.ipc = 0.0 then 0.0
-              else
-                abs_float (projected.Sim.ipc -. detailed.Sim.ipc)
-                /. detailed.Sim.ipc
+            let detailed = E.sim_run detailed_settings cfg program in
+            let detailed_power =
+              E.power_total detailed_settings cfg program detailed
             in
-            Some (detailed.Sim.ipc, error)
+            Some
+              ( detailed.Sim.ipc,
+                rel_err ~detailed:detailed.Sim.ipc ~projected:projected.Sim.ipc,
+                detailed_power,
+                rel_err ~detailed:detailed_power ~projected:projected_power )
           end
         in
-        (bench, kind, plan, projected.Sim.ipc, reference))
+        (* Statistical simulation works from the original's profile, so
+           it is reported once per benchmark, on the original's row. *)
+        let statsim =
+          match pipeline with
+          | None -> None
+          | Some p ->
+            let ss = E.statsim_ipc settings p in
+            let ss_ref =
+              if no_ref then None
+              else begin
+                let det = E.statsim_ipc detailed_settings p in
+                Some (det, rel_err ~detailed:det ~projected:ss)
+              end
+            in
+            Some (ss, ss_ref)
+        in
+        (bench, kind, plan, projected.Sim.ipc, projected_power, reference, statsim))
       programs
   in
+  let bp error = int_of_float (Float.round (error *. 10_000.)) in
   List.iter
-    (fun (_, _, _, _, reference) ->
-      match reference with
+    (fun (_, _, _, _, _, reference, statsim) ->
+      (match reference with
       | None -> ()
-      | Some (_, error) ->
-        Pc_obs.Metrics.record_max err_gauge
-          (int_of_float (Float.round (error *. 10_000.))))
+      | Some (_, ipc_error, _, power_error) ->
+        Pc_obs.Metrics.record_max err_gauge (bp ipc_error);
+        Pc_obs.Metrics.record_max power_err_gauge (bp power_error));
+      match statsim with
+      | Some (_, Some (_, ss_error)) ->
+        Pc_obs.Metrics.record_max statsim_err_gauge (bp ss_error)
+      | Some (_, None) | None -> ())
     rows;
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -108,7 +138,7 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
        "{\"schema\":\"pc-sample/1\",\"interval\":%d,\"seed\":%d,\"budget\":%d,\"programs\":["
        interval settings.E.seed settings.E.sim_instrs);
   List.iteri
-    (fun i (bench, kind, (plan : Sample.plan), proj, reference) ->
+    (fun i (bench, kind, (plan : Sample.plan), proj, proj_power, reference, statsim) ->
       if i > 0 then Buffer.add_char b ',';
       let replayed =
         Array.fold_left
@@ -119,13 +149,26 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
         (Printf.sprintf
            "{\"bench\":%S,\"kind\":%S,\"total_instrs\":%d,\"intervals\":%d,\
             \"clusters\":%d,\"replayed_instrs\":%d,\"coverage\":%.6f,\
-            \"projected_ipc\":%.6f"
+            \"projected_ipc\":%.6f,\"projected_power\":%.6f"
            bench kind plan.Sample.total_instrs plan.Sample.n_intervals
-           plan.Sample.k replayed plan.Sample.coverage proj);
+           plan.Sample.k replayed plan.Sample.coverage proj proj_power);
       (match reference with
-      | Some (det, error) ->
+      | Some (det, ipc_error, det_power, power_error) ->
         Buffer.add_string b
-          (Printf.sprintf ",\"detailed_ipc\":%.6f,\"ipc_error\":%.6f" det error)
+          (Printf.sprintf
+             ",\"detailed_ipc\":%.6f,\"ipc_error\":%.6f,\"detailed_power\":%.6f,\
+              \"power_error\":%.6f"
+             det ipc_error det_power power_error)
+      | None -> ());
+      (match statsim with
+      | Some (ss, ss_ref) ->
+        Buffer.add_string b (Printf.sprintf ",\"statsim_ipc\":%.6f" ss);
+        (match ss_ref with
+        | Some (det, err) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               ",\"statsim_detailed_ipc\":%.6f,\"statsim_ipc_error\":%.6f" det err)
+        | None -> ())
       | None -> ());
       Buffer.add_char b '}')
     rows;
@@ -136,7 +179,7 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
     (fun () -> output_string oc (Buffer.contents b))
 
 let main experiments quick benches seed jobs sample sample_out sample_no_ref
-    trace trace_period_ms metrics metrics_out verbosity quiet =
+    plan_cache trace trace_period_ms metrics metrics_out verbosity quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
   if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
   Pc_trace.Chrome.with_trace
@@ -152,6 +195,14 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
       | Some n when n > 0 -> Some n
       | Some _ | None -> None)
   in
+  let plan_cache =
+    match plan_cache with
+    | None -> None
+    | Some "" -> Some (Pc_sample.Plan_cache.default_dir ())
+    | Some dir -> Some dir
+  in
+  if plan_cache <> None && sample = None then
+    Format.eprintf "run_experiments: --plan-cache ignored without --sample@.";
   let settings =
     let base = if quick then E.quick_settings else E.default_settings in
     {
@@ -159,6 +210,7 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
       E.seed;
       benchmarks = (if benches = [] then base.E.benchmarks else benches);
       sample;
+      plan_cache = (if sample = None then None else plan_cache);
     }
   in
   let experiments = if experiments = [] then [ "all" ] else experiments in
@@ -298,6 +350,22 @@ let sample_no_ref_arg =
   in
   Arg.(value & flag & info [ "sample-no-ref" ] ~doc)
 
+let plan_cache_arg =
+  let doc =
+    "With $(b,--sample), persist sampling plans on disk under $(docv) so \
+     repeated invocations skip plan construction.  Without a value, \
+     defaults to \\$XDG_CACHE_HOME/pc-sample (or ~/.cache/pc-sample).  \
+     Entries are keyed by a content hash of the plan-format version, \
+     profile digest, interval and clustering parameters, so stale or \
+     cross-version plans are never reused; corrupt files are dropped and \
+     recomputed.  Hits and misses are reported as the \
+     $(b,plan_cache.*) metrics."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "plan-cache" ] ~docv:"DIR" ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace_event timeline (schema $(b,pc-trace/1), loads \
@@ -346,7 +414,8 @@ let cmd =
     (Cmd.info "run_experiments" ~doc)
     Term.(
       const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
-      $ sample_arg $ sample_out_arg $ sample_no_ref_arg $ trace_arg
+      $ sample_arg $ sample_out_arg $ sample_no_ref_arg $ plan_cache_arg
+      $ trace_arg
       $ trace_period_ms_arg $ metrics_arg $ metrics_out_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)

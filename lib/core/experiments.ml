@@ -20,6 +20,7 @@ type settings = {
   clone_dynamic : int;
   benchmarks : string list;
   sample : int option;
+  plan_cache : string option;
 }
 
 let default_settings =
@@ -30,6 +31,7 @@ let default_settings =
     clone_dynamic = 100_000;
     benchmarks = [];
     sample = None;
+    plan_cache = None;
   }
 
 let quick_settings =
@@ -40,6 +42,7 @@ let quick_settings =
     clone_dynamic = 50_000;
     benchmarks = [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ];
     sample = None;
+    plan_cache = None;
   }
 
 let prepare ?(pool = Pool.serial) settings =
@@ -80,6 +83,9 @@ let sim_store : (string, Sim.result) Store.t = Store.create ~name:"sim" ()
 let plan_store : (string, Pc_sample.Sample.plan) Store.t =
   Store.create ~name:"sample.plan" ()
 
+let phase_store : (string, (Pc_sample.Sample.rep * Sim.result) array) Store.t =
+  Store.create ~name:"sample.phases" ()
+
 let fidelity_store : (string, Pc_trace.Fidelity.report) Store.t =
   Store.create ~name:"fidelity" ()
 
@@ -87,6 +93,7 @@ let clear_caches () =
   Store.clear trace_store;
   Store.clear sim_store;
   Store.clear plan_store;
+  Store.clear phase_store;
   Store.clear fidelity_store;
   Store.clear Pipeline.profile_store
 
@@ -94,12 +101,38 @@ let clear_caches () =
    shared by every estimator that simulates the same program: the timing
    model reuses the plan across all configurations (the BBV phases are
    microarchitecture-independent), and the cache study replays the same
-   representative traces. *)
+   representative traces.  With [settings.plan_cache] set, plans also
+   persist on disk across invocations ({!Pc_sample.Plan_cache}): the
+   in-memory store stays the first line, the disk cache backs it. *)
 let sample_plan settings ~interval program =
   let key = digest (program, settings.sim_instrs, interval, settings.seed) in
   Store.find_or_compute plan_store key (fun () ->
-      Pc_sample.Sample.plan ~seed:settings.seed ~interval
-        ~max_instrs:settings.sim_instrs program)
+      let compute () =
+        Pc_sample.Sample.plan ~seed:settings.seed ~interval
+          ~max_instrs:settings.sim_instrs program
+      in
+      match settings.plan_cache with
+      | None -> compute ()
+      | Some dir ->
+        let cache = Pc_sample.Plan_cache.create dir in
+        let ckey =
+          Pc_sample.Plan_cache.key
+            ~profile_id:(digest (program, settings.sim_instrs))
+            ~interval ~seed:settings.seed ()
+        in
+        Pc_sample.Plan_cache.find_or_compute cache ckey compute)
+
+(* Replayed phase results are microarchitecture-dependent (one array per
+   configuration) and feed both the timing and the power projections, so
+   one replay pass per (config, program) serves every figure. *)
+let sampled_phases settings ~interval config program =
+  let key =
+    digest
+      ("sampled-phases", config, program, settings.sim_instrs, interval,
+       settings.seed)
+  in
+  Store.find_or_compute phase_store key (fun () ->
+      Pc_sample.Sample.replay_phases config (sample_plan settings ~interval program))
 
 let prepare_sample ?(pool = Pool.serial) settings pipelines =
   match settings.sample with
@@ -197,7 +230,21 @@ let sim_run settings config program =
       digest ("sampled-sim", config, program, max_instrs, interval, settings.seed)
     in
     Store.find_or_compute sim_store key (fun () ->
-        Pc_sample.Sample.project_sim config (sample_plan settings ~interval program))
+        Pc_sample.Sample.project_of_phases
+          (sample_plan settings ~interval program)
+          (sampled_phases settings ~interval config program))
+
+(* Power under sampling reuses the replayed phases: population-weighted
+   per-phase energy from each representative's measurement window, never
+   the whole-run counters (which would price the warmup prefix too).
+   Unsampled, this is exactly [Power.total]. *)
+let power_total settings config program (r : Sim.result) =
+  match settings.sample with
+  | None -> Power.total config r
+  | Some interval ->
+    Pc_sample.Sample.project_power_of_phases config
+      (sample_plan settings ~interval program)
+      (sampled_phases settings ~interval config program)
 
 let study_of_mpis bench orig_mpi clone_mpi =
   let rel mpis =
@@ -280,8 +327,8 @@ let base_runs ?(pool = Pool.serial) settings pipelines =
         bench = p.Pipeline.name;
         ipc_orig = ro.Sim.ipc;
         ipc_clone = rc.Sim.ipc;
-        power_orig = Power.total cfg ro;
-        power_clone = Power.total cfg rc;
+        power_orig = power_total settings cfg p.Pipeline.original ro;
+        power_clone = power_total settings cfg p.Pipeline.clone rc;
       })
     pipelines
 
@@ -376,10 +423,12 @@ let run_design_changes ?(pool = Pool.serial) settings pipelines =
             let ipc_ratio_orig = new_orig.Sim.ipc /. base_orig.Sim.ipc in
             let ipc_ratio_clone = new_clone.Sim.ipc /. base_clone.Sim.ipc in
             let pw_ratio_orig =
-              Power.total config new_orig /. Power.total base_cfg base_orig
+              power_total settings config p.Pipeline.original new_orig
+              /. power_total settings base_cfg p.Pipeline.original base_orig
             in
             let pw_ratio_clone =
-              Power.total config new_clone /. Power.total base_cfg base_clone
+              power_total settings config p.Pipeline.clone new_clone
+              /. power_total settings base_cfg p.Pipeline.clone base_clone
             in
             ( p.Pipeline.name,
               ipc_ratio_orig,
@@ -558,6 +607,25 @@ type statsim_row = {
   ss_ipc_statsim : float;
 }
 
+(* Statistical-simulation IPC estimate for a pipeline's profile on the
+   base configuration.  With sampling on, the synthetic-trace generation
+   itself goes phase-by-phase ({!Pc_statsim.Statsim.estimate_sampled}
+   over the original program's plan) instead of one stationary walk. *)
+let statsim_ipc settings (p : Pipeline.t) =
+  let cfg = Config.base in
+  let instrs = min 200_000 settings.sim_instrs in
+  let r =
+    match settings.sample with
+    | None ->
+      Pc_statsim.Statsim.estimate ~seed:settings.seed ~instrs cfg
+        p.Pipeline.profile
+    | Some interval ->
+      Pc_statsim.Statsim.estimate_sampled ~seed:settings.seed ~instrs
+        ~plan:(sample_plan settings ~interval p.Pipeline.original)
+        cfg p.Pipeline.profile
+  in
+  r.Sim.ipc
+
 let statsim_comparison ?(pool = Pool.serial) settings pipelines =
   Span.with_ "statsim" @@ fun () ->
   let cfg = Config.base in
@@ -565,15 +633,11 @@ let statsim_comparison ?(pool = Pool.serial) settings pipelines =
     (fun (p : Pipeline.t) ->
       let ro = sim_run settings cfg p.Pipeline.original in
       let rc = sim_run settings cfg p.Pipeline.clone in
-      let rs =
-        Pc_statsim.Statsim.estimate ~seed:settings.seed
-          ~instrs:(min 200_000 settings.sim_instrs) cfg p.Pipeline.profile
-      in
       {
         ss_bench = p.Pipeline.name;
         ss_ipc_orig = ro.Sim.ipc;
         ss_ipc_clone = rc.Sim.ipc;
-        ss_ipc_statsim = rs.Sim.ipc;
+        ss_ipc_statsim = statsim_ipc settings p;
       })
     pipelines
 

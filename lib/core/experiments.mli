@@ -10,11 +10,16 @@ type settings = {
   clone_dynamic : int;  (** clone target dynamic length *)
   benchmarks : string list;  (** benchmark names; empty = all 23 *)
   sample : int option;
-      (** [Some interval]: estimate timing and cache results by
-          SimPoint-style sampled simulation ({!Pc_sample.Sample}) with
-          the given interval size instead of simulating every dynamic
-          instruction.  [None] (the default everywhere) leaves every
-          figure byte-identical to unsampled operation. *)
+      (** [Some interval]: estimate timing, cache, power and
+          statistical-simulation results by SimPoint-style sampled
+          simulation ({!Pc_sample.Sample}) with the given interval size
+          instead of simulating every dynamic instruction.  [None] (the
+          default everywhere) leaves every figure byte-identical to
+          unsampled operation. *)
+  plan_cache : string option;
+      (** [Some dir]: persist sampling plans on disk under [dir]
+          ({!Pc_sample.Plan_cache}), so repeated sampled invocations skip
+          plan construction.  Only consulted when [sample] is set. *)
 }
 
 val default_settings : settings
@@ -35,6 +40,14 @@ val sample_plan :
 (** The memoized sampling plan for a program under these settings
     (computed on first use, then shared).  The CLI uses this to report
     per-program plan statistics without recomputing. *)
+
+val sim_run :
+  settings -> Pc_uarch.Config.t -> Pc_isa.Program.t -> Pc_uarch.Sim.result
+(** The memoized base timing result for a program under these settings:
+    a detailed {!Pc_uarch.Sim.run} when [settings.sample] is [None], the
+    population-weighted projection over replayed representatives
+    otherwise.  Shared by every figure that simulates the same
+    (config, program) pair. *)
 
 val prepare_sample : ?pool:Pc_exec.Pool.t -> settings -> Pipeline.t list -> unit
 (** When [settings.sample] is set, build the sampling plan of every
@@ -61,7 +74,31 @@ val sim_store : (string, Pc_uarch.Sim.result) Pc_exec.Store.t
 val plan_store : (string, Pc_sample.Sample.plan) Pc_exec.Store.t
 (** Sampling plans, keyed by a digest of (program, budget, interval,
     seed); shared across every configuration that simulates the same
-    program (phases are microarchitecture-independent). *)
+    program (phases are microarchitecture-independent).  When
+    [settings.plan_cache] is set, misses fall through to the on-disk
+    {!Pc_sample.Plan_cache} before computing. *)
+
+val phase_store :
+  (string, (Pc_sample.Sample.rep * Pc_uarch.Sim.result) array) Pc_exec.Store.t
+(** Replayed representative results, keyed by a digest of ("sampled-phases",
+    config, program, budget, interval, seed): one replay pass per
+    configuration serves both the timing and the power projections. *)
+
+val power_total :
+  settings -> Pc_uarch.Config.t -> Pc_isa.Program.t -> Pc_uarch.Sim.result -> float
+(** Power of a simulated run under these settings.  Unsampled this is
+    exactly {!Pc_power.Power.total} of the given result; with sampling
+    on it is the population-weighted per-phase projection
+    ({!Pc_sample.Sample.project_power_of_phases}) over the program's
+    replayed representatives, ignoring the given (projected) result's
+    whole-run counters. *)
+
+val statsim_ipc : settings -> Pipeline.t -> float
+(** Statistical-simulation IPC estimate for the pipeline's profile on
+    the base configuration ([min 200_000 sim_instrs] synthetic
+    instructions).  With sampling on, trace generation goes phase by
+    phase ({!Pc_statsim.Statsim.estimate_sampled} over the original
+    program's plan). *)
 
 val fidelity_store : (string, Pc_trace.Fidelity.report) Pc_exec.Store.t
 (** Clone-fidelity reports, keyed by a digest of (clone program,

@@ -71,7 +71,7 @@ let median values =
       (if n mod 2 = 1 then nth (n / 2)
        else 0.5 *. (nth ((n / 2) - 1) +. nth (n / 2)))
 
-let check_bench ~tolerance ~baseline ~current =
+let check_bench ?(floor_ms = 0.001) ~tolerance ~baseline ~current () =
   let issues =
     check_schema ~expected:"pc-bench/1" baseline []
     |> check_schema ~expected:"pc-bench/1" current
@@ -108,17 +108,28 @@ let check_bench ~tolerance ~baseline ~current =
   match (median (timings b_rows), median (timings c_rows)) with
   | None, _ | _, None ->
     issues @ [ "bench report without any ms_per_run estimates" ]
-  | Some b_med, Some c_med when b_med <= 0.0 || c_med <= 0.0 ->
-    issues @ [ "bench report with non-positive median ms/run" ]
+  | Some b_med, Some c_med when b_med < 0.0 || c_med < 0.0 ->
+    issues @ [ "bench report with negative median ms/run" ]
   | Some b_med, Some c_med ->
+    (* Absolute floor: a 0 ms median (sub-resolution timings, a stubbed
+       runner, a trimmed report) would otherwise make the normalising
+       division blow up into inf/NaN and either mask every regression or
+       flag all of them.  Timings are clamped to [floor_ms] before
+       normalising, and rows where both sides sit at or below the floor
+       carry no signal and are skipped. *)
+    let b_med = Float.max b_med floor_ms and c_med = Float.max c_med floor_ms in
     let drifts = ref [] in
     let report fmt = Printf.ksprintf (fun s -> drifts := s :: !drifts) fmt in
     List.iter
       (fun (name, b_ms) ->
         match (b_ms, List.assoc_opt name c_rows) with
         | None, _ -> ()
+        | Some b_ms, Some (Some c_ms) when b_ms <= floor_ms && c_ms <= floor_ms
+          ->
+          ()
         | Some b_ms, Some (Some c_ms) ->
-          let b_norm = b_ms /. b_med and c_norm = c_ms /. c_med in
+          let b_norm = Float.max b_ms floor_ms /. b_med
+          and c_norm = Float.max c_ms floor_ms /. c_med in
           if c_norm > b_norm *. (1.0 +. tolerance) then
             report
               "bench %s: %.1f%% slower than baseline (median-normalised %.4f \

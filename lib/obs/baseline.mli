@@ -25,9 +25,20 @@ val check_metrics :
     reported (the latter so baselines cannot silently go stale). *)
 
 val check_bench :
-  tolerance:float -> baseline:Pc_util.Json.t -> current:Pc_util.Json.t -> string list
+  ?floor_ms:float ->
+  tolerance:float ->
+  baseline:Pc_util.Json.t ->
+  current:Pc_util.Json.t ->
+  unit ->
+  string list
 (** Median-normalised comparison of two [pc-bench/1] documents;
     [tolerance] is the allowed relative slowdown per entry (the CI
     gate uses 0.20).  Entries with a null [ms_per_run] on either side
     are skipped; entries missing from the current run are reported;
-    faster-than-baseline entries never fail. *)
+    faster-than-baseline entries never fail.
+
+    [floor_ms] (default 0.001) is an absolute floor applied to medians
+    and per-entry timings before normalising, so a report whose median
+    is 0 ms (sub-resolution timings or a trimmed run) degrades into a
+    floor-relative comparison instead of dividing by zero; entries at or
+    below the floor on both sides are skipped as noise. *)

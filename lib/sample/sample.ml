@@ -4,7 +4,13 @@ module Rng = Pc_util.Rng
 module Sim = Pc_uarch.Sim
 module Config = Pc_uarch.Config
 module Study = Pc_caches.Study
+module Power = Pc_power.Power
 module M = Pc_obs.Metrics
+
+let log_src =
+  Logs.Src.create "pc.sample" ~doc:"Sampled-simulation projection warnings"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* --- packed replay events ---
 
@@ -363,72 +369,221 @@ let replay_events statics trace on_event =
 
 (* --- projection: timing --- *)
 
-let project_sim (cfg : Config.t) plan =
-  let runs =
-    Array.map
-      (fun rep ->
-        M.add c_replayed (Array.length rep.trace);
-        ( rep,
-          Sim.run_events ~measure_from:rep.warmup cfg
-            (replay_events plan.statics rep.trace) ))
-      plan.reps
+let replay_phases (cfg : Config.t) plan =
+  Array.map
+    (fun rep ->
+      M.add c_replayed (Array.length rep.trace);
+      ( rep,
+        Sim.run_events ~measure_from:rep.warmup cfg
+          (replay_events plan.statics rep.trace) ))
+    plan.reps
+
+(* A representative whose measurement window retired nothing (or whose
+   window cost no commit cycles) carries no CPI signal: dividing by its
+   measured counts would inject NaN/inf into every projection that sums
+   over phases.  Such phases are skipped with a warning and their
+   population is re-attributed pro rata to the surviving phases. *)
+let phase_valid (r : Sim.result) =
+  r.Sim.measured_instrs > 0 && r.Sim.measured_cycles > 0
+
+let warn_skipped ~what ~config_name ~weight (r : Sim.result) =
+  Log.warn (fun m ->
+      m "%s(%s): skipping empty representative (weight %d, measured %d instrs / %d cycles)"
+        what config_name weight r.Sim.measured_instrs r.Sim.measured_cycles)
+
+let recombine ~config_name ~total_instrs phases =
+  let valid, skipped =
+    List.partition (fun (_, _, r) -> phase_valid r) (Array.to_list phases)
   in
-  (* Whole-program cycles: each cluster contributes its population's
-     instruction count at its representative's warmup-free CPI. *)
-  let cycles_f =
-    Array.fold_left
-      (fun acc (rep, (r : Sim.result)) ->
-        let cpi =
-          float_of_int r.Sim.measured_cycles /. float_of_int (max 1 r.Sim.measured_instrs)
-        in
-        acc +. (float_of_int rep.weight *. cpi))
-      0.0 runs
-  in
-  let cycles = max 1 (int_of_float (Float.round cycles_f)) in
-  let total = plan.total_instrs in
-  (* Event counters scale by cluster population over replayed length —
-     an approximation (the warmup share of each replay is attributed
-     pro rata), good enough for the power model and cross-checks. *)
-  let scaled field =
-    let acc =
+  List.iter
+    (fun (weight, _, r) -> warn_skipped ~what:"recombine" ~config_name ~weight r)
+    skipped;
+  match valid with
+  | [] ->
+    (* Degenerate: nothing measured anywhere.  Project IPC 1.0 with
+       zeroed event counters rather than divide by zero. *)
+    Log.warn (fun m ->
+        m "recombine(%s): no representative measured any work; projecting IPC 1.0 with zeroed counters"
+          config_name);
+    M.incr c_projections;
+    let cycles = max 1 total_instrs in
+    {
+      Sim.config_name;
+      instrs = total_instrs;
+      cycles;
+      ipc = float_of_int total_instrs /. float_of_int cycles;
+      class_counts = Array.make I.class_count 0;
+      branches = 0;
+      mispredictions = 0;
+      l1i_accesses = 0;
+      l1i_misses = 0;
+      l1d_accesses = 0;
+      l1d_misses = 0;
+      l2_accesses = 0;
+      l2_misses = 0;
+      mem_accesses = 0;
+      rob_high_water = 0;
+      lsq_high_water = 0;
+      fetch_stall_icache_cycles = 0;
+      fetch_stall_mispredict_cycles = 0;
+      measured_instrs = total_instrs;
+      measured_cycles = cycles;
+    }
+  | _ ->
+    (* Skipped phases hand their population to the survivors so the
+       projection still speaks for [total_instrs].  With nothing skipped
+       the factor is exactly 1.0 and every float below is bit-identical
+       to the unguarded fold. *)
+    let renorm =
+      if skipped = [] then 1.0
+      else
+        let sum l = List.fold_left (fun acc (w, _, _) -> acc + w) 0 l in
+        let valid_w = sum valid in
+        if valid_w <= 0 then 1.0
+        else float_of_int (valid_w + sum skipped) /. float_of_int valid_w
+    in
+    let runs =
+      Array.of_list
+        (List.map (fun (w, len, r) -> (float_of_int w *. renorm, len, r)) valid)
+    in
+    (* Whole-program cycles: each cluster contributes its population's
+       instruction count at its representative's warmup-free CPI. *)
+    let cycles_f =
       Array.fold_left
-        (fun acc (rep, r) ->
-          let ratio =
-            float_of_int rep.weight /. float_of_int (max 1 (Array.length rep.trace))
+        (fun acc (wf, _, (r : Sim.result)) ->
+          let cpi =
+            float_of_int r.Sim.measured_cycles
+            /. float_of_int (max 1 r.Sim.measured_instrs)
           in
-          acc +. (float_of_int (field r) *. ratio))
+          acc +. (wf *. cpi))
         0.0 runs
     in
-    int_of_float (Float.round acc)
-  in
-  let class_counts =
-    Array.init I.class_count (fun i -> scaled (fun r -> r.Sim.class_counts.(i)))
-  in
-  let maxed field = Array.fold_left (fun acc (_, r) -> max acc (field r)) 0 runs in
-  M.incr c_projections;
+    let cycles = max 1 (int_of_float (Float.round cycles_f)) in
+    let total = total_instrs in
+    (* Event counters scale by cluster population over replayed length —
+       an approximation (the warmup share of each replay is attributed
+       pro rata), good enough for the power model and cross-checks. *)
+    let scaled field =
+      let acc =
+        Array.fold_left
+          (fun acc (wf, len, r) ->
+            let ratio = wf /. float_of_int (max 1 len) in
+            acc +. (float_of_int (field r) *. ratio))
+          0.0 runs
+      in
+      int_of_float (Float.round acc)
+    in
+    let class_counts =
+      Array.init I.class_count (fun i -> scaled (fun r -> r.Sim.class_counts.(i)))
+    in
+    let maxed field =
+      Array.fold_left (fun acc (_, _, r) -> max acc (field r)) 0 runs
+    in
+    M.incr c_projections;
+    {
+      Sim.config_name;
+      instrs = total;
+      cycles;
+      ipc = float_of_int total /. float_of_int cycles;
+      class_counts;
+      branches = scaled (fun r -> r.Sim.branches);
+      mispredictions = scaled (fun r -> r.Sim.mispredictions);
+      l1i_accesses = scaled (fun r -> r.Sim.l1i_accesses);
+      l1i_misses = scaled (fun r -> r.Sim.l1i_misses);
+      l1d_accesses = scaled (fun r -> r.Sim.l1d_accesses);
+      l1d_misses = scaled (fun r -> r.Sim.l1d_misses);
+      l2_accesses = scaled (fun r -> r.Sim.l2_accesses);
+      l2_misses = scaled (fun r -> r.Sim.l2_misses);
+      mem_accesses = scaled (fun r -> r.Sim.mem_accesses);
+      rob_high_water = maxed (fun r -> r.Sim.rob_high_water);
+      lsq_high_water = maxed (fun r -> r.Sim.lsq_high_water);
+      fetch_stall_icache_cycles = scaled (fun r -> r.Sim.fetch_stall_icache_cycles);
+      fetch_stall_mispredict_cycles =
+        scaled (fun r -> r.Sim.fetch_stall_mispredict_cycles);
+      measured_instrs = total;
+      measured_cycles = cycles;
+    }
+
+let project_of_phases plan phases =
+  if Array.length phases = 0 then
+    invalid_arg "Pc_sample.Sample.project_of_phases: empty phase array";
+  let config_name = (snd phases.(0)).Sim.config_name in
+  recombine ~config_name ~total_instrs:plan.total_instrs
+    (Array.map
+       (fun ((rep : rep), r) -> (rep.weight, Array.length rep.trace, r))
+       phases)
+
+let project_sim (cfg : Config.t) plan = project_of_phases plan (replay_phases cfg plan)
+
+(* --- projection: power ---
+
+   Power is energy per cycle, so the whole-run average is the
+   cycle-weighted mean of the per-phase averages: each phase contributes
+   its projected cycle share (population × representative CPI) at the
+   power of its representative's measurement window.  The window view
+   restricts [instrs]/[cycles] to the measured counts and pro-rata
+   scales the whole-run event counters into the window — never the
+   full-run counters, which would double-count the warmup prefix. *)
+
+let window_result (r : Sim.result) =
+  let mi = r.Sim.measured_instrs in
+  let f = float_of_int mi /. float_of_int (max 1 r.Sim.instrs) in
+  let scale c = int_of_float (Float.round (float_of_int c *. f)) in
+  let cycles = max 1 r.Sim.measured_cycles in
   {
-    Sim.config_name = cfg.Config.name;
-    instrs = total;
+    r with
+    Sim.instrs = mi;
     cycles;
-    ipc = float_of_int total /. float_of_int cycles;
-    class_counts;
-    branches = scaled (fun r -> r.Sim.branches);
-    mispredictions = scaled (fun r -> r.Sim.mispredictions);
-    l1i_accesses = scaled (fun r -> r.Sim.l1i_accesses);
-    l1i_misses = scaled (fun r -> r.Sim.l1i_misses);
-    l1d_accesses = scaled (fun r -> r.Sim.l1d_accesses);
-    l1d_misses = scaled (fun r -> r.Sim.l1d_misses);
-    l2_accesses = scaled (fun r -> r.Sim.l2_accesses);
-    l2_misses = scaled (fun r -> r.Sim.l2_misses);
-    mem_accesses = scaled (fun r -> r.Sim.mem_accesses);
-    rob_high_water = maxed (fun r -> r.Sim.rob_high_water);
-    lsq_high_water = maxed (fun r -> r.Sim.lsq_high_water);
-    fetch_stall_icache_cycles = scaled (fun r -> r.Sim.fetch_stall_icache_cycles);
-    fetch_stall_mispredict_cycles =
-      scaled (fun r -> r.Sim.fetch_stall_mispredict_cycles);
-    measured_instrs = total;
+    ipc = float_of_int mi /. float_of_int cycles;
+    class_counts = Array.map scale r.Sim.class_counts;
+    branches = scale r.Sim.branches;
+    mispredictions = scale r.Sim.mispredictions;
+    l1i_accesses = scale r.Sim.l1i_accesses;
+    l1i_misses = scale r.Sim.l1i_misses;
+    l1d_accesses = scale r.Sim.l1d_accesses;
+    l1d_misses = scale r.Sim.l1d_misses;
+    l2_accesses = scale r.Sim.l2_accesses;
+    l2_misses = scale r.Sim.l2_misses;
+    mem_accesses = scale r.Sim.mem_accesses;
+    fetch_stall_icache_cycles = scale r.Sim.fetch_stall_icache_cycles;
+    fetch_stall_mispredict_cycles = scale r.Sim.fetch_stall_mispredict_cycles;
+    measured_instrs = mi;
     measured_cycles = cycles;
   }
+
+let project_power_of_phases (cfg : Config.t) plan phases =
+  let valid, skipped =
+    List.partition (fun (_, r) -> phase_valid r) (Array.to_list phases)
+  in
+  List.iter
+    (fun ((rep : rep), r) ->
+      warn_skipped ~what:"project_power" ~config_name:cfg.Config.name
+        ~weight:rep.weight r)
+    skipped;
+  match valid with
+  | [] ->
+    Log.warn (fun m ->
+        m "project_power(%s): no representative measured any work; pricing the recombined projection"
+          cfg.Config.name);
+    Power.total cfg (project_of_phases plan phases)
+  | _ ->
+    let num = ref 0.0 and den = ref 0.0 in
+    List.iter
+      (fun ((rep : rep), (r : Sim.result)) ->
+        let cpi =
+          float_of_int r.Sim.measured_cycles /. float_of_int r.Sim.measured_instrs
+        in
+        let cyc = float_of_int rep.weight *. cpi in
+        let p = Power.total cfg (window_result r) in
+        num := !num +. (cyc *. p);
+        den := !den +. cyc)
+      valid;
+    M.incr c_projections;
+    if !den > 0.0 then !num /. !den
+    else Power.total cfg (project_of_phases plan phases)
+
+let project_power (cfg : Config.t) plan =
+  project_power_of_phases cfg plan (replay_phases cfg plan)
 
 (* --- projection: the 28-cache study --- *)
 

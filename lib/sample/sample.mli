@@ -66,14 +66,55 @@ val plan :
     overestimates CPI).  Raises [Invalid_argument] for a non-positive
     [interval] or a program that retires no instructions. *)
 
-val project_sim : Pc_uarch.Config.t -> plan -> Pc_uarch.Sim.result
+val replay_phases :
+  Pc_uarch.Config.t -> plan -> (rep * Pc_uarch.Sim.result) array
 (** Replay every representative through the detailed timing model
     ({!Pc_uarch.Sim.run_events} with [measure_from] at the warmup
-    boundary) and recombine: whole-program cycles are the sum over
-    clusters of population × the representative's warmup-free CPI.
-    Event counters (cache misses, branches, class counts — the power
-    model's inputs) are scaled from each representative pro rata; the
-    [ipc]/[cycles]/[instrs] fields estimate the full run. *)
+    boundary) and return the per-phase results, one per representative in
+    plan order.  The phase array is the shared input of every projection
+    below, so one replay pass serves the IPC and the power estimates. *)
+
+val recombine :
+  config_name:string ->
+  total_instrs:int ->
+  (int * int * Pc_uarch.Sim.result) array ->
+  Pc_uarch.Sim.result
+(** [recombine ~config_name ~total_instrs phases] folds per-phase
+    [(weight, replayed_len, result)] triples into a whole-program
+    estimate: cycles are the sum over phases of population × the
+    representative's warmup-free CPI; event counters are scaled from each
+    representative pro rata.  Phases whose measurement window retired no
+    instructions or cost no cycles are skipped with a warning and their
+    population re-attributed to the survivors (division-by-zero guard);
+    if every phase is empty the projection degrades to IPC 1.0 with
+    zeroed counters.  With no skipped phase the result is bit-identical
+    to the unguarded fold. *)
+
+val project_of_phases : plan -> (rep * Pc_uarch.Sim.result) array -> Pc_uarch.Sim.result
+(** {!recombine} over an already-replayed phase array (weights and
+    replay lengths taken from the plan's representatives). *)
+
+val project_sim : Pc_uarch.Config.t -> plan -> Pc_uarch.Sim.result
+(** [replay_phases] followed by [project_of_phases]: whole-program cycles
+    are the sum over clusters of population × the representative's
+    warmup-free CPI.  Event counters (cache misses, branches, class
+    counts — the power model's inputs) are scaled from each
+    representative pro rata; the [ipc]/[cycles]/[instrs] fields estimate
+    the full run. *)
+
+val project_power_of_phases :
+  Pc_uarch.Config.t -> plan -> (rep * Pc_uarch.Sim.result) array -> float
+(** Population-weighted power projection from replayed phases: each
+    valid phase contributes its projected cycle share (population ×
+    representative CPI) at the {!Pc_power.Power.total} of its
+    measurement window — [measured_instrs]/[measured_cycles] with the
+    whole-run event counters pro-rata restricted to the window, never
+    the raw full-run counters.  Phases with an empty measurement window
+    are skipped with a warning; if none are valid the recombined
+    {!project_of_phases} result is priced instead. *)
+
+val project_power : Pc_uarch.Config.t -> plan -> float
+(** [replay_phases] followed by {!project_power_of_phases}. *)
 
 val project_mpi : plan -> float array
 (** Replay every representative's data references through the paper's

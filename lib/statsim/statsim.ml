@@ -3,6 +3,7 @@ module Machine = Pc_funcsim.Machine
 module I = Pc_isa.Instr
 module Rng = Pc_util.Rng
 module Synth = Pc_synth.Synth
+module Sample = Pc_sample.Sample
 
 (* Per-stream walker state for synthetic addresses: mirrors the clone
    generator's geometry but lives in the trace generator. *)
@@ -24,10 +25,29 @@ type branch_state = {
 
 let round8_up n = (n + 7) / 8 * 8
 
-let estimate ?(seed = 1) ?(instrs = 100_000) cfg (profile : Profile.t) =
+(* --- trace generator ---
+
+   All synthesis state lives in one record so a single RNG stream can
+   drive several generation phases (sampled estimation) exactly as it
+   drives one continuous trace: walkers, branch counters and the
+   register-dependency ring carry over between [synth] calls. *)
+
+type gen = {
+  g_rng : Rng.t;
+  g_nodes : Profile.node array;
+  g_node_cdf : float array;
+  g_streams : Synth.stream_info array;
+  g_walkers : walker array;
+  g_branch_states : (int, branch_state) Hashtbl.t;
+  g_recent : int array; (* ring of synthetic destination ids *)
+  g_recent_count : int ref;
+  g_next_reg : int ref;
+}
+
+let make_gen ~seed (profile : Profile.t) =
   let rng = Rng.create seed in
   let nodes = profile.Profile.nodes in
-  if Array.length nodes = 0 then invalid_arg "Statsim.estimate: empty profile";
+  if Array.length nodes = 0 then invalid_arg "Statsim: empty profile";
   let streams = Synth.plan_streams ~max_streams:12 profile in
   let streams =
     if Array.length streams = 0 then
@@ -63,226 +83,328 @@ let estimate ?(seed = 1) ?(instrs = 100_000) cfg (profile : Profile.t) =
         })
       streams
   in
-  let branch_states : (int, branch_state) Hashtbl.t = Hashtbl.create 64 in
-  let branch_state_of (node : Profile.node) (b : Profile.branch_behaviour) =
-    match Hashtbl.find_opt branch_states node.Profile.id with
-    | Some s -> s
-    | None ->
-      let t = b.Profile.transition_rate and tr = b.Profile.taken_rate in
-      let s =
-        if t <= 0.02 then
-          { b_period = 1; b_taken_slots = (if tr >= 0.5 then 1 else 0); b_count = 0 }
-        else if t >= 0.9 then { b_period = 2; b_taken_slots = 1; b_count = 0 }
-        else begin
-          let p =
-            let raw = int_of_float (Float.round (2.0 /. t)) in
-            let rec pow2 x = if x >= raw then x else pow2 (2 * x) in
-            max 2 (min 256 (pow2 2))
-          in
-          let taken =
-            max 1 (min (p - 1) (int_of_float (Float.round (tr *. float_of_int p))))
-          in
-          { b_period = p; b_taken_slots = taken; b_count = 0 }
-        end
-      in
-      Hashtbl.add branch_states node.Profile.id s;
-      s
+  {
+    g_rng = rng;
+    g_nodes = nodes;
+    g_node_cdf = Profile.node_cdf profile;
+    g_streams = streams;
+    g_walkers = walkers;
+    g_branch_states = Hashtbl.create 64;
+    g_recent = Array.make 64 (-1);
+    g_recent_count = ref 0;
+    g_next_reg = ref 1;
+  }
+
+let branch_state_of g (node : Profile.node) (b : Profile.branch_behaviour) =
+  match Hashtbl.find_opt g.g_branch_states node.Profile.id with
+  | Some s -> s
+  | None ->
+    let t = b.Profile.transition_rate and tr = b.Profile.taken_rate in
+    let s =
+      if t <= 0.02 then
+        { b_period = 1; b_taken_slots = (if tr >= 0.5 then 1 else 0); b_count = 0 }
+      else if t >= 0.9 then { b_period = 2; b_taken_slots = 1; b_count = 0 }
+      else begin
+        let p =
+          let raw = int_of_float (Float.round (2.0 /. t)) in
+          let rec pow2 x = if x >= raw then x else pow2 (2 * x) in
+          max 2 (min 256 (pow2 2))
+        in
+        let taken =
+          max 1 (min (p - 1) (int_of_float (Float.round (tr *. float_of_int p))))
+        in
+        { b_period = p; b_taken_slots = taken; b_count = 0 }
+      end
+    in
+    Hashtbl.add g.g_branch_states node.Profile.id s;
+    s
+
+let push_dest g d =
+  g.g_recent.(!(g.g_recent_count) land 63) <- d;
+  incr g.g_recent_count
+
+let alloc_reg g =
+  let r = !(g.g_next_reg) in
+  g.g_next_reg := if !(g.g_next_reg) >= 25 then 1 else !(g.g_next_reg) + 1;
+  r
+
+let sample_distance g fractions =
+  let bounds = Profile.dep_bounds in
+  let u = Rng.float g.g_rng 1.0 in
+  let acc = ref 0.0 in
+  let bucket = ref (Array.length fractions - 1) in
+  (try
+     Array.iteri
+       (fun i f ->
+         acc := !acc +. f;
+         if !acc >= u then begin
+           bucket := i;
+           raise Exit
+         end)
+       fractions
+   with Exit -> ());
+  if !bucket >= Array.length bounds then 33 + Rng.int g.g_rng 16
+  else
+    let hi = bounds.(!bucket) in
+    let lo = if !bucket = 0 then 1 else bounds.(!bucket - 1) + 1 in
+    lo + Rng.int g.g_rng (hi - lo + 1)
+
+let src g fractions =
+  let d = sample_distance g fractions in
+  let at k =
+    if k < 1 || k > min !(g.g_recent_count) 63 then -1
+    else g.g_recent.((!(g.g_recent_count) - k) land 63)
   in
-  (* Register-dependency machinery: ring of synthetic destination ids. *)
-  let recent = Array.make 64 (-1) in
-  let recent_count = ref 0 in
-  let next_reg = ref 1 in
-  let push_dest d =
-    recent.(!recent_count land 63) <- d;
-    incr recent_count
+  let rec scan delta =
+    if delta > 8 then 1 + Rng.int g.g_rng 24
+    else
+      let a = at (d - delta) and b = at (d + delta) in
+      if a >= 1 then a else if b >= 1 then b else scan (delta + 1)
   in
-  let alloc_reg () =
-    let r = !next_reg in
-    next_reg := if !next_reg >= 25 then 1 else !next_reg + 1;
-    r
-  in
-  let sample_distance fractions =
-    let bounds = Profile.dep_bounds in
-    let u = Rng.float rng 1.0 in
+  scan 0
+
+(* SFG walking. *)
+let pick_start g = Rng.sample_cdf g.g_rng g.g_node_cdf
+
+let pick_successor g (node : Profile.node) =
+  let succs = node.Profile.successors in
+  if Array.length succs = 0 then None
+  else begin
+    let u = Rng.float g.g_rng 1.0 in
     let acc = ref 0.0 in
-    let bucket = ref (Array.length fractions - 1) in
+    let result = ref (fst succs.(Array.length succs - 1)) in
     (try
-       Array.iteri
-         (fun i f ->
-           acc := !acc +. f;
+       Array.iter
+         (fun (id, p) ->
+           acc := !acc +. p;
            if !acc >= u then begin
-             bucket := i;
+             result := id;
              raise Exit
            end)
-         fractions
+         succs
      with Exit -> ());
-    if !bucket >= Array.length bounds then 33 + Rng.int rng 16
-    else
-      let hi = bounds.(!bucket) in
-      let lo = if !bucket = 0 then 1 else bounds.(!bucket - 1) + 1 in
-      lo + Rng.int rng (hi - lo + 1)
+    Some !result
+  end
+
+(* Event synthesis. *)
+let comp_classes =
+  [| I.C_int_alu; I.C_int_mul; I.C_int_div; I.C_fp_alu; I.C_fp_mul; I.C_fp_div |]
+
+(* Walk the SFG from [start], emitting abstract retired-instruction
+   events until [budget] instructions have been produced; returns the
+   emitted count.  Node bodies always complete, so a few extra events
+   past [budget] may be emitted by the final node. *)
+let synth g ~start ~budget on_event =
+  let ev =
+    {
+      Machine.pc = 0;
+      iclass = I.C_int_alu;
+      mem_addr = -1;
+      is_store = false;
+      is_branch = false;
+      taken = false;
+      next_pc = 0;
+      reads = [];
+      writes = -1;
+    }
   in
-  let src fractions =
-    let d = sample_distance fractions in
-    let at k =
-      if k < 1 || k > min !recent_count 63 then -1
-      else recent.((!recent_count - k) land 63)
+  let emitted = ref 0 in
+  let current = ref start in
+  while !emitted < budget do
+    let node = g.g_nodes.(!current) in
+    let weights =
+      Array.map (fun c -> node.Profile.mix.(I.class_index c)) comp_classes
     in
-    let rec scan delta =
-      if delta > 8 then 1 + Rng.int rng 24
-      else
-        let a = at (d - delta) and b = at (d + delta) in
-        if a >= 1 then a else if b >= 1 then b else scan (delta + 1)
+    let wsum = Array.fold_left ( +. ) 0.0 weights in
+    let sample_class () =
+      if wsum <= 0.0 then I.C_int_alu
+      else begin
+        let u = Rng.float g.g_rng wsum in
+        let acc = ref 0.0 in
+        let result = ref I.C_int_alu in
+        (try
+           Array.iteri
+             (fun i w ->
+               acc := !acc +. w;
+               if !acc >= u then begin
+                 result := comp_classes.(i);
+                 raise Exit
+               end)
+             weights
+         with Exit -> ());
+        !result
+      end
     in
-    scan 0
-  in
-  (* SFG walking state. *)
-  let node_cdf = Profile.node_cdf profile in
-  let pick_start () = Rng.sample_cdf rng node_cdf in
-  let pick_successor (node : Profile.node) =
-    let succs = node.Profile.successors in
-    if Array.length succs = 0 then None
-    else begin
-      let u = Rng.float rng 1.0 in
-      let acc = ref 0.0 in
-      let result = ref (fst succs.(Array.length succs - 1)) in
-      (try
-         Array.iter
-           (fun (id, p) ->
-             acc := !acc +. p;
-             if !acc >= u then begin
-               result := id;
-               raise Exit
-             end)
-           succs
-       with Exit -> ());
-      Some !result
-    end
-  in
-  (* Event synthesis. *)
-  let comp_classes =
-    [| I.C_int_alu; I.C_int_mul; I.C_int_div; I.C_fp_alu; I.C_fp_mul; I.C_fp_div |]
-  in
-  Pc_uarch.Sim.run_events cfg (fun on_event ->
-      let ev =
-        {
-          Machine.pc = 0;
-          iclass = I.C_int_alu;
-          mem_addr = -1;
-          is_store = false;
-          is_branch = false;
-          taken = false;
-          next_pc = 0;
-          reads = [];
-          writes = -1;
-        }
-      in
-      let emitted = ref 0 in
-      let current = ref (pick_start ()) in
-      while !emitted < instrs do
-        let node = nodes.(!current) in
-        let weights =
-          Array.map (fun c -> node.Profile.mix.(I.class_index c)) comp_classes
-        in
-        let wsum = Array.fold_left ( +. ) 0.0 weights in
-        let sample_class () =
-          if wsum <= 0.0 then I.C_int_alu
-          else begin
-            let u = Rng.float rng wsum in
-            let acc = ref 0.0 in
-            let result = ref I.C_int_alu in
-            (try
-               Array.iteri
-                 (fun i w ->
-                   acc := !acc +. w;
-                   if !acc >= u then begin
-                     result := comp_classes.(i);
-                     raise Exit
-                   end)
-                 weights
-             with Exit -> ());
-            !result
-          end
-        in
-        let mem_ops = node.Profile.mem_ops in
-        let n_mem = Array.length mem_ops in
-        let body_slots = max 1 (node.Profile.size - 1) in
-        let mem_every = if n_mem = 0 then max_int else max 1 (body_slots / n_mem) in
-        let mem_taken = ref 0 in
-        for slot = 0 to body_slots - 1 do
-          let pc = node.Profile.start + slot in
-          ev.Machine.pc <- pc;
-          ev.Machine.is_branch <- false;
-          ev.Machine.mem_addr <- -1;
-          ev.Machine.is_store <- false;
-          let use_mem = !mem_taken < n_mem && slot mod mem_every = 0 in
-          if use_mem then begin
-            let m = mem_ops.(!mem_taken) in
-            incr mem_taken;
-            let k = Synth.assign_stream streams m in
-            let w = walkers.(k) in
-            (* advance the walker once per full op rotation *)
-            let slot_id = w.w_slots in
-            w.w_slots <- w.w_slots + 1;
-            let addr = w.w_base + (w.w_pos * abs w.w_stride) + (8 * (slot_id mod (max 1 (w.w_spread / 8)))) in
-            if w.w_stride <> 0 && w.w_slots mod 4 = 0 then begin
-              w.w_pos <- w.w_pos + 1;
-              if w.w_pos >= w.w_length then w.w_pos <- 0
-            end;
-            ev.Machine.iclass <- (if m.Profile.is_store then I.C_store else I.C_load);
-            ev.Machine.mem_addr <- addr;
-            ev.Machine.is_store <- m.Profile.is_store;
-            if m.Profile.is_store then begin
-              ev.Machine.reads <- [ src node.Profile.dep_fractions ];
-              ev.Machine.writes <- -1
-            end
-            else begin
-              ev.Machine.reads <- [];
-              let d = alloc_reg () in
-              push_dest d;
-              ev.Machine.writes <- d
-            end
-          end
-          else begin
-            let cls = sample_class () in
-            ev.Machine.iclass <- cls;
-            ev.Machine.reads <-
-              [ src node.Profile.dep_fractions; src node.Profile.dep_fractions ];
-            let d = alloc_reg () in
-            push_dest d;
-            ev.Machine.writes <- (if I.class_index cls >= 3 && I.class_index cls <= 5 then 32 + (d mod 25) + 1 else d)
-          end;
-          on_event ev;
-          incr emitted
-        done;
-        (* terminator *)
-        (match node.Profile.branch with
-        | Some b ->
-          let bs = branch_state_of node b in
-          let taken =
-            if bs.b_period <= 1 then bs.b_taken_slots = 1
-            else bs.b_count mod bs.b_period < bs.b_taken_slots
-          in
-          bs.b_count <- bs.b_count + 1;
-          ev.Machine.pc <- node.Profile.start + body_slots;
-          ev.Machine.iclass <- I.C_branch;
-          ev.Machine.is_branch <- true;
-          ev.Machine.taken <- taken;
-          ev.Machine.mem_addr <- -1;
-          ev.Machine.is_store <- false;
-          ev.Machine.reads <- [ src node.Profile.dep_fractions ];
+    let mem_ops = node.Profile.mem_ops in
+    let n_mem = Array.length mem_ops in
+    let body_slots = max 1 (node.Profile.size - 1) in
+    let mem_every = if n_mem = 0 then max_int else max 1 (body_slots / n_mem) in
+    let mem_taken = ref 0 in
+    for slot = 0 to body_slots - 1 do
+      let pc = node.Profile.start + slot in
+      ev.Machine.pc <- pc;
+      ev.Machine.is_branch <- false;
+      ev.Machine.mem_addr <- -1;
+      ev.Machine.is_store <- false;
+      let use_mem = !mem_taken < n_mem && slot mod mem_every = 0 in
+      if use_mem then begin
+        let m = mem_ops.(!mem_taken) in
+        incr mem_taken;
+        let k = Synth.assign_stream g.g_streams m in
+        let w = g.g_walkers.(k) in
+        (* advance the walker once per full op rotation *)
+        let slot_id = w.w_slots in
+        w.w_slots <- w.w_slots + 1;
+        let addr = w.w_base + (w.w_pos * abs w.w_stride) + (8 * (slot_id mod (max 1 (w.w_spread / 8)))) in
+        if w.w_stride <> 0 && w.w_slots mod 4 = 0 then begin
+          w.w_pos <- w.w_pos + 1;
+          if w.w_pos >= w.w_length then w.w_pos <- 0
+        end;
+        ev.Machine.iclass <- (if m.Profile.is_store then I.C_store else I.C_load);
+        ev.Machine.mem_addr <- addr;
+        ev.Machine.is_store <- m.Profile.is_store;
+        if m.Profile.is_store then begin
+          ev.Machine.reads <- [ src g node.Profile.dep_fractions ];
           ev.Machine.writes <- -1
-        | None ->
-          ev.Machine.pc <- node.Profile.start + body_slots;
-          ev.Machine.iclass <- I.C_jump;
-          ev.Machine.is_branch <- false;
-          ev.Machine.taken <- false;
-          ev.Machine.mem_addr <- -1;
-          ev.Machine.is_store <- false;
+        end
+        else begin
           ev.Machine.reads <- [];
-          ev.Machine.writes <- -1);
-        on_event ev;
-        incr emitted;
-        current := (match pick_successor node with Some id -> id | None -> pick_start ())
-      done;
-      !emitted)
+          let d = alloc_reg g in
+          push_dest g d;
+          ev.Machine.writes <- d
+        end
+      end
+      else begin
+        let cls = sample_class () in
+        ev.Machine.iclass <- cls;
+        ev.Machine.reads <-
+          [ src g node.Profile.dep_fractions; src g node.Profile.dep_fractions ];
+        let d = alloc_reg g in
+        push_dest g d;
+        ev.Machine.writes <- (if I.class_index cls >= 3 && I.class_index cls <= 5 then 32 + (d mod 25) + 1 else d)
+      end;
+      on_event ev;
+      incr emitted
+    done;
+    (* terminator *)
+    (match node.Profile.branch with
+    | Some b ->
+      let bs = branch_state_of g node b in
+      let taken =
+        if bs.b_period <= 1 then bs.b_taken_slots = 1
+        else bs.b_count mod bs.b_period < bs.b_taken_slots
+      in
+      bs.b_count <- bs.b_count + 1;
+      ev.Machine.pc <- node.Profile.start + body_slots;
+      ev.Machine.iclass <- I.C_branch;
+      ev.Machine.is_branch <- true;
+      ev.Machine.taken <- taken;
+      ev.Machine.mem_addr <- -1;
+      ev.Machine.is_store <- false;
+      ev.Machine.reads <- [ src g node.Profile.dep_fractions ];
+      ev.Machine.writes <- -1
+    | None ->
+      ev.Machine.pc <- node.Profile.start + body_slots;
+      ev.Machine.iclass <- I.C_jump;
+      ev.Machine.is_branch <- false;
+      ev.Machine.taken <- false;
+      ev.Machine.mem_addr <- -1;
+      ev.Machine.is_store <- false;
+      ev.Machine.reads <- [];
+      ev.Machine.writes <- -1);
+    on_event ev;
+    incr emitted;
+    current := (match pick_successor g node with Some id -> id | None -> pick_start g)
+  done;
+  !emitted
+
+let estimate ?(seed = 1) ?(instrs = 100_000) cfg (profile : Profile.t) =
+  let g = make_gen ~seed profile in
+  Pc_uarch.Sim.run_events cfg (fun on_event ->
+      synth g ~start:(pick_start g) ~budget:instrs on_event)
+
+(* --- sampled estimation ---
+
+   A sampling plan already localises the program's phases; instead of
+   one long stationary walk, generate one short trace per phase, seeded
+   at the profile node that dominates the phase's measurement window,
+   and recombine the per-phase results population-weighted exactly like
+   the detailed sampled projection.  The generator state (RNG stream,
+   walkers, branch counters, dependency ring) carries across phases so
+   the whole estimate stays deterministic in [seed]. *)
+
+(* Most-executed measurement-window pc of a representative (warmup
+   excluded); ties break towards the smaller pc so the choice is
+   independent of counting order. *)
+let dominant_window_pc (plan : Sample.plan) (rep : Sample.rep) =
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let idx = ref 0 in
+  ignore
+    (Sample.replay_events plan.Sample.statics rep.Sample.trace (fun ev ->
+         let i = !idx in
+         incr idx;
+         if i >= rep.Sample.warmup then
+           match Hashtbl.find_opt counts ev.Machine.pc with
+           | Some r -> incr r
+           | None -> Hashtbl.add counts ev.Machine.pc (ref 1)));
+  let best_pc = ref (-1) and best_count = ref 0 in
+  Hashtbl.iter
+    (fun pc r ->
+      if !r > !best_count || (!r = !best_count && (!best_pc < 0 || pc < !best_pc))
+      then begin
+        best_pc := pc;
+        best_count := !r
+      end)
+    counts;
+  !best_pc
+
+(* Profile node covering a static pc ([start, start + size)); among
+   covering nodes the hottest wins, ties to the smallest id.  Falls back
+   to the profile's hottest node when the pc maps to no node. *)
+let node_for_pc (profile : Profile.t) pc =
+  let best = ref (-1) and best_count = ref (-1) in
+  Array.iteri
+    (fun i (n : Profile.node) ->
+      let covers = pc >= n.Profile.start && pc < n.Profile.start + n.Profile.size in
+      if covers && n.Profile.count > !best_count then begin
+        best := i;
+        best_count := n.Profile.count
+      end)
+    profile.Profile.nodes;
+  if !best >= 0 then !best
+  else begin
+    let hottest = ref 0 in
+    Array.iteri
+      (fun i (n : Profile.node) ->
+        if n.Profile.count > profile.Profile.nodes.(!hottest).Profile.count then
+          hottest := i)
+      profile.Profile.nodes;
+    !hottest
+  end
+
+let estimate_sampled ?(seed = 1) ?(instrs = 100_000) ~(plan : Sample.plan) cfg
+    (profile : Profile.t) =
+  let g = make_gen ~seed profile in
+  let total_w =
+    max 1 (Array.fold_left (fun acc (r : Sample.rep) -> acc + r.Sample.weight) 0 plan.Sample.reps)
+  in
+  let phases =
+    Array.map
+      (fun (rep : Sample.rep) ->
+        let budget =
+          max 1_000
+            (int_of_float
+               (Float.round
+                  (float_of_int instrs *. float_of_int rep.Sample.weight
+                 /. float_of_int total_w)))
+        in
+        let start = node_for_pc profile (dominant_window_pc plan rep) in
+        let r =
+          Pc_uarch.Sim.run_events cfg (fun on_event ->
+              synth g ~start ~budget on_event)
+        in
+        (rep.Sample.weight, r.Pc_uarch.Sim.instrs, r))
+      plan.Sample.reps
+  in
+  Sample.recombine ~config_name:cfg.Pc_uarch.Config.name
+    ~total_instrs:plan.Sample.total_instrs phases

@@ -26,3 +26,20 @@ val estimate :
 (** [estimate cfg profile] synthesizes a trace of [instrs] (default
     100 000) instructions from the profile and schedules it on [cfg].
     Deterministic in [seed]. *)
+
+val estimate_sampled :
+  ?seed:int ->
+  ?instrs:int ->
+  plan:Pc_sample.Sample.plan ->
+  Pc_uarch.Config.t ->
+  Pc_profile.Profile.t ->
+  Pc_uarch.Sim.result
+(** Phase-aware statistical simulation: generate one short trace per
+    representative in the sampling plan — seeded at the profile node that
+    dominates the phase's measurement window, with the [instrs] budget
+    (default 100 000) split across phases by cluster population — and
+    recombine the per-phase results population-weighted via
+    {!Pc_sample.Sample.recombine}.  One RNG stream drives all phases, so
+    the result is deterministic in [seed] (and independent of pool
+    width).  The projected [instrs]/[cycles] speak for the plan's full
+    run, like the detailed sampled projection. *)

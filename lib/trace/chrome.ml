@@ -51,11 +51,34 @@ let track_label = function
   | 0 -> "main"
   | i -> Printf.sprintf "worker-%d" i
 
+let ts_us ~epoch ts =
+  Printf.sprintf "%.3f" (Float.max 0.0 ((ts -. epoch) *. 1e6))
+
+(* Shutdown race: the sampler domain can emit one more sample between the
+   stop flag being set and [Domain.join], and on a fast clock it renders
+   to the same microsecond as the authoritative final sample taken after
+   the join.  Duplicate (name, ts) counter points make the trace depend
+   on that race, so keep only the last sample per (name, rendered ts):
+   samples arrive chronological, so the final sample wins. *)
+let dedupe_samples ~epoch samples =
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc s ->
+      let key = (s.s_name, ts_us ~epoch s.s_ts) in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        s :: acc
+      end)
+    []
+    (List.rev samples)
+
 let to_json ~epoch events samples =
+  let samples = dedupe_samples ~epoch samples in
   let b = Buffer.create 65536 in
   let first = ref true in
   let sep () = if !first then first := false else Buffer.add_char b ',' in
-  let ts_us ts = Printf.sprintf "%.3f" (Float.max 0.0 ((ts -. epoch) *. 1e6)) in
+  let ts_us ts = ts_us ~epoch ts in
   Buffer.add_string b "{\"traceEvents\":[";
   sep ();
   Buffer.add_string b

@@ -20,6 +20,7 @@ let settings =
     clone_dynamic = 60_000;
     benchmarks = [ "crc32"; "sha"; "dijkstra"; "qsort" ];
     sample = None;
+    plan_cache = None;
   }
 
 (* Shared across tests (expensive to build). *)

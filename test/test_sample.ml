@@ -2,13 +2,27 @@
    pool, and projected-vs-detailed accuracy on real workloads. *)
 
 module Sample = Pc_sample.Sample
+module Plan_cache = Pc_sample.Plan_cache
 module Machine = Pc_funcsim.Machine
 module Config = Pc_uarch.Config
 module Sim = Pc_uarch.Sim
+module Power = Pc_power.Power
 module Pool = Pc_exec.Pool
+module M = Pc_obs.Metrics
 module E = Perfclone.Experiments
 
 let program name = Pc_workloads.Registry.(compile (find name))
+
+(* A fresh, empty directory for a plan cache under test. *)
+let fresh_cache_dir () =
+  let path = Filename.temp_file "pc_plan_cache_test" "" in
+  Sys.remove path;
+  path
+
+let counter_value name =
+  match List.assoc_opt name (M.snapshot ()).M.counters with
+  | Some v -> v
+  | None -> 0
 
 let test_plan_invariants () =
   let interval = 20_000 and max_instrs = 150_000 in
@@ -110,6 +124,70 @@ let test_projection_accuracy () =
           name projected.Sim.ipc detailed.Sim.ipc (100.0 *. err))
     [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ]
 
+let test_power_projection_accuracy () =
+  (* The PR-5 acceptance bar: sampled average power within 5% of the
+     detailed estimate at interval 100k on the default simulation
+     budget.  The projection prices each phase's measurement window
+     (measured_instrs/measured_cycles with pro-rata counters), never the
+     representative's whole-run counters. *)
+  let max_instrs = 2_000_000 and interval = 100_000 in
+  let cfg = Config.base in
+  List.iter
+    (fun name ->
+      let p = program name in
+      let detailed = Power.total cfg (Sim.run ~max_instrs cfg p) in
+      let plan = Sample.plan ~seed:1 ~interval ~max_instrs p in
+      let sampled = Sample.project_power cfg plan in
+      let err = abs_float (sampled -. detailed) /. detailed in
+      if err > 0.05 then
+        Alcotest.failf "%s: sampled power %.3f vs detailed %.3f (%.1f%% error)"
+          name sampled detailed (100.0 *. err))
+    [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ]
+
+let test_recombine_zero_cycle_guard () =
+  (* Regression: a representative whose measurement window retired no
+     work used to divide by zero and poison the whole projection with
+     NaN.  Now the phase is skipped, its population re-attributed, and
+     the all-dead case degrades to IPC 1.0. *)
+  let max_instrs = 30_000 in
+  let p = program "crc32" in
+  let plan = Sample.plan ~seed:1 ~interval:max_instrs ~max_instrs p in
+  let phases = Sample.replay_phases Config.base plan in
+  let rep, live = phases.(0) in
+  let dead = { live with Sim.measured_cycles = 0 } in
+  let total_instrs = plan.Sample.total_instrs in
+  let recombine = Sample.recombine ~config_name:"base" ~total_instrs in
+  (* Mixed: the dead phase's population hands over to the survivor, so
+     the result equals the survivor carrying the whole population. *)
+  let mixed =
+    recombine [| (60, live.Sim.instrs, live); (40, live.Sim.instrs, dead) |]
+  in
+  let alone = recombine [| (100, live.Sim.instrs, live) |] in
+  Alcotest.(check int) "re-attributed cycles" alone.Sim.cycles mixed.Sim.cycles;
+  Alcotest.(check (float 1e-12)) "re-attributed ipc" alone.Sim.ipc mixed.Sim.ipc;
+  Alcotest.(check int) "re-attributed l1d misses" alone.Sim.l1d_misses
+    mixed.Sim.l1d_misses;
+  Alcotest.(check bool) "mixed ipc finite" true (Float.is_finite mixed.Sim.ipc);
+  (* All dead: IPC 1.0, zeroed counters, nothing non-finite. *)
+  let degenerate = recombine [| (100, live.Sim.instrs, dead) |] in
+  Alcotest.(check (float 1e-12)) "degenerate ipc" 1.0 degenerate.Sim.ipc;
+  Alcotest.(check int) "degenerate cycles" total_instrs degenerate.Sim.cycles;
+  Alcotest.(check int) "degenerate misses zeroed" 0 degenerate.Sim.l1d_misses;
+  (* Zero measured instructions is the same class of failure. *)
+  let empty = { live with Sim.measured_instrs = 0 } in
+  let mixed' =
+    recombine [| (60, live.Sim.instrs, live); (40, live.Sim.instrs, empty) |]
+  in
+  Alcotest.(check int) "zero-instr window skipped" alone.Sim.cycles
+    mixed'.Sim.cycles;
+  (* The power projection survives dead phases too. *)
+  let pw = Sample.project_power_of_phases Config.base plan [| (rep, dead) |] in
+  Alcotest.(check bool) "all-dead power finite and positive" true
+    (Float.is_finite pw && pw > 0.0);
+  let pw' = Sample.project_power_of_phases Config.base plan phases in
+  Alcotest.(check bool) "live power finite and positive" true
+    (Float.is_finite pw' && pw' > 0.0)
+
 let test_mpi_projection_accuracy () =
   (* The cache study consumes the *series* of 28 MPIs (figures 4/5
      correlate relative series), so the bar is series fidelity: high
@@ -161,6 +239,124 @@ let test_seed_changes_clustering_stream () =
   Alcotest.(check int) "same total" a.Sample.total_instrs b.Sample.total_instrs;
   Alcotest.(check int) "same intervals" a.Sample.n_intervals b.Sample.n_intervals
 
+(* --- persistent plan cache --- *)
+
+let qcheck_plan_cache_roundtrip =
+  (* Store-then-find must return a structurally identical plan for any
+     sampling parameters: the on-disk format round-trips packed traces,
+     weights and floats exactly. *)
+  let p = program "crc32" in
+  QCheck.Test.make ~name:"plan cache round-trip" ~count:8
+    QCheck.(pair (int_range 1 1_000_000) (int_range 10_000 40_000))
+    (fun (seed, interval) ->
+      let plan = Sample.plan ~seed ~interval ~max_instrs:60_000 p in
+      let dir = fresh_cache_dir () in
+      let cache = Plan_cache.create dir in
+      let key =
+        Plan_cache.key
+          ~profile_id:(Printf.sprintf "roundtrip-%d-%d" seed interval)
+          ~interval ~seed ()
+      in
+      Plan_cache.store cache key plan;
+      match Plan_cache.find cache key with
+      | Some cached -> cached = plan
+      | None -> false)
+
+let test_plan_cache_corruption_recovery () =
+  let p = program "sha" in
+  let plan = Sample.plan ~seed:3 ~interval:20_000 ~max_instrs:60_000 p in
+  let dir = fresh_cache_dir () in
+  let cache = Plan_cache.create dir in
+  let key = Plan_cache.key ~profile_id:"corrupt" ~interval:20_000 ~seed:3 () in
+  Plan_cache.store cache key plan;
+  Alcotest.(check bool) "stored plan readable" true
+    (Plan_cache.find cache key = Some plan);
+  let path = Filename.concat dir (key ^ ".plan") in
+  (* Valid magic, garbled payload: must be dropped, not trusted. *)
+  let oc = open_out_bin path in
+  output_string oc "pc-plan/1\nnot a marshalled plan";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry reads as a miss" true
+    (Plan_cache.find cache key = None);
+  Alcotest.(check bool) "corrupt entry removed" false (Sys.file_exists path);
+  let computed = ref false in
+  let recovered =
+    Plan_cache.find_or_compute cache key (fun () ->
+        computed := true;
+        plan)
+  in
+  Alcotest.(check bool) "recomputed after corruption" true !computed;
+  Alcotest.(check bool) "recomputed plan returned" true (recovered = plan);
+  Alcotest.(check bool) "recomputed plan re-stored" true
+    (Plan_cache.find cache key = Some plan);
+  (* A truncated file (bad magic) is the other corruption shape. *)
+  let oc = open_out_bin path in
+  output_string oc "pc-p";
+  close_out oc;
+  Alcotest.(check bool) "truncated entry reads as a miss" true
+    (Plan_cache.find cache key = None);
+  Alcotest.(check bool) "truncated entry removed" false (Sys.file_exists path)
+
+let test_plan_cache_metrics () =
+  let was_enabled = M.enabled () in
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () -> M.set_enabled was_enabled) @@ fun () ->
+  let p = program "crc32" in
+  let plan = Sample.plan ~seed:5 ~interval:20_000 ~max_instrs:60_000 p in
+  let cache = Plan_cache.create (fresh_cache_dir ()) in
+  let key = Plan_cache.key ~profile_id:"metrics" ~interval:20_000 ~seed:5 () in
+  let hits0 = counter_value "plan_cache.hits"
+  and misses0 = counter_value "plan_cache.misses" in
+  Alcotest.(check bool) "cold lookup misses" true (Plan_cache.find cache key = None);
+  Alcotest.(check int) "miss counted" (misses0 + 1)
+    (counter_value "plan_cache.misses");
+  Plan_cache.store cache key plan;
+  Alcotest.(check bool) "warm lookup hits" true
+    (Plan_cache.find cache key <> None);
+  Alcotest.(check int) "hit counted" (hits0 + 1) (counter_value "plan_cache.hits");
+  Alcotest.(check int) "hit is not a miss" (misses0 + 1)
+    (counter_value "plan_cache.misses")
+
+let test_plan_cache_eviction () =
+  let p = program "crc32" in
+  let plan = Sample.plan ~seed:1 ~interval:20_000 ~max_instrs:60_000 p in
+  let dir = fresh_cache_dir () in
+  let cache = Plan_cache.create ~max_entries:2 dir in
+  let key i = Plan_cache.key ~profile_id:(string_of_int i) ~interval:20_000 ~seed:1 () in
+  List.iter (fun i -> Plan_cache.store cache (key i) plan) [ 0; 1; 2 ];
+  let on_disk =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".plan")
+  in
+  Alcotest.(check int) "eviction keeps max_entries plans" 2
+    (List.length on_disk)
+
+let test_sampled_statsim_deterministic_across_pools () =
+  (* Phase-wise synthetic-trace generation: pp_statsim output identical
+     at -j1 and -j4, and across repeated same-seed runs. *)
+  let settings =
+    {
+      E.seed = 1;
+      profile_instrs = 100_000;
+      sim_instrs = 120_000;
+      clone_dynamic = 30_000;
+      benchmarks = [ "crc32"; "sha" ];
+      sample = Some 30_000;
+      plan_cache = None;
+    }
+  in
+  let render pool =
+    E.clear_caches ();
+    let ps = E.prepare ~pool settings in
+    Format.asprintf "%a" E.pp_statsim (E.statsim_comparison ~pool settings ps)
+  in
+  let serial = render Pool.serial in
+  let serial' = render Pool.serial in
+  let parallel = render (Pool.create ~num_domains:4) in
+  Alcotest.(check string) "sampled statsim identical across runs" serial serial';
+  Alcotest.(check string) "sampled statsim identical at -j1 and -j4" serial
+    parallel
+
 let test_sampled_experiments_deterministic_across_pools () =
   (* Sampling on: fig6/fig4 output identical at -j1 and -j4. *)
   let settings =
@@ -171,6 +367,7 @@ let test_sampled_experiments_deterministic_across_pools () =
       clone_dynamic = 30_000;
       benchmarks = [ "crc32"; "sha" ];
       sample = Some 30_000;
+      plan_cache = None;
     }
   in
   let render pool =
@@ -212,18 +409,33 @@ let () =
           Alcotest.test_case "fidelity" `Quick test_replay_fidelity;
           Alcotest.test_case "full-coverage projection is exact" `Quick
             test_full_coverage_projection_matches_detailed;
+          Alcotest.test_case "zero-cycle phases skipped" `Quick
+            test_recombine_zero_cycle_guard;
         ] );
       ( "accuracy",
         [
           Alcotest.test_case "projected IPC within 5%" `Slow
             test_projection_accuracy;
+          Alcotest.test_case "projected power within 5%" `Slow
+            test_power_projection_accuracy;
           Alcotest.test_case "projected MPI tracks detailed" `Slow
             test_mpi_projection_accuracy;
+        ] );
+      ( "plan-cache",
+        [
+          QCheck_alcotest.to_alcotest qcheck_plan_cache_roundtrip;
+          Alcotest.test_case "corruption recovery" `Quick
+            test_plan_cache_corruption_recovery;
+          Alcotest.test_case "hit/miss metrics" `Quick test_plan_cache_metrics;
+          Alcotest.test_case "eviction bounds entries" `Quick
+            test_plan_cache_eviction;
         ] );
       ( "integration",
         [
           Alcotest.test_case "sampled figs deterministic across pools" `Slow
             test_sampled_experiments_deterministic_across_pools;
+          Alcotest.test_case "sampled statsim deterministic across pools" `Slow
+            test_sampled_statsim_deterministic_across_pools;
           Alcotest.test_case "sampling off by default" `Quick
             test_sampling_off_matches_seed_behaviour;
         ] );

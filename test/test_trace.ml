@@ -23,6 +23,7 @@ let small_settings =
     clone_dynamic = 30_000;
     benchmarks = [ "crc32"; "sha" ];
     sample = None;
+    plan_cache = None;
   }
 
 let with_collection f =
@@ -181,6 +182,68 @@ let test_chrome_trace_none_is_identity () =
   Alcotest.(check int) "with_trace None runs the thunk" 41
     (Chrome.with_trace None (fun () -> 41))
 
+(* --- sampler shutdown race --- *)
+
+let trace_events_of path =
+  match Option.bind (Json.member "traceEvents" (json_exn (read_file path))) Json.to_list with
+  | Some l -> l
+  | None -> Alcotest.fail "traceEvents missing"
+
+let traced_prepare ~jobs ~period_s path =
+  E.clear_caches ();
+  Event.reset ();
+  Span.reset ();
+  Chrome.with_trace ~period_s (Some path) (fun () ->
+      let pool = Pool.create ~num_domains:jobs in
+      ignore (E.prepare ~pool small_settings));
+  trace_events_of path
+
+let test_trace_deterministic_with_fast_sampler () =
+  (* Regression for the sampler-domain shutdown race: a sample emitted
+     between the stop flag and the join could duplicate the final
+     sample's rendered timestamp.  At a 1 ms period under -j4 the trace
+     must still carry no duplicate (name, ts) counter points — the final
+     sample is authoritative — and the span/instant event set must stay
+     identical to -j1 (the determinism contract; counter sample *values*
+     are timing-dependent and exempt). *)
+  let path = Filename.temp_file "pc_trace_race" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let field name conv e = Option.bind (Json.member name e) conv in
+  let signature events =
+    List.filter_map
+      (fun e ->
+        match field "ph" Json.to_string e with
+        | Some (("B" | "E" | "i") as ph) ->
+          Some (ph, field "name" Json.to_string e)
+        | _ -> None)
+      events
+    |> List.sort compare
+  in
+  let counter_keys events =
+    List.filter_map
+      (fun e ->
+        match field "ph" Json.to_string e with
+        | Some "C" ->
+          Some (field "name" Json.to_string e, field "ts" Json.to_float e)
+        | _ -> None)
+      events
+  in
+  let parallel = traced_prepare ~jobs:4 ~period_s:0.001 path in
+  let keys = counter_keys parallel in
+  Alcotest.(check bool) "counter samples present" true (keys <> []);
+  let sorted = List.sort compare keys in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> a = b || dup rest
+    | _ -> false
+  in
+  Alcotest.(check bool) "no duplicate (name, ts) counter samples" false
+    (dup sorted);
+  let serial = traced_prepare ~jobs:1 ~period_s:0.001 path in
+  Alcotest.(check bool) "serial counter samples unique too" false
+    (dup (List.sort compare (counter_keys serial)));
+  Alcotest.(check bool) "event set identical at -j1 and -j4" true
+    (signature serial = signature parallel)
+
 (* --- fidelity --- *)
 
 let profile_of name budget =
@@ -301,6 +364,9 @@ let () =
             test_chrome_trace_file;
           Alcotest.test_case "no path is identity" `Quick
             test_chrome_trace_none_is_identity;
+          Alcotest.test_case "fast sampler: unique counter samples, \
+                              deterministic events"
+            `Slow test_trace_deterministic_with_fast_sampler;
         ] );
       ( "fidelity",
         [
