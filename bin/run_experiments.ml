@@ -13,8 +13,10 @@
    domains; all randomness is seeded per pipeline, so the output is
    byte-identical at every -j.  --sample N (or PC_SAMPLE=N) switches the
    timing and cache estimators to SimPoint-style sampled simulation with
-   N-instruction intervals; off by default, so without it every table is
-   byte-identical to earlier releases.  Observability output (progress
+   N-instruction intervals; bare --sample (or PC_SAMPLE=auto) picks the
+   interval from the simulation budget via Sample.auto_interval.  Off by
+   default, so without it every table is byte-identical to earlier
+   releases.  Observability output (progress
    logs, the --metrics console report) goes to stderr, and --metrics-out
    / --sample-out write to files, so none of it can perturb the
    experiment tables on stdout. *)
@@ -187,13 +189,25 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
     trace
   @@ fun () ->
   let pool = Pool.create ~num_domains:jobs in
+  let base = if quick then E.quick_settings else E.default_settings in
   let sample =
+    (* Bare [--sample] / [PC_SAMPLE=auto] derive the interval from the
+       simulation budget the settings will actually run with. *)
+    let resolve = function
+      | `Fixed n -> Some n
+      | `Auto ->
+        Some (Pc_sample.Sample.auto_interval ~max_instrs:base.E.sim_instrs)
+    in
     match sample with
-    | Some _ as s -> s
+    | Some s -> resolve s
     | None -> (
-      match Option.bind (Sys.getenv_opt "PC_SAMPLE") int_of_string_opt with
-      | Some n when n > 0 -> Some n
-      | Some _ | None -> None)
+      match Sys.getenv_opt "PC_SAMPLE" with
+      | Some "auto" -> resolve `Auto
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Some n
+        | Some _ | None -> None)
+      | None -> None)
   in
   let plan_cache =
     match plan_cache with
@@ -204,7 +218,6 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
   if plan_cache <> None && sample = None then
     Format.eprintf "run_experiments: --plan-cache ignored without --sample@.";
   let settings =
-    let base = if quick then E.quick_settings else E.default_settings in
     {
       base with
       E.seed;
@@ -315,21 +328,30 @@ let sample_arg =
   let doc =
     "Estimate timing and cache results by SimPoint-style sampled \
      simulation with $(docv)-instruction intervals instead of simulating \
-     every dynamic instruction.  Defaults to $(b,PC_SAMPLE) when that is \
-     set to a positive integer; off otherwise.  With sampling off the \
-     output is byte-identical to earlier releases."
+     every dynamic instruction.  $(docv) is a positive interval length, \
+     or $(b,auto) to derive one from the simulation budget (about 32 \
+     intervals per run, clamped to [10000, 1000000]); bare $(b,--sample) \
+     means $(b,auto).  Defaults to $(b,PC_SAMPLE) when that is set to a \
+     positive integer or $(b,auto); off otherwise.  With sampling off \
+     the output is byte-identical to earlier releases."
   in
-  let positive_int =
+  let interval =
     let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ | None -> Error (`Msg "must be a positive integer")
+      if s = "auto" then Ok `Auto
+      else
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok (`Fixed n)
+        | Some _ | None -> Error (`Msg "must be a positive integer or 'auto'")
     in
-    Arg.conv (parse, Format.pp_print_int)
+    let print ppf = function
+      | `Auto -> Format.pp_print_string ppf "auto"
+      | `Fixed n -> Format.pp_print_int ppf n
+    in
+    Arg.conv (parse, print)
   in
   Arg.(
     value
-    & opt (some positive_int) None
+    & opt ~vopt:(Some `Auto) (some interval) None
     & info [ "sample" ] ~docv:"N" ~doc)
 
 let sample_out_arg =

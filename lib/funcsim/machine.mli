@@ -5,11 +5,20 @@
     instruction stream to consumers (the workload profiler, the standalone
     cache study, the trace-driven timing model).
 
+    Since the pre-decoded rewrite this module is a thin shim over
+    {!Engine}, which decodes the program once at {!load} into flat
+    per-static-pc tables driving a threaded-dispatch loop, then retires
+    instructions in chunks — [step]/[run]/[statics] behave exactly as
+    they always did (checked instruction by instruction against the
+    retained reference interpreter {!Machine_ref} in
+    [test/test_funcsim_diff.ml]), and {!run_batched} exposes the
+    chunked delivery directly.
+
     For performance the event record passed to [on_event] is a single
     mutable buffer reused on every step — consumers must copy any field
     they retain past the callback. *)
 
-type event = {
+type event = Engine.event = {
   mutable pc : int;  (** static instruction index *)
   mutable iclass : Pc_isa.Instr.iclass;
   mutable mem_addr : int;  (** effective byte address, or [-1] *)
@@ -21,11 +30,12 @@ type event = {
   mutable writes : int;  (** shared register id written, or [-1] *)
 }
 
-type t
+type t = Engine.t
 
 val load : Pc_isa.Program.t -> t
 (** Fresh machine with the program's data segment loaded, [pc = 0],
-    [sp = stack_base] and all registers zero. *)
+    [sp = stack_base] and all registers zero.  Decoding happens here,
+    once: the per-step path never inspects an {!Pc_isa.Instr.t} again. *)
 
 val step : t -> (event -> unit) -> bool
 (** Execute one instruction; invoke the callback with the retired event.
@@ -42,7 +52,45 @@ val run : ?max_instrs:int -> t -> (event -> unit) -> int
     per-class [funcsim.retired.<class>] counters and the
     [funcsim.mem.pages_touched] high-water gauge. *)
 
-type statics = {
+type batch = Engine.batch = {
+  mutable len : int;  (** valid rows, [0 < len <= batch_capacity] *)
+  b_pc : int array;  (** static pc per retired instruction *)
+  b_addr : int array;
+      (** effective byte address — meaningful only for rows whose
+          static pc is a load or store (check {!statics}); other rows
+          hold stale values from earlier chunks *)
+  b_taken : bool array;
+      (** conditional-branch outcome — meaningful only for rows whose
+          static pc is a branch; other rows hold stale values *)
+  mutable b_end_pc : int;
+      (** the machine's pc after the last row: row [j]'s next dynamic
+          pc is [b_pc.(j + 1)], or [b_end_pc] for the final row (after
+          a fault flush this is the faulting instruction's pc) *)
+}
+(** One chunk of retired instructions: the dynamic [(pc, mem_addr,
+    taken)] columns; everything else about a retired event is a
+    per-static-pc constant available from {!statics}, and next-pc values
+    are derived from [b_pc]/[b_end_pc] rather than stored.  The hot loop
+    stores only what each instruction actually produces, so rows whose
+    static is not a memory operation or branch leave [b_addr]/[b_taken]
+    untouched.  The buffer is owned by the machine and reused for every
+    chunk — consumers must copy anything they retain past the
+    callback. *)
+
+val batch_capacity : int
+(** Chunk size of {!run_batched} (4096 retired instructions). *)
+
+val run_batched : ?max_instrs:int -> t -> (batch -> unit) -> int
+(** Like {!run} but delivers the retired stream in fixed-size chunks of
+    at most {!batch_capacity} rows, amortising the consumer callback
+    over ~4096 retirements — profilers and cache studies that only need
+    the dynamic columns should prefer this entry.  The final chunk is
+    partial when the program halts or the budget runs out mid-chunk; on
+    a fault, rows retired before the faulting instruction are flushed
+    before the exception propagates.  Publishes the same per-run
+    metrics as {!run}. *)
+
+type statics = Engine.statics = {
   s_classes : Pc_isa.Instr.iclass array;  (** class per static pc *)
   s_read_lists : int list array;  (** register ids read per static pc *)
   s_write_ids : int array;  (** register id written per static pc, or [-1] *)

@@ -1,14 +1,41 @@
-(* 4 KiB pages of 512 words, indexed by address lsr 12. *)
+(* 4 KiB pages of 512 words, indexed by address lsr 12.
+
+   Pages are unboxed int64 bigarrays so word reads/writes never allocate
+   a box, and the struct keeps a one-entry cache of the last page hit:
+   straight-line loads and stores to the same page skip both hashtable
+   probes (the page lookup and the touch-set membership test).  The
+   cache only ever holds pages present in [pages] — a read of an
+   absent page returns zero without caching anything — and a page is
+   recorded in [touched] before it can enter the cache, so cache hits
+   can skip the touch. *)
+
+type page =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
-  pages : (int, int64 array) Hashtbl.t;
+  pages : (int, page) Hashtbl.t;
   touched : (int, unit) Hashtbl.t;  (* pages read or written at least once *)
+  mutable cache_key : int;  (* page key of [cache_page], or -1 *)
+  mutable cache_page : page;
 }
 
 let page_bits = 12
 let words_per_page = 512
 
-let create () = { pages = Hashtbl.create 64; touched = Hashtbl.create 64 }
+let fresh_page () =
+  let p =
+    Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout words_per_page
+  in
+  Bigarray.Array1.fill p 0L;
+  p
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    touched = Hashtbl.create 64;
+    cache_key = -1;  (* valid page keys are >= 0, so -1 never hits *)
+    cache_page = fresh_page ();
+  }
 
 let check addr =
   if addr < 0 then invalid_arg "Memory: negative address";
@@ -17,27 +44,40 @@ let check addr =
 
 let touch t key = if not (Hashtbl.mem t.touched key) then Hashtbl.add t.touched key ()
 
+let word_of addr = (addr lsr 3) land (words_per_page - 1)
+
 let read t addr =
   check addr;
   let key = addr lsr page_bits in
-  touch t key;
-  match Hashtbl.find_opt t.pages key with
-  | None -> 0L
-  | Some page -> page.((addr lsr 3) land (words_per_page - 1))
+  if key = t.cache_key then Bigarray.Array1.unsafe_get t.cache_page (word_of addr)
+  else begin
+    touch t key;
+    match Hashtbl.find_opt t.pages key with
+    | None -> 0L
+    | Some page ->
+      t.cache_key <- key;
+      t.cache_page <- page;
+      Bigarray.Array1.unsafe_get page (word_of addr)
+  end
 
 let write t addr v =
   check addr;
   let key = addr lsr page_bits in
-  touch t key;
-  let page =
-    match Hashtbl.find_opt t.pages key with
-    | Some p -> p
-    | None ->
-      let p = Array.make words_per_page 0L in
-      Hashtbl.add t.pages key p;
-      p
-  in
-  page.((addr lsr 3) land (words_per_page - 1)) <- v
+  if key = t.cache_key then Bigarray.Array1.unsafe_set t.cache_page (word_of addr) v
+  else begin
+    touch t key;
+    let page =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+        let p = fresh_page () in
+        Hashtbl.add t.pages key p;
+        p
+    in
+    t.cache_key <- key;
+    t.cache_page <- page;
+    Bigarray.Array1.unsafe_set page (word_of addr) v
+  end
 
 let pages_touched t = Hashtbl.length t.touched
 let read_float t addr = Int64.float_of_bits (read t addr)

@@ -4,9 +4,34 @@
     program can use a small data segment near {!Pc_isa.Program.data_base}
     and a stack near {!Pc_isa.Program.stack_base} without reserving the
     whole address space.  Unwritten memory reads as zero.  Accesses must
-    be 8-byte aligned. *)
+    be 8-byte aligned.
 
-type t
+    Pages are unboxed [int64] bigarrays and the structure keeps a
+    one-entry cache of the last page accessed, so word traffic with page
+    locality costs a compare and an unboxed array access instead of two
+    hashtable probes.  The representation is exposed (read-only, as a
+    [private] record) so the pre-decoded engine ({!Engine}) can inline
+    the cache-hit fast path inside its dispatch closures; everything
+    else must go through {!read}/{!write}. *)
+
+type page =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  pages : (int, page) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t;
+  mutable cache_key : int;
+      (** page key ([addr lsr page_bits]) of [cache_page], or [-1].
+          Invariants relied on by the engine's inlined fast path: the
+          cached page is present in [pages] and already recorded in
+          [touched], so a hit may skip both hashtables. *)
+  mutable cache_page : page;
+}
+
+val page_bits : int
+(** Pages span [1 lsl page_bits] bytes (4 KiB). *)
+
+val words_per_page : int
 
 val create : unit -> t
 

@@ -245,6 +245,15 @@ let choose_clustering rng ~max_k ~restarts vectors =
 
 (* --- plan construction --- *)
 
+(* Aim for ~32 intervals over the simulation budget (enough for the
+   k <= 6 clustering to see real phase structure), but never intervals
+   so small that BBVs are all noise (10k floor) or so large that one
+   interval swallows the whole run (1M cap). *)
+let auto_interval ~max_instrs =
+  if max_instrs <= 0 then
+    invalid_arg "Pc_sample.auto_interval: max_instrs must be positive";
+  min 1_000_000 (max 10_000 (max_instrs / 32))
+
 let interval_length ~interval ~total i =
   min interval (total - (i * interval))
 

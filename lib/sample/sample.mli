@@ -46,6 +46,16 @@ type plan = {
   statics : Pc_funcsim.Machine.statics;  (** per-pc tables for replay *)
 }
 
+val auto_interval : max_instrs:int -> int
+(** Interval size for a simulation budget of [max_instrs] dynamic
+    instructions when the caller does not pick one:
+    [min 1_000_000 (max 10_000 (max_instrs / 32))] — about 32 intervals
+    per run, floored at 10k instructions (below that the basic-block
+    vectors are noise) and capped at 1M (above that a single interval
+    swallows the whole run).  This is what bare [--sample] and
+    [PC_SAMPLE=auto] use.  Raises [Invalid_argument] when [max_instrs]
+    is not positive. *)
+
 val plan :
   ?dims:int ->
   ?max_k:int ->

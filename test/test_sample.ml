@@ -24,6 +24,27 @@ let counter_value name =
   | Some v -> v
   | None -> 0
 
+let test_auto_interval () =
+  (* ~32 intervals per run... *)
+  Alcotest.(check int) "2M budget" 62_500 (Sample.auto_interval ~max_instrs:2_000_000);
+  Alcotest.(check int) "500k budget" 15_625 (Sample.auto_interval ~max_instrs:500_000);
+  (* ...floored at 10k below a 320k budget... *)
+  Alcotest.(check int) "floor" 10_000 (Sample.auto_interval ~max_instrs:100_000);
+  Alcotest.(check int) "tiny budget still floored" 10_000
+    (Sample.auto_interval ~max_instrs:1);
+  (* ...and capped at 1M above a 32M budget. *)
+  Alcotest.(check int) "cap" 1_000_000 (Sample.auto_interval ~max_instrs:64_000_000);
+  Alcotest.check_raises "non-positive budget rejected"
+    (Invalid_argument "Pc_sample.auto_interval: max_instrs must be positive")
+    (fun () -> ignore (Sample.auto_interval ~max_instrs:0));
+  (* The default experiment budgets land inside the clamps. *)
+  let check_derived name (s : E.settings) =
+    let i = Sample.auto_interval ~max_instrs:s.E.sim_instrs in
+    Alcotest.(check bool) name true (i >= 10_000 && i <= 1_000_000)
+  in
+  check_derived "default settings" E.default_settings;
+  check_derived "quick settings" E.quick_settings
+
 let test_plan_invariants () =
   let interval = 20_000 and max_instrs = 150_000 in
   let p = program "crc32" in
@@ -399,6 +420,7 @@ let () =
     [
       ( "plan",
         [
+          Alcotest.test_case "auto interval" `Quick test_auto_interval;
           Alcotest.test_case "invariants" `Quick test_plan_invariants;
           Alcotest.test_case "determinism" `Quick test_plan_determinism;
           Alcotest.test_case "seed robustness" `Quick
