@@ -97,6 +97,35 @@ let dispatch_program =
      in
      Pc_isa.Program.v ~name:"dispatch-kernel" ~code ~data:[] ~data_bytes:0)
 
+(* Multi-tenant co-run targets: the shared-L2 arbiter engine on a duet
+   and a quad mix, machines freshly loaded per sample so every run pays
+   the full co-run cost.  Budgets are per tenant. *)
+let scenario_budget = 30_000
+
+let scenario_programs names =
+  lazy
+    (List.map
+       (fun n -> (n, Pc_workloads.Registry.(compile (find n))))
+       names)
+
+let duet_programs = scenario_programs [ "crc32"; "qsort" ]
+let quad_programs = scenario_programs [ "crc32"; "qsort"; "sha"; "dijkstra" ]
+
+let co_run_mix programs =
+  let inputs =
+    Array.of_list
+      (List.map
+         (fun (name, p) ->
+           {
+             Pc_scenario.Scenario.label = name;
+             budget = scenario_budget;
+             source =
+               Pc_scenario.Scenario.From_machine (Pc_funcsim.Machine.load p);
+           })
+         (Lazy.force programs))
+  in
+  Pc_scenario.Scenario.co_run Pc_uarch.Config.base inputs
+
 let dispatch_ref () =
   let m = Pc_funcsim.Machine_ref.load (Lazy.force dispatch_program) in
   Pc_funcsim.Machine_ref.run ~max_instrs:dispatch_budget m ignore
@@ -156,6 +185,10 @@ let tests =
              ~bench:p.Perfclone.Pipeline.name
              ~original:p.Perfclone.Pipeline.profile
              p.Perfclone.Pipeline.clone));
+    Test.make ~name:"scenario:duet"
+      (Staged.stage (fun () -> co_run_mix duet_programs));
+    Test.make ~name:"scenario:quad"
+      (Staged.stage (fun () -> co_run_mix quad_programs));
     Test.make ~name:"exec:clone-fanout-serial"
       (Staged.stage (fun () -> clone_fanout Pool.serial));
     Test.make

@@ -4,13 +4,15 @@
      check_baselines metrics baselines/metrics.json metrics.json
      check_baselines bench baselines/bench.json BENCH_results.json [--tolerance 0.2]
      check_baselines fidelity baselines/fidelity.json fidelity.json
+     check_baselines scenario baselines/scenario.json scenario.json
 
    Exits 0 when the current artefact matches the baseline (exactly for
    pc-obs/1 counters and gauges; within the median-normalised tolerance
    for pc-bench/1 timings; within the pc-fidelity-thresholds/1 bounds
-   for pc-fidelity/1 clone-fidelity reports), 1 with one line per
-   discrepancy otherwise.  Baselines are regenerated deliberately — see
-   EXPERIMENTS.md. *)
+   for pc-fidelity/1 clone-fidelity reports; within the
+   pc-scenario-thresholds/1 bounds for pc-scenario/1 co-run reports), 1
+   with one line per discrepancy otherwise.  Baselines are regenerated
+   deliberately — see EXPERIMENTS.md. *)
 
 module Json = Pc_util.Json
 module Baseline = Pc_obs.Baseline
@@ -29,6 +31,8 @@ let main mode baseline_path current_path tolerance floor_ms =
     | `Metrics -> Baseline.check_metrics ~baseline ~current
     | `Bench -> Baseline.check_bench ~floor_ms ~tolerance ~baseline ~current ()
     | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
+    | `Scenario ->
+      Pc_scenario.Report.check ~thresholds:baseline ~report:current
   in
   match issues with
   | [] ->
@@ -44,7 +48,12 @@ open Cmdliner
 
 let mode_arg =
   let modes =
-    [ ("metrics", `Metrics); ("bench", `Bench); ("fidelity", `Fidelity) ]
+    [
+      ("metrics", `Metrics);
+      ("bench", `Bench);
+      ("fidelity", `Fidelity);
+      ("scenario", `Scenario);
+    ]
   in
   Arg.(
     required
@@ -53,7 +62,9 @@ let mode_arg =
         ~doc:"$(b,metrics) compares pc-obs/1 counters/gauges exactly; \
               $(b,bench) compares pc-bench/1 timings median-normalised; \
               $(b,fidelity) gates a pc-fidelity/1 report against \
-              pc-fidelity-thresholds/1 bounds.")
+              pc-fidelity-thresholds/1 bounds; $(b,scenario) gates a \
+              pc-scenario/1 co-run report against \
+              pc-scenario-thresholds/1 bounds.")
 
 let baseline_arg =
   Arg.(

@@ -3,17 +3,19 @@
 
    Usage:
      fidelity_report [--quick] [--bench NAME]... [--seed N] [-j N]
-                     [--instrs N] [--dynamic N] [-o FILE] [--trace FILE]
+                     [--instrs N] [--dynamic N] [--per-phase[=N]]
+                     [-o FILE] [--trace FILE]
 
    Runs the cloning pipeline for the selected benchmarks, re-profiles
    every clone, and prints one table row per benchmark (stdout).  -o
    writes the same data as pc-fidelity/1 JSON, the artefact that
-   check_baselines gates against baselines/fidelity.json. *)
+   check_baselines gates against baselines/fidelity.json.  --per-phase
+   adds interval-local rows (pc_sample's boundaries) per benchmark. *)
 
 module E = Perfclone.Experiments
 module Pool = Pc_exec.Pool
 
-let main quick benches seed jobs instrs dynamic output trace =
+let main quick benches seed jobs instrs dynamic per_phase output trace =
   Pc_trace.Chrome.with_trace trace @@ fun () ->
   let pool = Pool.create ~num_domains:jobs in
   let settings =
@@ -28,6 +30,26 @@ let main quick benches seed jobs instrs dynamic output trace =
   in
   let pipelines = E.prepare ~pool settings in
   let reports = E.fidelity_reports ~pool settings pipelines in
+  let reports =
+    match per_phase with
+    | None -> reports
+    | Some interval ->
+      let interval =
+        match interval with
+        | Some n -> n
+        | None ->
+          Pc_sample.Sample.auto_interval
+            ~max_instrs:settings.E.profile_instrs
+      in
+      (* prepare and fidelity_reports both preserve benchmark order, so
+         zipping pipelines with their reports is positional *)
+      Pool.map pool
+        (fun ((p : Perfclone.Pipeline.t), r) ->
+          Pc_trace.Fidelity.measure_phases ~interval
+            ~original:p.Perfclone.Pipeline.original
+            ~clone:p.Perfclone.Pipeline.clone r)
+        (List.combine pipelines reports)
+  in
   Pc_trace.Fidelity.pp Format.std_formatter reports;
   Option.iter
     (fun path ->
@@ -75,6 +97,15 @@ let dynamic_arg =
        & info [ "dynamic" ] ~docv:"N"
            ~doc:"Target dynamic length of the clones.")
 
+let per_phase_arg =
+  Arg.(value
+       & opt ~vopt:(Some None) (some (some int)) None
+       & info [ "per-phase" ] ~docv:"N"
+           ~doc:"Also score each sampling interval separately (phase-local \
+                 fidelity rows).  $(docv) sets the interval in dynamic \
+                 instructions; without a value it is derived from the \
+                 profiling budget like pc_sample's auto interval.")
+
 let output_arg =
   Arg.(value & opt (some string) None
        & info [ "o"; "output" ] ~docv:"FILE"
@@ -89,6 +120,6 @@ let cmd =
   Cmd.v
     (Cmd.info "fidelity_report" ~doc:"measure clone fidelity on the paper characteristics")
     Term.(const main $ quick_arg $ bench_arg $ seed_arg $ jobs_arg $ instrs_arg
-          $ dynamic_arg $ output_arg $ trace_arg)
+          $ dynamic_arg $ per_phase_arg $ output_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

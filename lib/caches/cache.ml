@@ -53,6 +53,11 @@ type t = {
   mutable rand_state : int64;  (* SplitMix-style victim stream for Random *)
 }
 
+let initial_rand_state cfg =
+  match cfg.replacement with
+  | Random seed -> Int64.of_int ((seed * 2654435761) lor 1)
+  | Lru | Fifo -> 1L
+
 let create cfg =
   let nways = ways cfg in
   let sets = cfg.size_bytes / cfg.line_bytes / nways in
@@ -70,10 +75,7 @@ let create cfg =
     clock = 0;
     accesses = 0;
     misses = 0;
-    rand_state =
-      (match cfg.replacement with
-      | Random seed -> Int64.of_int ((seed * 2654435761) lor 1)
-      | Lru | Fifo -> 1L);
+    rand_state = initial_rand_state cfg;
   }
 
 let access t addr =
@@ -127,6 +129,14 @@ let access t addr =
 
 let accesses t = t.accesses
 let misses t = t.misses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.rand_state <- initial_rand_state t.cfg
 
 let miss_rate t =
   if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses

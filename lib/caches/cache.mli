@@ -52,3 +52,11 @@ val miss_rate : t -> float
 
 val reset_stats : t -> unit
 (** Zero the counters but keep tag state (for warm-up discard). *)
+
+val reset : t -> unit
+(** Full reset back to the freshly-created state: invalidate every
+    line, zero the recency clock and counters, and rewind the random-
+    replacement stream to its seed.  After [reset] the cache behaves
+    bit-identically to [create (config)] — this is what lets a shared
+    (e.g. multi-tenant L2) instance be reused across independent runs
+    without state leaking between them. *)

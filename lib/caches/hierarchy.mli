@@ -4,7 +4,15 @@
     The timing model instantiates one hierarchy for the instruction side
     and one for the data side.  The paper's "64 KB unified L2" is modelled
     as a private L2 behind each L1 (the experiments never vary the L2, so
-    I/D interference in it is irrelevant to every reported trend). *)
+    I/D interference in it is irrelevant to every reported trend).
+
+    Multi-tenant scenarios ({!Pc_scenario}) instead build hierarchies
+    with {!create_shared}: several tenants' L1s drain into one shared
+    {!Cache.t} L2 instance, with a per-tenant address [tag] keeping
+    distinct tenants' lines distinct so they contend for L2 capacity
+    exactly like co-scheduled programs on a chip.  All L2 statistics are
+    tracked per hierarchy (not read back from the cache instance), so
+    per-tenant L2 access/miss counts stay correct under sharing. *)
 
 type config = {
   l1 : Cache.config;
@@ -18,6 +26,19 @@ type t
 
 val create : config -> t
 
+val create_shared : ?tag:int -> l2:Cache.t option -> config -> t
+(** A hierarchy whose L2 is the given, possibly shared, cache instance
+    instead of a freshly created private one.  [tag] (default 0, must
+    be non-negative) is OR-ed into every address before any cache sees
+    it: give each tenant a tag above its address-space width (tenant
+    [i lsl 26] in {!Pc_scenario}) and tenants' lines stay distinct in
+    the shared L2 while the private L1's behaviour is unchanged (a
+    constant high-bit tag moves neither set index nor hit/miss
+    pattern).  With [tag = 0] and a fresh [l2] built from the same
+    config, behaviour is bit-identical to {!create}.  Raises
+    [Invalid_argument] when the L2's presence disagrees with
+    [config.l2] or [tag] is negative. *)
+
 val access : t -> int -> int
 (** [access t addr] simulates the access through the hierarchy and
     returns its total latency in cycles. *)
@@ -25,12 +46,21 @@ val access : t -> int -> int
 val l1_accesses : t -> int
 val l1_misses : t -> int
 val l2_accesses : t -> int
-(** Zero when there is no L2. *)
+(** L1 misses this hierarchy sent to its L2 (zero when there is no L2).
+    Tracked per hierarchy, so the count stays per-tenant even when the
+    L2 instance is shared. *)
 
 val l2_misses : t -> int
 
 val mem_accesses : t -> int
 (** Accesses that reached main memory. *)
+
+val reset : t -> unit
+(** Reset the private L1 ({!Cache.reset}) and this hierarchy's own
+    counters; a privately-owned L2 (from {!create}) is reset too, but a
+    shared L2 (from {!create_shared}) is left alone — reset the shared
+    instance itself exactly once, then every hierarchy that drains into
+    it, and the whole ensemble is back to its freshly-created state. *)
 
 val l1_mpi : t -> instrs:int -> float
 (** L1 misses per instruction. *)

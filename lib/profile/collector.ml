@@ -63,8 +63,12 @@ type building = {
   mutable bb_branch_pc : int;
 }
 
-let profile ?(max_instrs = 10_000_000) program =
+let profile ?(start = 0) ?(max_instrs = 10_000_000) program =
   let machine = Machine.load program in
+  (* Skip the pre-window prefix functionally: machines resume across
+     [run] calls, so the profiling pass below observes exactly the
+     dynamic slice [start, start + max_instrs). *)
+  if start > 0 then ignore (Machine.run ~max_instrs:start machine ignore);
   let mem_tbl : (int, mem_acc) Hashtbl.t = Hashtbl.create 256 in
   let branch_tbl : (int, branch_acc) Hashtbl.t = Hashtbl.create 256 in
   let node_tbl : (int * int, node_acc) Hashtbl.t = Hashtbl.create 1024 in

@@ -8,10 +8,13 @@
     measured per static load/store and summarised as the most frequent
     stride plus a footprint-derived stream length. *)
 
-val profile : ?max_instrs:int -> Pc_isa.Program.t -> Profile.t
+val profile : ?start:int -> ?max_instrs:int -> Pc_isa.Program.t -> Profile.t
 (** [profile program] runs the program (default budget 10 million
     instructions) and returns its microarchitecture-independent
-    profile. *)
+    profile.  [start] (default 0) skips that many dynamic instructions
+    before profiling begins, so the profile covers the slice
+    [start, start + max_instrs) — per-phase fidelity scoring profiles
+    each sampling interval this way. *)
 
 val single_stride_fraction : ?max_instrs:int -> Pc_isa.Program.t -> float
 (** Just Figure 3's metric: the fraction of dynamic memory references

@@ -346,7 +346,9 @@ let plan ?(dims = 32) ?(max_k = 6) ?(restarts = 3) ?warmup ~seed ~interval
 
 (* --- replay --- *)
 
-let replay_events statics trace on_event =
+let replay_slice statics trace ~pos ~len on_event =
+  if pos < 0 || len < 0 || pos + len > Array.length trace then
+    invalid_arg "Pc_sample.replay_slice";
   let ev =
     {
       Machine.pc = 0;
@@ -360,21 +362,24 @@ let replay_events statics trace on_event =
       writes = -1;
     }
   in
-  Array.iter
-    (fun packed ->
-      let pc = packed_pc packed in
-      let cls = statics.Machine.s_classes.(pc) in
-      ev.Machine.pc <- pc;
-      ev.Machine.iclass <- cls;
-      ev.Machine.mem_addr <- packed_mem_addr packed;
-      ev.Machine.is_store <- cls = I.C_store;
-      ev.Machine.is_branch <- cls = I.C_branch;
-      ev.Machine.taken <- packed_taken packed;
-      ev.Machine.reads <- statics.Machine.s_read_lists.(pc);
-      ev.Machine.writes <- statics.Machine.s_write_ids.(pc);
-      on_event ev)
-    trace;
-  Array.length trace
+  for i = pos to pos + len - 1 do
+    let packed = trace.(i) in
+    let pc = packed_pc packed in
+    let cls = statics.Machine.s_classes.(pc) in
+    ev.Machine.pc <- pc;
+    ev.Machine.iclass <- cls;
+    ev.Machine.mem_addr <- packed_mem_addr packed;
+    ev.Machine.is_store <- cls = I.C_store;
+    ev.Machine.is_branch <- cls = I.C_branch;
+    ev.Machine.taken <- packed_taken packed;
+    ev.Machine.reads <- statics.Machine.s_read_lists.(pc);
+    ev.Machine.writes <- statics.Machine.s_write_ids.(pc);
+    on_event ev
+  done;
+  len
+
+let replay_events statics trace on_event =
+  replay_slice statics trace ~pos:0 ~len:(Array.length trace) on_event
 
 (* --- projection: timing --- *)
 

@@ -147,3 +147,16 @@ val replay_events :
     invoking [on_event] once per instruction (the event record is
     reused); returns the trace length.  Exposed for tests and custom
     consumers. *)
+
+val replay_slice :
+  Pc_funcsim.Machine.statics ->
+  int array ->
+  pos:int ->
+  len:int ->
+  (Pc_funcsim.Machine.event -> unit) ->
+  int
+(** Like {!replay_events} but over the sub-range [\[pos, pos+len)] of
+    the packed trace; returns [len].  Multi-tenant sampled scenarios
+    use this to feed one arbiter quantum at a time from a tenant's
+    concatenated representative traces.  Raises [Invalid_argument] on
+    an out-of-bounds range. *)

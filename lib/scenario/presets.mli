@@ -1,0 +1,15 @@
+(** Named scenario mixes, so the CLI, the bench suite and CI all speak
+    the same vocabulary:
+
+    - [duet] / [duet-clone] — crc32 + qsort, originals vs their clones,
+      round-robin; the CI gate compares the two runs' per-tenant
+      slowdowns.
+    - [duet-tight] / [duet-tight-clone] — qsort + dijkstra under a
+      deliberately small (8 KB) shared L2: the interference
+      demonstration pair.
+    - [priority-duet] — crc32 favoured 3:1 over qsort.
+    - [quad] / [quad-clone] — four-tenant round-robin mixes. *)
+
+val all : Spec.t list
+val names : string list
+val find : string -> Spec.t option

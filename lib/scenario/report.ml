@@ -1,0 +1,211 @@
+module Json = Pc_util.Json
+module Sink = Pc_obs.Sink
+
+let number f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let json ~(settings : Runner.settings) (results : Runner.result list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"pc-scenario/1\",\"seed\":%d,\"budget\":%d,\"sample\":%s,\"scenarios\":["
+       settings.Runner.seed settings.Runner.budget
+       (match settings.Runner.sample with
+       | None -> "null"
+       | Some i -> string_of_int i));
+  List.iteri
+    (fun i (r : Runner.result) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":%s,\"config\":%s,\"policy\":%s,\"quantum\":%d,\"sampled\":%b,\"weighted_speedup\":%s,\"fairness\":%s,\"tenants\":["
+           (Sink.json_string r.Runner.spec.Spec.name)
+           (Sink.json_string r.Runner.config_name)
+           (Sink.json_string (Spec.policy_name r.Runner.spec.Spec.policy))
+           r.Runner.spec.Spec.quantum r.Runner.sampled
+           (number r.Runner.weighted_speedup)
+           (number r.Runner.fairness));
+      List.iteri
+        (fun j (t : Runner.tenant_row) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"label\":%s,\"workload\":%s,\"kind\":%s,\"instrs\":%d,\"standalone_ipc\":%s,\"corun_ipc\":%s,\"slowdown\":%s,\"l2_accesses\":%d,\"l2_misses\":%d,\"mem_accesses\":%d}"
+               (Sink.json_string t.Runner.label)
+               (Sink.json_string t.Runner.workload)
+               (Sink.json_string (Spec.kind_name t.Runner.kind))
+               t.Runner.instrs
+               (number t.Runner.standalone_ipc)
+               (number t.Runner.corun_ipc)
+               (number t.Runner.slowdown)
+               t.Runner.l2_accesses t.Runner.l2_misses t.Runner.mem_accesses))
+        r.Runner.tenants;
+      Buffer.add_string b "]}")
+    results;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_json path ~settings results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json ~settings results);
+      output_char oc '\n')
+
+(* --- threshold gate (check_baselines scenario) --- *)
+
+let schema_of doc = Option.bind (Json.member "schema" doc) Json.to_string
+
+let scenario_rows doc =
+  match Option.bind (Json.member "scenarios" doc) Json.to_list with
+  | Some rows -> rows
+  | None -> []
+
+let row_name row =
+  Option.value ~default:"?"
+    (Option.bind (Json.member "name" row) Json.to_string)
+
+let tenant_rows row =
+  match Option.bind (Json.member "tenants" row) Json.to_list with
+  | Some rows -> rows
+  | None -> []
+
+let finite_field name row =
+  match Json.member name row with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some Json.Null -> Error (Printf.sprintf "non-finite %S" name)
+  | Some v -> (
+    match Json.to_float v with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ -> Error (Printf.sprintf "non-finite %S" name)
+    | None -> Error (Printf.sprintf "non-numeric %S" name))
+
+let check ~thresholds ~report =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  (match schema_of thresholds with
+  | Some "pc-scenario-thresholds/1" -> ()
+  | s ->
+    issue "thresholds: expected schema pc-scenario-thresholds/1, got %s"
+      (Option.value ~default:"<none>" s));
+  (match schema_of report with
+  | Some "pc-scenario/1" -> ()
+  | s ->
+    issue "report: expected schema pc-scenario/1, got %s"
+      (Option.value ~default:"<none>" s));
+  let rows = scenario_rows report in
+  if rows = [] then issue "report: no scenarios";
+  let find_scenario name =
+    List.find_opt (fun row -> row_name row = name) rows
+  in
+  (* per-scenario bounds *)
+  (match Json.member "scenarios" thresholds with
+  | None -> ()
+  | Some (Json.Obj bounds) ->
+    List.iter
+      (fun (name, bound) ->
+        match find_scenario name with
+        | None -> issue "thresholds: scenario %S not in report" name
+        | Some row ->
+          let bound_value key =
+            Option.bind (Json.member key bound) Json.to_float
+          in
+          (match bound_value "min_fairness" with
+          | None -> ()
+          | Some b -> (
+            match finite_field "fairness" row with
+            | Error msg -> issue "%s: %s" name msg
+            | Ok v ->
+              if v < b then
+                issue "%s: fairness = %.6f below min %.6f" name v b));
+          (match bound_value "min_weighted_speedup" with
+          | None -> ()
+          | Some b -> (
+            match finite_field "weighted_speedup" row with
+            | Error msg -> issue "%s: %s" name msg
+            | Ok v ->
+              if v < b then
+                issue "%s: weighted_speedup = %.6f below min %.6f" name v b));
+          (match bound_value "max_slowdown" with
+          | None -> ()
+          | Some b ->
+            List.iter
+              (fun t ->
+                let label =
+                  Option.value ~default:"?"
+                    (Option.bind (Json.member "label" t) Json.to_string)
+                in
+                match finite_field "slowdown" t with
+                | Error msg -> issue "%s/%s: %s" name label msg
+                | Ok v ->
+                  if v > b then
+                    issue "%s/%s: slowdown = %.6f exceeds max %.6f" name label
+                      v b)
+              (tenant_rows row)))
+      bounds
+  | Some _ -> issue "thresholds: \"scenarios\" must be an object");
+  (* clone-vs-original pairs: tenants matched by slot position *)
+  (match Json.member "pairs" thresholds with
+  | None -> ()
+  | Some (Json.List pairs) ->
+    List.iter
+      (fun pair ->
+        let str key = Option.bind (Json.member key pair) Json.to_string in
+        match (str "original", str "clone",
+               Option.bind (Json.member "max_slowdown_gap" pair) Json.to_float)
+        with
+        | Some o, Some c, Some gap -> (
+          match (find_scenario o, find_scenario c) with
+          | Some orow, Some crow ->
+            let ots = tenant_rows orow and cts = tenant_rows crow in
+            if List.length ots <> List.length cts then
+              issue "pair %s/%s: tenant counts differ (%d vs %d)" o c
+                (List.length ots) (List.length cts)
+            else
+              List.iteri
+                (fun i (ot, ct) ->
+                  match (finite_field "slowdown" ot, finite_field "slowdown" ct) with
+                  | Ok so, Ok sc ->
+                    let d = Float.abs (so -. sc) in
+                    if d > gap then
+                      issue
+                        "pair %s/%s slot %d: slowdown gap %.6f exceeds max %.6f \
+                         (original %.6f, clone %.6f)"
+                        o c i d gap so sc
+                  | Error msg, _ -> issue "pair %s/%s slot %d: %s" o c i msg
+                  | _, Error msg -> issue "pair %s/%s slot %d: %s" o c i msg)
+                (List.combine ots cts)
+          | None, _ -> issue "pair: scenario %S not in report" o
+          | _, None -> issue "pair: scenario %S not in report" c)
+        | _ ->
+          issue
+            "thresholds: each pair needs \"original\", \"clone\" and \
+             \"max_slowdown_gap\"")
+      pairs
+  | Some _ -> issue "thresholds: \"pairs\" must be a list");
+  List.rev !issues
+
+(* --- console table --- *)
+
+let pp ppf (results : Runner.result list) =
+  List.iter
+    (fun (r : Runner.result) ->
+      Format.fprintf ppf "scenario %s  (config %s, policy %s, quantum %d%s)@."
+        r.Runner.spec.Spec.name r.Runner.config_name
+        (Spec.policy_name r.Runner.spec.Spec.policy)
+        r.Runner.spec.Spec.quantum
+        (if r.Runner.sampled then ", sampled" else "");
+      Format.fprintf ppf "  %-20s %-8s %10s %10s %10s %9s@." "tenant" "kind"
+        "instrs" "alone-ipc" "corun-ipc" "slowdown";
+      List.iter
+        (fun (t : Runner.tenant_row) ->
+          Format.fprintf ppf "  %-20s %-8s %10d %10.4f %10.4f %9.4f@."
+            t.Runner.label
+            (Spec.kind_name t.Runner.kind)
+            t.Runner.instrs t.Runner.standalone_ipc t.Runner.corun_ipc
+            t.Runner.slowdown)
+        r.Runner.tenants;
+      Format.fprintf ppf "  weighted speedup %.4f, fairness %.4f@."
+        r.Runner.weighted_speedup r.Runner.fairness)
+    results

@@ -1,0 +1,41 @@
+(** [pc-scenario/1] emission, the scenario threshold gate and the
+    console table.
+
+    The artefact:
+
+    [{"schema": "pc-scenario/1", "seed": .., "budget": .., "sample":
+    null | interval, "scenarios": [{"name": .., "config": ..,
+    "policy": .., "quantum": .., "sampled": bool, "weighted_speedup":
+    .., "fairness": .., "tenants": [{"label": .., "workload": ..,
+    "kind": "original" | "clone", "instrs": .., "standalone_ipc": ..,
+    "corun_ipc": .., "slowdown": .., "l2_accesses": ..,
+    "l2_misses": .., "mem_accesses": ..}]}]}]
+
+    Scenarios appear in run order and tenants in arbiter slot order, and
+    every float is formatted with [%.6f] (non-finite values become
+    [null]), so the document is byte-identical across [-j] widths and
+    across runs — the property CI and the test suite rely on. *)
+
+val json : settings:Runner.settings -> Runner.result list -> string
+val write_json : string -> settings:Runner.settings -> Runner.result list -> unit
+(** {!json} plus a trailing newline. *)
+
+val check :
+  thresholds:Pc_util.Json.t -> report:Pc_util.Json.t -> string list
+(** Gate a [pc-scenario/1] report against a
+    [pc-scenario-thresholds/1] document; returns human-readable issues
+    (empty = pass).  Thresholds:
+
+    [{"schema": "pc-scenario-thresholds/1", "scenarios": {"<name>":
+    {"max_slowdown": .., "min_fairness": .., "min_weighted_speedup":
+    ..}}, "pairs": [{"original": "<name>", "clone": "<name>",
+    "max_slowdown_gap": ..}]}]
+
+    Scenario bounds apply [max_slowdown] to every tenant of the named
+    scenario and the [min_*] bounds to its aggregates.  Each pair
+    matches an original-mix scenario with its clone-mix twin by tenant
+    slot position and requires the per-slot slowdowns to agree within
+    [max_slowdown_gap] — the clone-fidelity claim for co-run
+    interference, gated in CI by [check_baselines scenario]. *)
+
+val pp : Format.formatter -> Runner.result list -> unit

@@ -1,0 +1,290 @@
+module Machine = Pc_funcsim.Machine
+module Config = Pc_uarch.Config
+module Sim = Pc_uarch.Sim
+module Sample = Pc_sample.Sample
+module Registry = Pc_workloads.Registry
+module Pipeline = Perfclone.Pipeline
+module Store = Pc_exec.Store
+module Pool = Pc_exec.Pool
+module M = Pc_obs.Metrics
+
+module Log = (val Logs.src_log (Logs.Src.create "pc.scenario") : Logs.LOG)
+
+type settings = {
+  seed : int;
+  profile_instrs : int;
+  clone_dynamic : int;
+  budget : int;
+  sample : int option;
+}
+
+let default_settings =
+  {
+    seed = 1;
+    profile_instrs = 1_000_000;
+    clone_dynamic = 100_000;
+    budget = 2_000_000;
+    sample = None;
+  }
+
+let quick_settings =
+  { default_settings with profile_instrs = 300_000; budget = 500_000 }
+
+type tenant_row = {
+  label : string;
+  workload : string;
+  kind : Spec.kind;
+  instrs : int;
+  standalone_ipc : float;
+  corun_ipc : float;
+  slowdown : float;
+  l2_accesses : int;
+  l2_misses : int;
+  mem_accesses : int;
+}
+
+type result = {
+  spec : Spec.t;
+  config_name : string;
+  sampled : bool;
+  tenants : tenant_row list;
+  weighted_speedup : float;
+  fairness : float;
+}
+
+(* --- memo stores (shared across scenarios and pool workers) --- *)
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let program_store : (string, Pc_isa.Program.t) Store.t =
+  Store.create ~name:"scenario-program" ()
+
+let baseline_store : (string, Sim.result) Store.t =
+  Store.create ~name:"scenario-baseline" ()
+
+let plan_store : (string, Sample.plan) Store.t =
+  Store.create ~name:"scenario-plan" ()
+
+let clear_caches () =
+  Store.clear program_store;
+  Store.clear baseline_store;
+  Store.clear plan_store
+
+let resolve_program settings workload kind =
+  match Registry.find_opt workload with
+  | None ->
+    invalid_arg (Printf.sprintf "scenario tenant: unknown workload %S" workload)
+  | Some entry -> (
+    match kind with
+    | Spec.Original -> Registry.compile entry
+    | Spec.Clone ->
+      let key =
+        digest
+          ( "clone", workload, settings.seed, settings.profile_instrs,
+            settings.clone_dynamic )
+      in
+      Store.find_or_compute program_store key (fun () ->
+          (Pipeline.clone_benchmark ~seed:settings.seed
+             ~profile_instrs:settings.profile_instrs
+             ~target_dynamic:settings.clone_dynamic workload)
+            .Pipeline.clone))
+
+let plan_of settings program =
+  let interval = Option.get settings.sample in
+  let key = digest (program, settings.budget, interval, settings.seed) in
+  Store.find_or_compute plan_store key (fun () ->
+      Sample.plan ~seed:settings.seed ~interval ~max_instrs:settings.budget
+        program)
+
+(* The standalone baseline: the same effective config, the same budget,
+   one tenant alone on the machine.  Memoized so duplicate slots, the
+   clone scenario of a pair, and repeated invocations share one run. *)
+let standalone settings cfg program =
+  match settings.sample with
+  | None ->
+    let key = digest (cfg, program, settings.budget) in
+    Store.find_or_compute baseline_store key (fun () ->
+        Sim.run ~max_instrs:settings.budget cfg program)
+  | Some interval ->
+    let key = digest ("sampled", cfg, program, settings.budget, interval, settings.seed) in
+    Store.find_or_compute baseline_store key (fun () ->
+        Sample.project_sim cfg (plan_of settings program))
+
+(* --- sampled co-run: concatenated representative traces --- *)
+
+type sampled_src = {
+  ss_trace : int array;
+  ss_marks : int array;  (** window [start; end] per rep, in rep order *)
+  ss_plan : Sample.plan;
+}
+
+let concat_plan (plan : Sample.plan) =
+  let reps = plan.Sample.reps in
+  let total =
+    Array.fold_left (fun a (r : Sample.rep) -> a + Array.length r.Sample.trace) 0 reps
+  in
+  let trace = Array.make (max total 1) 0 in
+  let marks = Array.make (2 * Array.length reps) 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i (r : Sample.rep) ->
+      let len = Array.length r.Sample.trace in
+      Array.blit r.Sample.trace 0 trace !off len;
+      marks.(2 * i) <- !off + min r.Sample.warmup len;
+      marks.((2 * i) + 1) <- !off + len;
+      off := !off + len)
+    reps;
+  { ss_trace = Array.sub trace 0 total; ss_marks = marks; ss_plan = plan }
+
+(* Population-weighted CPI over the representatives' windows, priced at
+   the commit cycles the co-run charged each window; dead windows (no
+   instructions or no cycles) are skipped and their population
+   re-attributed pro rata, exactly like {!Pc_sample.Sample.recombine}. *)
+let project_corun (src : sampled_src) (mark_cycles : int array) =
+  let reps = src.ss_plan.Sample.reps in
+  let valid_w = ref 0 in
+  let cycles = ref 0.0 in
+  Array.iteri
+    (fun i (r : Sample.rep) ->
+      let wlen =
+        Array.length r.Sample.trace
+        - min r.Sample.warmup (Array.length r.Sample.trace)
+      in
+      let dc = mark_cycles.((2 * i) + 1) - mark_cycles.(2 * i) in
+      if wlen > 0 && dc > 0 then begin
+        valid_w := !valid_w + r.Sample.weight;
+        cycles :=
+          !cycles
+          +. (float_of_int r.Sample.weight *. float_of_int dc /. float_of_int wlen)
+      end
+      else
+        Log.warn (fun m ->
+            m "scenario: dead sampled phase %d (window %d instrs, %d cycles)" i
+              wlen dc))
+    reps;
+  if !valid_w = 0 then 1.0 (* CPI degrades to 1.0, like recombine *)
+  else !cycles /. float_of_int !valid_w
+
+(* --- observability --- *)
+
+let c_runs = M.counter "scenario.runs"
+let c_tenants = M.counter "scenario.tenants"
+let c_corun_instrs = M.counter "scenario.corun.instrs"
+let g_max_slowdown_bp = M.gauge "scenario.slowdown_bp_max"
+
+let bp v =
+  if Float.is_finite v then int_of_float (Float.round (v *. 10_000.0)) else -1
+
+(* --- driving one scenario --- *)
+
+let jain xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if s2 <= 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let run_spec settings (spec : Spec.t) =
+  Pc_obs.Span.with_
+    ~args:[ ("scenario", Pc_obs.Event.Str spec.Spec.name) ]
+    "scenario:run"
+  @@ fun () ->
+  let cfg = Spec.effective_config spec Config.base in
+  let slots = Spec.slots spec in
+  let programs =
+    Array.map (fun (_, w, k) -> resolve_program settings w k) slots
+  in
+  let baselines =
+    Array.map (fun program -> standalone settings cfg program) programs
+  in
+  let sampled_srcs =
+    match settings.sample with
+    | None -> [||]
+    | Some _ ->
+      Array.map (fun program -> concat_plan (plan_of settings program)) programs
+  in
+  let inputs =
+    Array.mapi
+      (fun i (label, _, _) ->
+        match settings.sample with
+        | None ->
+          {
+            Scenario.label;
+            budget = settings.budget;
+            source = Scenario.From_machine (Machine.load programs.(i));
+          }
+        | Some _ ->
+          let src = sampled_srcs.(i) in
+          {
+            Scenario.label;
+            budget = Array.length src.ss_trace;
+            source =
+              Scenario.From_trace
+                {
+                  statics = src.ss_plan.Sample.statics;
+                  trace = src.ss_trace;
+                  marks = src.ss_marks;
+                };
+          })
+      slots
+  in
+  let outs =
+    Scenario.co_run ~quantum:spec.Spec.quantum ~weights:(Spec.weights spec)
+      cfg inputs
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (label, workload, kind) ->
+           let out = outs.(i) in
+           let base = baselines.(i) in
+           let corun_ipc, instrs =
+             match settings.sample with
+             | None -> (out.Scenario.result.Sim.ipc, out.Scenario.fed)
+             | Some _ ->
+               let cpi = project_corun sampled_srcs.(i) out.Scenario.mark_cycles in
+               (1.0 /. cpi, sampled_srcs.(i).ss_plan.Sample.total_instrs)
+           in
+           let standalone_ipc = base.Sim.ipc in
+           {
+             label;
+             workload;
+             kind;
+             instrs;
+             standalone_ipc;
+             corun_ipc;
+             slowdown = standalone_ipc /. corun_ipc;
+             l2_accesses = out.Scenario.result.Sim.l2_accesses;
+             l2_misses = out.Scenario.result.Sim.l2_misses;
+             mem_accesses = out.Scenario.result.Sim.mem_accesses;
+           })
+         slots)
+  in
+  let speedups = List.map (fun r -> r.corun_ipc /. r.standalone_ipc) rows in
+  let weighted_speedup = List.fold_left ( +. ) 0.0 speedups in
+  let fairness = jain speedups in
+  M.incr c_runs;
+  M.add c_tenants (Array.length slots);
+  Array.iter (fun o -> M.add c_corun_instrs o.Scenario.fed) outs;
+  List.iter (fun r -> M.record_max g_max_slowdown_bp (bp r.slowdown)) rows;
+  Pc_obs.Event.instant
+    ("scenario:" ^ spec.Spec.name)
+    [
+      ("tenants", Pc_obs.Event.Int (Array.length slots));
+      ("weighted_speedup_bp", Pc_obs.Event.Int (bp weighted_speedup));
+      ("fairness_bp", Pc_obs.Event.Int (bp fairness));
+    ];
+  {
+    spec;
+    config_name = cfg.Config.name;
+    sampled = settings.sample <> None;
+    tenants = rows;
+    weighted_speedup;
+    fairness;
+  }
+
+let run ?(pool = Pool.serial) settings specs =
+  Log.info (fun m -> m "running %d scenarios" (List.length specs));
+  Pool.map pool (run_spec settings) specs

@@ -14,11 +14,21 @@ type characteristics = {
   avg_block_size_ratio : float;
 }
 
+type phase = {
+  p_index : int;
+  p_orig_start : int;
+  p_orig_instrs : int;
+  p_clone_start : int;
+  p_clone_instrs : int;
+  p_c : characteristics;
+}
+
 type report = {
   bench : string;
   orig_instrs : int;
   clone_instrs : int;
   c : characteristics;
+  phases : phase list;
 }
 
 (* Characteristic names as they appear in pc-fidelity/1 rows and in the
@@ -173,7 +183,58 @@ let measure ?max_instrs ~bench ~(original : Profile.t) clone_program =
     orig_instrs = original.Profile.instr_count;
     clone_instrs = clone.Profile.instr_count;
     c;
+    phases = [];
   }
+
+(* --- per-phase (interval-local) scoring ---
+
+   The global characteristics can hide phase behaviour: a clone that
+   averages two program phases scores well globally while matching
+   neither.  Slicing both runs and comparing slice by slice exposes
+   that.  The original is cut at fixed [interval] boundaries (the same
+   boundaries pc_sample uses); the clone — a compressed rendition of
+   the whole run — is cut proportionally, so phase p of each covers the
+   same fraction of its run. *)
+
+let c_phases = M.counter "fidelity.phases_measured"
+
+let measure_phases ~interval ~original ~clone report =
+  if interval < 1 then
+    invalid_arg "Fidelity.measure_phases: interval must be positive";
+  Pc_obs.Span.with_
+    ~args:
+      [
+        ("bench", Pc_obs.Event.Str report.bench);
+        ("interval", Pc_obs.Event.Int interval);
+      ]
+    "fidelity:phases"
+  @@ fun () ->
+  let orig_total = report.orig_instrs and clone_total = report.clone_instrs in
+  let n = max 1 ((orig_total + interval - 1) / interval) in
+  let phases =
+    List.init n (fun p ->
+        let o_start = p * interval in
+        let o_len = min interval (orig_total - o_start) in
+        let c_start = p * clone_total / n in
+        let c_len = max 1 (((p + 1) * clone_total / n) - c_start) in
+        let po =
+          Pc_profile.Collector.profile ~start:o_start ~max_instrs:o_len
+            original
+        in
+        let pc =
+          Pc_profile.Collector.profile ~start:c_start ~max_instrs:c_len clone
+        in
+        M.incr c_phases;
+        {
+          p_index = p;
+          p_orig_start = o_start;
+          p_orig_instrs = po.Profile.instr_count;
+          p_clone_start = c_start;
+          p_clone_instrs = pc.Profile.instr_count;
+          p_c = compare_profiles ~original:po ~clone:pc;
+        })
+  in
+  { report with phases }
 
 (* --- pc-fidelity/1 JSON --- *)
 
@@ -198,6 +259,27 @@ let json ~seed ~profile_instrs ~clone_dynamic reports =
           Buffer.add_string b
             (Printf.sprintf ",\"%s\":%s" name (number v)))
         (characteristic_fields r.c);
+      (* additive: absent when per-phase scoring didn't run, so reports
+         without it stay byte-identical to pre-phase pc-fidelity/1 *)
+      if r.phases <> [] then begin
+        Buffer.add_string b ",\"phases\":[";
+        List.iteri
+          (fun j ph ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"phase\":%d,\"orig_start\":%d,\"orig_instrs\":%d,\"clone_start\":%d,\"clone_instrs\":%d"
+                 ph.p_index ph.p_orig_start ph.p_orig_instrs ph.p_clone_start
+                 ph.p_clone_instrs);
+            List.iter
+              (fun (name, v) ->
+                Buffer.add_string b
+                  (Printf.sprintf ",\"%s\":%s" name (number v)))
+              (characteristic_fields ph.p_c);
+            Buffer.add_char b '}')
+          r.phases;
+        Buffer.add_char b ']'
+      end;
       Buffer.add_char b '}')
     reports;
   Buffer.add_string b "]}";
@@ -318,5 +400,14 @@ let pp ppf reports =
       Format.fprintf ppf "%-12s %12d %12d %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f@."
         r.bench r.orig_instrs r.clone_instrs r.c.instr_mix_l1
         r.c.dep_dist_l1 r.c.stride_agreement r.c.taken_rate_err
-        r.c.transition_rate_err r.c.sfg_block_ratio)
+        r.c.transition_rate_err r.c.sfg_block_ratio;
+      List.iter
+        (fun ph ->
+          Format.fprintf ppf
+            "%-12s %12d %12d %8.4f %8.4f %8.4f %8.4f %8.4f %8.3f@."
+            (Printf.sprintf "  phase %d" ph.p_index)
+            ph.p_orig_instrs ph.p_clone_instrs ph.p_c.instr_mix_l1
+            ph.p_c.dep_dist_l1 ph.p_c.stride_agreement ph.p_c.taken_rate_err
+            ph.p_c.transition_rate_err ph.p_c.sfg_block_ratio)
+        r.phases)
     reports

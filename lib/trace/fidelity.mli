@@ -35,11 +35,23 @@ type characteristics = {
   avg_block_size_ratio : float;
 }
 
+type phase = {
+  p_index : int;  (** 0-based phase number *)
+  p_orig_start : int;  (** first original dynamic instruction of the phase *)
+  p_orig_instrs : int;  (** original dynamic instructions profiled *)
+  p_clone_start : int;  (** first clone dynamic instruction of the phase *)
+  p_clone_instrs : int;  (** clone dynamic instructions profiled *)
+  p_c : characteristics;  (** the slice-vs-slice comparison *)
+}
+(** One interval-local comparison from {!measure_phases}. *)
+
 type report = {
   bench : string;
   orig_instrs : int;  (** dynamic instructions in the original's profile *)
   clone_instrs : int;  (** dynamic instructions in the clone re-profile *)
   c : characteristics;
+  phases : phase list;
+      (** phase-local rows; [[]] unless {!measure_phases} ran *)
 }
 
 val characteristic_names : string list
@@ -62,10 +74,30 @@ val measure :
     tracking the worst characteristics seen, and one deterministic
     instant event per benchmark carrying the headline numbers. *)
 
+val measure_phases :
+  interval:int ->
+  original:Pc_isa.Program.t ->
+  clone:Pc_isa.Program.t ->
+  report ->
+  report
+(** [measure_phases ~interval ~original ~clone report] adds phase-local
+    rows to a {!measure} report: the original run is sliced at fixed
+    [interval] dynamic-instruction boundaries (the same boundaries
+    {!Pc_sample} uses), the clone — a compressed rendition of the whole
+    run — is sliced proportionally, and each slice pair is compared
+    with {!compare_profiles}.  Global characteristics can hide phase
+    behaviour: a clone that averages two phases scores well globally
+    while matching neither; the per-phase rows expose that.  Raises
+    [Invalid_argument] when [interval < 1].  Instrumented with a
+    ["fidelity:phases"] span. *)
+
 val json :
   seed:int -> profile_instrs:int -> clone_dynamic:int -> report list -> string
 (** The pc-fidelity/1 document (no trailing newline).  Non-finite
-    characteristic values serialise as [null] — JSON has no [NaN]. *)
+    characteristic values serialise as [null] — JSON has no [NaN].
+    Reports carrying {!measure_phases} rows gain an additive
+    ["phases"] array per benchmark; reports without stay byte-identical
+    to pre-phase output, and {!check} ignores the extra field. *)
 
 val write_json :
   string ->

@@ -119,166 +119,225 @@ let g_lsq_hw = Pc_obs.Metrics.gauge "uarch.lsq.high_water"
 let c_stall_icache = Pc_obs.Metrics.counter "uarch.fetch_stall.icache_cycles"
 let c_stall_mispredict = Pc_obs.Metrics.counter "uarch.fetch_stall.mispredict_cycles"
 
-let run_events ?(measure_from = 0) (cfg : Config.t) feed =
-  let measure_from = max 0 measure_from in
-  let icache = Hierarchy.create cfg.icache in
-  let dcache = Hierarchy.create cfg.dcache in
-  let bpred = Predictor.create cfg.bpred in
-  let fetch_slot = Slot.create cfg.fetch_width in
-  let dispatch_slot = Slot.create cfg.decode_width in
-  let commit_slot = Slot.create cfg.commit_width in
-  let issue_table = Cycle_table.create cfg.issue_width in
-  let int_alu = Fu_pool.create cfg.int_alu_units in
-  let int_mul = Fu_pool.create cfg.int_mul_units in
-  let fp_alu = Fu_pool.create cfg.fp_alu_units in
-  let fp_mul = Fu_pool.create cfg.fp_mul_units in
-  let mem_port = Fu_pool.create cfg.mem_ports in
+(* The whole scheduling state of one simulated core, so a retired
+   stream can be fed incrementally (instruction by instruction, from
+   any producer — a live functional machine, a packed replay trace, or
+   a multi-tenant arbiter interleaving several streams).  [run_events]
+   below is exactly [create] + a feed loop + [finish]. *)
+type state = {
+  st_cfg : Config.t;
+  measure_from : int;
+  icache : Hierarchy.t;
+  dcache : Hierarchy.t;
+  bpred : Predictor.t;
+  fetch_slot : Slot.t;
+  dispatch_slot : Slot.t;
+  commit_slot : Slot.t;
+  issue_table : Cycle_table.t;
+  int_alu : Fu_pool.t;
+  int_mul : Fu_pool.t;
+  fp_alu : Fu_pool.t;
+  fp_mul : Fu_pool.t;
+  mem_port : Fu_pool.t;
   (* Completion cycle of the last writer of each shared register id.
      r0 (id 0) stays 0: it is architecturally constant. *)
-  let reg_ready = Array.make 64 0 in
+  reg_ready : int array;
   (* Ring buffers of commit cycles for ROB / LSQ occupancy. *)
-  let rob = Array.make cfg.rob_size 0 in
-  let lsq = Array.make (max cfg.lsq_size 1) 0 in
-  let class_counts = Array.make I.class_count 0 in
-  let icache_hit_latency = cfg.icache.Hierarchy.l1_latency in
-  let index = ref 0 in
-  let mem_index = ref 0 in
-  let fetch_ready = ref 0 in
-  let last_issue = ref 0 in
-  let last_commit = ref 0 in
-  let rob_hw = ref 0 in
-  let lsq_hw = ref 0 in
-  let stall_icache = ref 0 in
-  let stall_mispredict = ref 0 in
-  let i_lat = Array.get cfg.latencies in
+  rob : int array;
+  lsq : int array;
+  st_class_counts : int array;
+  icache_hit_latency : int;
+  mutable index : int;
+  mutable mem_index : int;
+  mutable fetch_ready : int;
+  mutable last_issue : int;
+  mutable last_commit : int;
+  mutable rob_hw : int;
+  mutable lsq_hw : int;
+  mutable stall_icache : int;
+  mutable stall_mispredict : int;
   (* Commit cycle at the measurement-window boundary.  [last_commit] is
      monotone, so cycles spent strictly inside the window are the final
      commit cycle minus its value just before instruction [measure_from]
      is scheduled; the prefix acts as warmup (caches and predictor
      already primed) without polluting the measured CPI. *)
-  let measure_start = ref 0 in
-  let on_event (ev : Machine.event) =
-    let i = !index in
-    incr index;
-    if i = measure_from then measure_start := !last_commit;
-    let cls = ev.Machine.iclass in
-    let ci = I.class_index cls in
-    class_counts.(ci) <- class_counts.(ci) + 1;
-    (* --- fetch --- *)
-    let f0 = Slot.take fetch_slot !fetch_ready in
-    let ilat = Hierarchy.access icache (4 * ev.Machine.pc) in
-    if ilat > icache_hit_latency then
-      stall_icache := !stall_icache + (ilat - icache_hit_latency);
-    let fc = f0 + (ilat - icache_hit_latency) in
-    if fc > !fetch_ready then fetch_ready := fc;
-    (* --- dispatch --- *)
-    let rob_free = rob.(i mod cfg.rob_size) in
-    let is_mem = cls = I.C_load || cls = I.C_store in
-    let lsq_free =
-      if is_mem then lsq.(!mem_index mod Array.length lsq) else 0
-    in
-    let d = Slot.take dispatch_slot (max (fc + cfg.frontend_depth) (max rob_free lsq_free)) in
-    let occ = ring_occupancy rob i d in
-    if occ > !rob_hw then rob_hw := occ;
-    if is_mem then begin
-      let occ = ring_occupancy lsq !mem_index d in
-      if occ > !lsq_hw then lsq_hw := occ
-    end;
-    (* --- register readiness --- *)
-    let ready =
-      List.fold_left (fun acc id -> max acc reg_ready.(id)) d ev.Machine.reads
-    in
-    let ready = if cfg.in_order then max ready !last_issue else ready in
-    (* --- issue: bandwidth then functional unit --- *)
-    let issue0 = Cycle_table.take issue_table ready in
-    let issue =
-      match cls with
-      | I.C_int_alu | I.C_branch | I.C_jump | I.C_other ->
-        Fu_pool.acquire int_alu ~earliest:issue0 ~occupancy:1
-      | I.C_int_mul -> Fu_pool.acquire int_mul ~earliest:issue0 ~occupancy:1
-      | I.C_int_div ->
-        Fu_pool.acquire int_mul ~earliest:issue0 ~occupancy:(i_lat ci)
-      | I.C_fp_alu -> Fu_pool.acquire fp_alu ~earliest:issue0 ~occupancy:1
-      | I.C_fp_mul -> Fu_pool.acquire fp_mul ~earliest:issue0 ~occupancy:1
-      | I.C_fp_div -> Fu_pool.acquire fp_mul ~earliest:issue0 ~occupancy:(i_lat ci)
-      | I.C_load | I.C_store -> Fu_pool.acquire mem_port ~earliest:issue0 ~occupancy:1
-    in
-    if cfg.in_order && issue > !last_issue then last_issue := issue;
-    (* --- complete --- *)
-    let complete =
-      match cls with
-      | I.C_load -> issue + Hierarchy.access dcache ev.Machine.mem_addr + i_lat ci
-      | I.C_store ->
-        (* Update tag state and counters; the store buffer hides the
-           latency from the pipeline. *)
-        ignore (Hierarchy.access dcache ev.Machine.mem_addr);
-        issue + i_lat ci
-      | _ -> issue + i_lat ci
-    in
-    (* --- writeback: wake up dependents --- *)
-    (match ev.Machine.writes with
-    | -1 -> ()
-    | 0 -> () (* r0 is constant *)
-    | id -> reg_ready.(id) <- complete);
-    (* --- branch resolution --- *)
-    if ev.Machine.is_branch then begin
-      let correct = Predictor.observe bpred ~pc:ev.Machine.pc ~taken:ev.Machine.taken in
-      if not correct then begin
-        let redirect = complete + cfg.mispredict_penalty in
-        if redirect > !fetch_ready then begin
-          stall_mispredict := !stall_mispredict + (redirect - !fetch_ready);
-          fetch_ready := redirect
-        end
-      end
-    end;
-    (* --- commit --- *)
-    let m = Slot.take commit_slot (max (complete + 1) !last_commit) in
-    last_commit := m;
-    rob.(i mod cfg.rob_size) <- m;
-    if is_mem then begin
-      lsq.(!mem_index mod Array.length lsq) <- m;
-      incr mem_index
-    end
+  mutable measure_start : int;
+}
+
+let create ?(measure_from = 0) ?icache ?dcache (cfg : Config.t) =
+  {
+    st_cfg = cfg;
+    measure_from = max 0 measure_from;
+    icache =
+      (match icache with Some h -> h | None -> Hierarchy.create cfg.icache);
+    dcache =
+      (match dcache with Some h -> h | None -> Hierarchy.create cfg.dcache);
+    bpred = Predictor.create cfg.bpred;
+    fetch_slot = Slot.create cfg.fetch_width;
+    dispatch_slot = Slot.create cfg.decode_width;
+    commit_slot = Slot.create cfg.commit_width;
+    issue_table = Cycle_table.create cfg.issue_width;
+    int_alu = Fu_pool.create cfg.int_alu_units;
+    int_mul = Fu_pool.create cfg.int_mul_units;
+    fp_alu = Fu_pool.create cfg.fp_alu_units;
+    fp_mul = Fu_pool.create cfg.fp_mul_units;
+    mem_port = Fu_pool.create cfg.mem_ports;
+    reg_ready = Array.make 64 0;
+    rob = Array.make cfg.rob_size 0;
+    lsq = Array.make (max cfg.lsq_size 1) 0;
+    st_class_counts = Array.make I.class_count 0;
+    icache_hit_latency = cfg.icache.Hierarchy.l1_latency;
+    index = 0;
+    mem_index = 0;
+    fetch_ready = 0;
+    last_issue = 0;
+    last_commit = 0;
+    rob_hw = 0;
+    lsq_hw = 0;
+    stall_icache = 0;
+    stall_mispredict = 0;
+    measure_start = 0;
+  }
+
+let feed st (ev : Machine.event) =
+  let cfg = st.st_cfg in
+  let i = st.index in
+  st.index <- i + 1;
+  if i = st.measure_from then st.measure_start <- st.last_commit;
+  let cls = ev.Machine.iclass in
+  let ci = I.class_index cls in
+  st.st_class_counts.(ci) <- st.st_class_counts.(ci) + 1;
+  (* --- fetch --- *)
+  let f0 = Slot.take st.fetch_slot st.fetch_ready in
+  let ilat = Hierarchy.access st.icache (4 * ev.Machine.pc) in
+  if ilat > st.icache_hit_latency then
+    st.stall_icache <- st.stall_icache + (ilat - st.icache_hit_latency);
+  let fc = f0 + (ilat - st.icache_hit_latency) in
+  if fc > st.fetch_ready then st.fetch_ready <- fc;
+  (* --- dispatch --- *)
+  let rob_free = st.rob.(i mod cfg.rob_size) in
+  let is_mem = cls = I.C_load || cls = I.C_store in
+  let lsq_free =
+    if is_mem then st.lsq.(st.mem_index mod Array.length st.lsq) else 0
   in
-  let instrs = feed on_event in
-  let cycles = max !last_commit 1 in
-  let measured_instrs = max 0 (instrs - measure_from) in
+  let d =
+    Slot.take st.dispatch_slot
+      (max (fc + cfg.frontend_depth) (max rob_free lsq_free))
+  in
+  let occ = ring_occupancy st.rob i d in
+  if occ > st.rob_hw then st.rob_hw <- occ;
+  if is_mem then begin
+    let occ = ring_occupancy st.lsq st.mem_index d in
+    if occ > st.lsq_hw then st.lsq_hw <- occ
+  end;
+  (* --- register readiness --- *)
+  let ready =
+    List.fold_left (fun acc id -> max acc st.reg_ready.(id)) d ev.Machine.reads
+  in
+  let ready = if cfg.in_order then max ready st.last_issue else ready in
+  (* --- issue: bandwidth then functional unit --- *)
+  let issue0 = Cycle_table.take st.issue_table ready in
+  let i_lat = Array.get cfg.latencies in
+  let issue =
+    match cls with
+    | I.C_int_alu | I.C_branch | I.C_jump | I.C_other ->
+      Fu_pool.acquire st.int_alu ~earliest:issue0 ~occupancy:1
+    | I.C_int_mul -> Fu_pool.acquire st.int_mul ~earliest:issue0 ~occupancy:1
+    | I.C_int_div ->
+      Fu_pool.acquire st.int_mul ~earliest:issue0 ~occupancy:(i_lat ci)
+    | I.C_fp_alu -> Fu_pool.acquire st.fp_alu ~earliest:issue0 ~occupancy:1
+    | I.C_fp_mul -> Fu_pool.acquire st.fp_mul ~earliest:issue0 ~occupancy:1
+    | I.C_fp_div -> Fu_pool.acquire st.fp_mul ~earliest:issue0 ~occupancy:(i_lat ci)
+    | I.C_load | I.C_store -> Fu_pool.acquire st.mem_port ~earliest:issue0 ~occupancy:1
+  in
+  if cfg.in_order && issue > st.last_issue then st.last_issue <- issue;
+  (* --- complete --- *)
+  let complete =
+    match cls with
+    | I.C_load -> issue + Hierarchy.access st.dcache ev.Machine.mem_addr + i_lat ci
+    | I.C_store ->
+      (* Update tag state and counters; the store buffer hides the
+         latency from the pipeline. *)
+      ignore (Hierarchy.access st.dcache ev.Machine.mem_addr);
+      issue + i_lat ci
+    | _ -> issue + i_lat ci
+  in
+  (* --- writeback: wake up dependents --- *)
+  (match ev.Machine.writes with
+  | -1 -> ()
+  | 0 -> () (* r0 is constant *)
+  | id -> st.reg_ready.(id) <- complete);
+  (* --- branch resolution --- *)
+  if ev.Machine.is_branch then begin
+    let correct =
+      Predictor.observe st.bpred ~pc:ev.Machine.pc ~taken:ev.Machine.taken
+    in
+    if not correct then begin
+      let redirect = complete + cfg.mispredict_penalty in
+      if redirect > st.fetch_ready then begin
+        st.stall_mispredict <- st.stall_mispredict + (redirect - st.fetch_ready);
+        st.fetch_ready <- redirect
+      end
+    end
+  end;
+  (* --- commit --- *)
+  let m = Slot.take st.commit_slot (max (complete + 1) st.last_commit) in
+  st.last_commit <- m;
+  st.rob.(i mod cfg.rob_size) <- m;
+  if is_mem then begin
+    st.lsq.(st.mem_index mod Array.length st.lsq) <- m;
+    st.mem_index <- st.mem_index + 1
+  end
+
+let fed_instrs st = st.index
+let committed_cycle st = st.last_commit
+
+let finish ?instrs st =
+  let cfg = st.st_cfg in
+  let instrs = match instrs with Some n -> n | None -> st.index in
+  let cycles = max st.last_commit 1 in
+  let measured_instrs = max 0 (instrs - st.measure_from) in
   let measured_cycles =
-    if measure_from = 0 then cycles
+    if st.measure_from = 0 then cycles
     else if measured_instrs = 0 then 0
-    else max (!last_commit - !measure_start) 1
+    else max (st.last_commit - st.measure_start) 1
   in
   Pc_obs.Metrics.add c_instrs instrs;
   Pc_obs.Metrics.add c_cycles cycles;
-  Pc_obs.Metrics.record_max g_rob_hw !rob_hw;
-  Pc_obs.Metrics.record_max g_lsq_hw !lsq_hw;
-  Pc_obs.Metrics.add c_stall_icache !stall_icache;
-  Pc_obs.Metrics.add c_stall_mispredict !stall_mispredict;
-  Hierarchy.publish_metrics icache ~prefix:"uarch.icache";
-  Hierarchy.publish_metrics dcache ~prefix:"uarch.dcache";
-  Predictor.publish_metrics bpred ~prefix:"uarch.bpred";
+  Pc_obs.Metrics.record_max g_rob_hw st.rob_hw;
+  Pc_obs.Metrics.record_max g_lsq_hw st.lsq_hw;
+  Pc_obs.Metrics.add c_stall_icache st.stall_icache;
+  Pc_obs.Metrics.add c_stall_mispredict st.stall_mispredict;
+  Hierarchy.publish_metrics st.icache ~prefix:"uarch.icache";
+  Hierarchy.publish_metrics st.dcache ~prefix:"uarch.dcache";
+  Predictor.publish_metrics st.bpred ~prefix:"uarch.bpred";
   {
     config_name = cfg.name;
     instrs;
     cycles;
     ipc = float_of_int instrs /. float_of_int cycles;
-    class_counts;
-    branches = Predictor.lookups bpred;
-    mispredictions = Predictor.mispredictions bpred;
-    l1i_accesses = Hierarchy.l1_accesses icache;
-    l1i_misses = Hierarchy.l1_misses icache;
-    l1d_accesses = Hierarchy.l1_accesses dcache;
-    l1d_misses = Hierarchy.l1_misses dcache;
-    l2_accesses = Hierarchy.l2_accesses icache + Hierarchy.l2_accesses dcache;
-    l2_misses = Hierarchy.l2_misses icache + Hierarchy.l2_misses dcache;
-    mem_accesses = Hierarchy.mem_accesses icache + Hierarchy.mem_accesses dcache;
-    rob_high_water = !rob_hw;
-    lsq_high_water = !lsq_hw;
-    fetch_stall_icache_cycles = !stall_icache;
-    fetch_stall_mispredict_cycles = !stall_mispredict;
+    class_counts = st.st_class_counts;
+    branches = Predictor.lookups st.bpred;
+    mispredictions = Predictor.mispredictions st.bpred;
+    l1i_accesses = Hierarchy.l1_accesses st.icache;
+    l1i_misses = Hierarchy.l1_misses st.icache;
+    l1d_accesses = Hierarchy.l1_accesses st.dcache;
+    l1d_misses = Hierarchy.l1_misses st.dcache;
+    l2_accesses = Hierarchy.l2_accesses st.icache + Hierarchy.l2_accesses st.dcache;
+    l2_misses = Hierarchy.l2_misses st.icache + Hierarchy.l2_misses st.dcache;
+    mem_accesses = Hierarchy.mem_accesses st.icache + Hierarchy.mem_accesses st.dcache;
+    rob_high_water = st.rob_hw;
+    lsq_high_water = st.lsq_hw;
+    fetch_stall_icache_cycles = st.stall_icache;
+    fetch_stall_mispredict_cycles = st.stall_mispredict;
     measured_instrs;
     measured_cycles;
   }
+
+let run_events ?measure_from (cfg : Config.t) feed_stream =
+  let st = create ?measure_from cfg in
+  let instrs = feed_stream (fun ev -> feed st ev) in
+  finish ~instrs st
 
 let run ?(max_instrs = 10_000_000) cfg program =
   run_events cfg (fun on_event ->

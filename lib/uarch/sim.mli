@@ -53,6 +53,45 @@ type result = {
           these two for warmup-free CPI *)
 }
 
+type state
+(** The full scheduling state of one simulated core.  The incremental
+    API below ([create] / [feed] / [finish]) is what [run] and
+    [run_events] are built from; it exists so other drivers — notably
+    the multi-tenant arbiter in [Pc_scenario] — can interleave several
+    cores' retired streams and observe each core's commit clock between
+    feed bursts. *)
+
+val create :
+  ?measure_from:int ->
+  ?icache:Pc_caches.Hierarchy.t ->
+  ?dcache:Pc_caches.Hierarchy.t ->
+  Config.t ->
+  state
+(** Fresh scheduling state for [Config.t].  [icache] / [dcache]
+    override the hierarchies built from the config — [Pc_scenario]
+    passes hierarchies made with {!Pc_caches.Hierarchy.create_shared}
+    so several cores' L1s drain into shared L2 instances.  The caller
+    is responsible for any override matching the config's latencies
+    (the scheduling code reads latencies from the hierarchy it is
+    given).  [measure_from] is as in {!run_events}. *)
+
+val feed : state -> Pc_funcsim.Machine.event -> unit
+(** Schedule one retired instruction.  The event record may be reused
+    between calls. *)
+
+val fed_instrs : state -> int
+(** Instructions fed so far. *)
+
+val committed_cycle : state -> int
+(** Commit cycle of the most recently fed instruction (monotone; [0]
+    before any instruction).  Sampled multi-tenant scenarios read this
+    at interval boundaries to price each tenant's windows. *)
+
+val finish : ?instrs:int -> state -> result
+(** Build the {!result} and publish the [uarch.*] metrics (see
+    {!run_events}).  [instrs] defaults to {!fed_instrs}; [run] passes
+    the functional simulator's count explicitly.  Call at most once. *)
+
 val run : ?max_instrs:int -> Config.t -> Pc_isa.Program.t -> result
 (** Execute the program functionally while scheduling every retired
     instruction through the timing model.  [max_instrs] (default 10

@@ -38,6 +38,7 @@ let all =
 let names = List.map (fun e -> e.name) all
 
 let find name = List.find (fun e -> e.name = name) all
+let find_opt name = List.find_opt (fun e -> e.name = name) all
 
 (* Domain-safe: [compile] is called from pool workers when experiment
    drivers prepare benchmarks in parallel. *)

@@ -16,6 +16,10 @@ val names : string list
 val find : string -> entry
 (** Raises [Not_found] for unknown names. *)
 
+val find_opt : string -> entry option
+(** Total lookup; scenario configs use this to report unknown workload
+    names as errors instead of exceptions. *)
+
 val compile : entry -> Pc_isa.Program.t
 (** Compile the benchmark to an SRISC binary (memoised per entry name). *)
 

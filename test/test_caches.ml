@@ -189,6 +189,54 @@ let test_hierarchy_no_l2 () =
   Alcotest.(check int) "miss to memory" 41 (Hierarchy.access h 0);
   Alcotest.(check int) "no l2 accesses" 0 (Hierarchy.l2_accesses h)
 
+(* Shared-L2 reuse: resetting the shared instance once plus every
+   hierarchy that drains into it must reproduce a freshly-built
+   ensemble exactly — the regression guard for reusing hierarchies
+   across scenario runs (pc_scenario builds a new ensemble per run, but
+   the reset path must stay equivalent). *)
+let test_shared_l2_reset_reuse () =
+  let l2_cfg = Option.get hcfg.Hierarchy.l2 in
+  (* per-tenant footprint: 4 distinct lines in sets 0..3 of the 256B
+     direct-mapped L1 — the first pass cold-misses then hits, so a
+     second pass over warm caches is observably different *)
+  let stream = List.init 64 (fun i -> (i mod 2, i / 2 mod 4 * 32)) in
+  let run hs =
+    List.map (fun (tenant, addr) -> Hierarchy.access hs.(tenant) addr) stream
+  in
+  let build () =
+    let l2 = Cache.create l2_cfg in
+    Array.init 2 (fun i ->
+        Hierarchy.create_shared ~tag:(i lsl 26) ~l2:(Some l2) hcfg)
+  in
+  let counters h =
+    ( Hierarchy.l1_accesses h,
+      Hierarchy.l1_misses h,
+      Hierarchy.l2_accesses h,
+      Hierarchy.l2_misses h,
+      Hierarchy.mem_accesses h )
+  in
+  let l2 = Cache.create l2_cfg in
+  let hs =
+    Array.init 2 (fun i ->
+        Hierarchy.create_shared ~tag:(i lsl 26) ~l2:(Some l2) hcfg)
+  in
+  let first = run hs in
+  let first_counters = Array.map counters hs in
+  (* a second pass over warm caches differs — proves reset has work to do *)
+  Alcotest.(check bool) "warm pass differs" true (run hs <> first);
+  Cache.reset l2;
+  Array.iter Hierarchy.reset hs;
+  Alcotest.(check (list int)) "reset ensemble replays exactly" first (run hs);
+  Alcotest.(check bool) "reset counters replay" true
+    (Array.map counters hs = first_counters);
+  (* and both match a freshly-built ensemble *)
+  let fresh = build () in
+  Alcotest.(check (list int)) "fresh ensemble matches" first (run fresh);
+  (* tags keep tenants' lines distinct: tenant 1 alone behaves the same
+     whatever its tag, but the two tenants never hit each other's lines *)
+  Alcotest.(check bool) "fresh counters match" true
+    (Array.map counters fresh = first_counters)
+
 (* --- the 28-config study --- *)
 
 let test_study_configs () =
@@ -315,6 +363,8 @@ let () =
           Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
           Alcotest.test_case "counters" `Quick test_hierarchy_counters;
           Alcotest.test_case "without L2" `Quick test_hierarchy_no_l2;
+          Alcotest.test_case "shared L2 reset reuse" `Quick
+            test_shared_l2_reset_reuse;
         ] );
       ( "study",
         [

@@ -1,0 +1,287 @@
+(* pc_scenario: the multi-tenant co-run engine and its driver.
+
+   The load-bearing properties:
+   - a 1-tenant scenario is bit-identical to the standalone Pc_uarch.Sim
+     (same cycles, IPC and miss counters) — the shared-L2 machinery with
+     tag 0 and fresh L2s must be invisible;
+   - a tight-geometry duet shows real shared-L2 interference;
+   - the pc-scenario/1 artefact is byte-identical across pool widths and
+     across cold re-runs. *)
+
+module Machine = Pc_funcsim.Machine
+module Registry = Pc_workloads.Registry
+module Config = Pc_uarch.Config
+module Sim = Pc_uarch.Sim
+module Spec = Pc_scenario.Spec
+module Presets = Pc_scenario.Presets
+module Scenario = Pc_scenario.Scenario
+module Runner = Pc_scenario.Runner
+module Report = Pc_scenario.Report
+module Pool = Pc_exec.Pool
+module Json = Pc_util.Json
+
+let program name = Registry.compile (Registry.find name)
+
+let solo_input name budget =
+  {
+    Scenario.label = name;
+    budget;
+    source = Scenario.From_machine (Machine.load (program name));
+  }
+
+(* --- 1 tenant == standalone Sim --- *)
+
+let check_solo_matches_standalone ?quantum name budget =
+  let cfg = Config.base in
+  let alone = Sim.run cfg ~max_instrs:budget (program name) in
+  let co = Scenario.co_run ?quantum cfg [| solo_input name budget |] in
+  Alcotest.(check int) "one tenant" 1 (Array.length co);
+  let r = co.(0).Scenario.result in
+  Alcotest.(check int) "instrs" alone.Sim.instrs r.Sim.instrs;
+  Alcotest.(check int) "cycles" alone.Sim.cycles r.Sim.cycles;
+  Alcotest.(check (float 0.0)) "ipc" alone.Sim.ipc r.Sim.ipc;
+  Alcotest.(check int) "branches" alone.Sim.branches r.Sim.branches;
+  Alcotest.(check int) "mispredictions" alone.Sim.mispredictions
+    r.Sim.mispredictions;
+  Alcotest.(check int) "l1i misses" alone.Sim.l1i_misses r.Sim.l1i_misses;
+  Alcotest.(check int) "l1d misses" alone.Sim.l1d_misses r.Sim.l1d_misses;
+  Alcotest.(check int) "l2 accesses" alone.Sim.l2_accesses r.Sim.l2_accesses;
+  Alcotest.(check int) "l2 misses" alone.Sim.l2_misses r.Sim.l2_misses;
+  Alcotest.(check int) "mem accesses" alone.Sim.mem_accesses
+    r.Sim.mem_accesses
+
+let test_solo_exact () = check_solo_matches_standalone "crc32" 20_000
+
+let test_solo_exact_small_quantum () =
+  (* a quantum far below the batch capacity exercises the budget
+     slicing without being able to change a 1-tenant result *)
+  check_solo_matches_standalone ~quantum:257 "qsort" 20_000
+
+let test_solo_exact_qcheck =
+  let gen =
+    QCheck2.Gen.(
+      triple (oneofl [ "crc32"; "qsort"; "sha" ]) (int_range 1_000 15_000)
+        (int_range 1 4096))
+  in
+  QCheck2.Test.make ~count:8 ~name:"1-tenant co_run == standalone Sim" gen
+    (fun (name, budget, quantum) ->
+      check_solo_matches_standalone ~quantum name budget;
+      true)
+
+(* --- interference --- *)
+
+let test_tight_duet_interferes () =
+  let spec = Option.get (Presets.find "duet-tight") in
+  let settings = { Runner.quick_settings with Runner.budget = 150_000 } in
+  Runner.clear_caches ();
+  let r = Runner.run_spec settings spec in
+  Alcotest.(check int) "two tenants" 2 (List.length r.Runner.tenants);
+  List.iter
+    (fun (t : Runner.tenant_row) ->
+      Alcotest.(check bool)
+        (t.Runner.label ^ " slowed by co-run")
+        true
+        (t.Runner.corun_ipc < t.Runner.standalone_ipc);
+      Alcotest.(check bool)
+        (t.Runner.label ^ " slowdown > 1")
+        true (t.Runner.slowdown > 1.0);
+      Alcotest.(check bool)
+        (t.Runner.label ^ " uses the L2")
+        true
+        (t.Runner.l2_accesses > 0))
+    r.Runner.tenants;
+  Alcotest.(check bool) "weighted speedup below N" true
+    (r.Runner.weighted_speedup < 2.0);
+  Alcotest.(check bool) "fairness in (0, 1]" true
+    (r.Runner.fairness > 0.0 && r.Runner.fairness <= 1.0)
+
+(* --- determinism: pool width and cold re-runs --- *)
+
+let scenario_json settings pool specs =
+  Runner.clear_caches ();
+  Report.json ~settings (Runner.run ~pool settings specs)
+
+let test_pool_width_byte_identity () =
+  let specs =
+    [ Option.get (Presets.find "duet"); Option.get (Presets.find "priority-duet") ]
+  in
+  let settings = { Runner.quick_settings with Runner.budget = 60_000 } in
+  let serial = scenario_json settings Pool.serial specs in
+  let parallel =
+    scenario_json settings (Pool.create ~num_domains:4) specs
+  in
+  Alcotest.(check string) "-j1 == -j4" serial parallel;
+  let again = scenario_json settings Pool.serial specs in
+  Alcotest.(check string) "cold re-run identical" serial again
+
+(* --- priority arbitration --- *)
+
+let test_priority_weights () =
+  let cfg = Config.base in
+  let inputs =
+    [| solo_input "crc32" 20_000; solo_input "qsort" 20_000 |]
+  in
+  let rr = Scenario.co_run cfg inputs in
+  let inputs =
+    [| solo_input "crc32" 20_000; solo_input "qsort" 20_000 |]
+  in
+  let pri = Scenario.co_run ~quantum:512 ~weights:[| 3; 1 |] cfg inputs in
+  Array.iter
+    (fun (t : Scenario.tenant_result) ->
+      Alcotest.(check int) (t.Scenario.label ^ " ran to budget") 20_000
+        t.Scenario.fed)
+    rr;
+  Array.iter
+    (fun (t : Scenario.tenant_result) ->
+      Alcotest.(check int) (t.Scenario.label ^ " ran to budget") 20_000
+        t.Scenario.fed)
+    pri
+
+let test_co_run_validation () =
+  let cfg = Config.base in
+  Alcotest.check_raises "no tenants"
+    (Invalid_argument "Scenario.co_run: no tenants") (fun () ->
+      ignore (Scenario.co_run cfg [||]));
+  Alcotest.check_raises "bad weights"
+    (Invalid_argument "Scenario.co_run: one weight per tenant") (fun () ->
+      ignore
+        (Scenario.co_run ~weights:[| 1; 2 |] cfg
+           [| solo_input "crc32" 1_000 |]))
+
+(* --- spec validation and pc-scenario-config/1 --- *)
+
+let test_spec_validation () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Spec.v: a scenario needs tenants") (fun () ->
+      ignore (Spec.v ~name:"x" []));
+  Alcotest.check_raises "weights arity"
+    (Invalid_argument "Spec.v: one priority weight per tenant slot")
+    (fun () ->
+      ignore
+        (Spec.v ~name:"x" ~policy:(Spec.Priority [ 1 ])
+           [ Spec.tenant "crc32"; Spec.tenant "qsort" ]))
+
+let test_spec_slots () =
+  let spec =
+    Spec.v ~name:"x"
+      [ Spec.tenant ~count:2 "crc32"; Spec.tenant ~kind:Spec.Clone "crc32" ]
+  in
+  let labels =
+    Array.to_list (Array.map (fun (l, _, _) -> l) (Spec.slots spec))
+  in
+  Alcotest.(check (list string)) "labels unique and stable"
+    [ "crc32#0"; "crc32#1"; "crc32:clone" ]
+    labels;
+  Alcotest.(check int) "expanded count" 3 (Spec.n_tenants spec)
+
+let json_exn s =
+  match Json.parse s with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "JSON parse: %s" msg
+
+let test_config_of_json () =
+  let doc =
+    json_exn
+      {|{"schema": "pc-scenario-config/1",
+         "scenarios": [
+           {"name": "mix", "quantum": 1024,
+            "policy": {"priority": [2, 1]},
+            "l2": {"size_bytes": 2048, "assoc": 4, "line_bytes": 64},
+            "tenants": [{"workload": "crc32"},
+                        {"workload": "qsort", "kind": "clone"}]}]}|}
+  in
+  match Spec.of_json doc with
+  | Error msg -> Alcotest.failf "of_json: %s" msg
+  | Ok [ spec ] ->
+    Alcotest.(check string) "name" "mix" spec.Spec.name;
+    Alcotest.(check int) "quantum" 1024 spec.Spec.quantum;
+    Alcotest.(check bool) "priority" true
+      (spec.Spec.policy = Spec.Priority [ 2; 1 ]);
+    Alcotest.(check bool) "l2 override" true (spec.Spec.shared_l2 <> None);
+    Alcotest.(check int) "tenants" 2 (Spec.n_tenants spec)
+  | Ok l -> Alcotest.failf "expected one scenario, got %d" (List.length l)
+
+let test_config_of_json_errors () =
+  let bad schema body =
+    match
+      Spec.of_json
+        (json_exn
+           (Printf.sprintf {|{"schema": %s, "scenarios": [%s]}|} schema body))
+    with
+    | Ok _ -> Alcotest.fail "accepted a bad document"
+    | Error _ -> ()
+  in
+  bad {|"nope/1"|} {|{"name": "x", "tenants": [{"workload": "crc32"}]}|};
+  bad {|"pc-scenario-config/1"|} {|{"name": "x", "tenants": []}|};
+  bad {|"pc-scenario-config/1"|} {|{"name": "x", "tenants": [{}]}|};
+  bad {|"pc-scenario-config/1"|}
+    {|{"name": "x", "tenants": [{"workload": "crc32", "kind": "weird"}]}|}
+
+(* --- the threshold gate --- *)
+
+let report_doc () =
+  let settings = { Runner.quick_settings with Runner.budget = 60_000 } in
+  Runner.clear_caches ();
+  let results =
+    Runner.run settings [ Option.get (Presets.find "duet") ]
+  in
+  json_exn (Report.json ~settings results)
+
+let test_check_gate () =
+  let report = report_doc () in
+  let thresholds bound =
+    json_exn
+      (Printf.sprintf
+         {|{"schema": "pc-scenario-thresholds/1",
+            "scenarios": {"duet": {"max_slowdown": %s,
+                                   "min_fairness": 0.5,
+                                   "min_weighted_speedup": 1.0}}}|}
+         bound)
+  in
+  Alcotest.(check (list string)) "passes generous bounds" []
+    (Report.check ~thresholds:(thresholds "2.0") ~report);
+  Alcotest.(check bool) "fails impossible bound" true
+    (Report.check ~thresholds:(thresholds "0.5") ~report <> []);
+  let wrong = json_exn {|{"schema": "pc-scenario-thresholds/1"}|} in
+  Alcotest.(check (list string)) "no bounds, no issues" []
+    (Report.check ~thresholds:wrong ~report);
+  let bad_schema = json_exn {|{"schema": "nope/1"}|} in
+  Alcotest.(check bool) "schema mismatch flagged" true
+    (Report.check ~thresholds:bad_schema ~report <> [])
+
+let () =
+  Alcotest.run "pc_scenario"
+    [
+      ( "exactness",
+        [
+          Alcotest.test_case "1 tenant == standalone" `Quick test_solo_exact;
+          Alcotest.test_case "1 tenant, small quantum" `Quick
+            test_solo_exact_small_quantum;
+          QCheck_alcotest.to_alcotest test_solo_exact_qcheck;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "tight duet interferes" `Quick
+            test_tight_duet_interferes;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pool width and re-run byte identity" `Quick
+            test_pool_width_byte_identity;
+        ] );
+      ( "arbitration",
+        [
+          Alcotest.test_case "priority weights" `Quick test_priority_weights;
+          Alcotest.test_case "co_run validation" `Quick test_co_run_validation;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "slot labels" `Quick test_spec_slots;
+          Alcotest.test_case "config JSON" `Quick test_config_of_json;
+          Alcotest.test_case "config JSON errors" `Quick
+            test_config_of_json_errors;
+        ] );
+      ( "gate",
+        [ Alcotest.test_case "thresholds" `Quick test_check_gate ] );
+    ]

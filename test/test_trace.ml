@@ -304,6 +304,56 @@ let test_fidelity_measure_and_json () =
       Fidelity.characteristic_names
   | _ -> Alcotest.fail "expected one benchmark row")
 
+let test_fidelity_per_phase () =
+  let program, p = profile_of "crc32" 40_000 in
+  let r =
+    (* self-clone: the per-phase machinery sliced over identical runs *)
+    Fidelity.measure ~max_instrs:40_000 ~bench:"crc32" ~original:p program
+  in
+  Alcotest.(check int) "no phases before measure_phases" 0
+    (List.length r.Fidelity.phases);
+  let r =
+    Fidelity.measure_phases ~interval:10_000 ~original:program ~clone:program r
+  in
+  Alcotest.(check int) "ceil(orig/interval) phases" 4
+    (List.length r.Fidelity.phases);
+  List.iteri
+    (fun i (ph : Fidelity.phase) ->
+      Alcotest.(check int) "indexed in order" i ph.Fidelity.p_index;
+      Alcotest.(check int) "original cut at interval boundaries"
+        (i * 10_000) ph.Fidelity.p_orig_start;
+      Alcotest.(check bool) "phase profiled instructions" true
+        (ph.Fidelity.p_orig_instrs > 0 && ph.Fidelity.p_clone_instrs > 0);
+      (* clone == original here, and both are sliced identically, so
+         every phase-local comparison is perfect *)
+      Alcotest.(check (float 1e-9)) "phase mix l1" 0.0
+        ph.Fidelity.p_c.Fidelity.instr_mix_l1;
+      Alcotest.(check (float 1e-9)) "phase stride agreement" 1.0
+        ph.Fidelity.p_c.Fidelity.stride_agreement)
+    r.Fidelity.phases;
+  let with_phases =
+    Fidelity.json ~seed:1 ~profile_instrs:40_000 ~clone_dynamic:40_000 [ r ]
+  in
+  let doc = json_exn with_phases in
+  (match Option.bind (Json.member "benchmarks" doc) Json.to_list with
+  | Some [ row ] -> (
+    match Option.bind (Json.member "phases" row) Json.to_list with
+    | Some rows -> Alcotest.(check int) "phases serialised" 4 (List.length rows)
+    | None -> Alcotest.fail "phases array missing")
+  | _ -> Alcotest.fail "expected one benchmark row");
+  (* the plain report stays byte-identical: no phases key at all *)
+  let without =
+    Fidelity.json ~seed:1 ~profile_instrs:40_000 ~clone_dynamic:40_000
+      [ { r with Fidelity.phases = [] } ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no phases key without measure_phases" false
+    (contains without "phases")
+
 let thresholds_doc =
   {|{"schema":"pc-fidelity-thresholds/1",
      "max":{"instr_mix_l1":0.5},
@@ -374,6 +424,7 @@ let () =
             test_fidelity_self_comparison;
           Alcotest.test_case "measure + pc-fidelity/1 json" `Slow
             test_fidelity_measure_and_json;
+          Alcotest.test_case "per-phase rows" `Slow test_fidelity_per_phase;
           Alcotest.test_case "threshold gate" `Quick test_fidelity_check_gate;
         ] );
     ]
