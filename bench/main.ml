@@ -8,14 +8,17 @@
    reports.
 
      dune exec bench/main.exe -- [--json FILE] [--dispatch-json FILE]
-                                 [--no-series]
+                                 [--cachesweep-json FILE] [--no-series]
 
    --json writes the timings in the stable pc-bench/1 schema (see
    EXPERIMENTS.md) so CI can archive them run over run; --dispatch-json
    distils the two funcsim rows into a pc-dispatch/1 comparison (seed
    interpreter vs threaded engine, retired-instrs/sec) that CI gates at
-   >=5x; --no-series skips the table/figure regeneration after the
-   timings. *)
+   >=5x; --cachesweep-json distils the two cache rows into a
+   pc-cachesweep/1 comparison (simulated vs one-pass stack-distance
+   28-config sweep, with per-config result agreement) that CI gates at
+   >=5x and zero mismatches; --no-series skips the table/figure
+   regeneration after the timings. *)
 
 open Bechamel
 module E = Perfclone.Experiments
@@ -31,6 +34,7 @@ let bench_settings =
     benchmarks = [ "crc32" ];
     sample = None;
     plan_cache = None;
+    cache_onepass = false;
   }
 
 (* Shared pipelines, built once: each test measures only its own
@@ -126,6 +130,42 @@ let co_run_mix programs =
   in
   Pc_scenario.Scenario.co_run Pc_uarch.Config.base inputs
 
+(* Simulated-vs-one-pass cache-sweep pair: the same recorded address
+   trace priced over the 28-configuration study grid by the 28 tag-array
+   simulations and by the single stack-distance traversal.  The trace is
+   recorded once (crc32, the registry's first benchmark) so both rows
+   replay identical references; CI holds the ratio of the two rows
+   (archived by --cachesweep-json) at the >=5x the one-pass rewrite
+   claims, and the same artefact carries the result-agreement fields. *)
+let sweep_budget = 200_000
+
+let sweep_trace =
+  lazy
+    (let buf = ref (Array.make 4096 0) and n = ref 0 in
+     let push a =
+       if !n = Array.length !buf then begin
+         let grown = Array.make (2 * !n) 0 in
+         Array.blit !buf 0 grown 0 !n;
+         buf := grown
+       end;
+       !buf.(!n) <- a;
+       incr n
+     in
+     let m = Pc_funcsim.Machine.load (Lazy.force sample_program) in
+     let instrs =
+       Pc_funcsim.Machine.run ~max_instrs:sweep_budget m (fun ev ->
+           if ev.Pc_funcsim.Machine.mem_addr >= 0 then push ev.Pc_funcsim.Machine.mem_addr)
+     in
+     (Array.sub !buf 0 !n, instrs))
+
+let sweep_feed emit =
+  let trace, instrs = Lazy.force sweep_trace in
+  Array.iter emit trace;
+  instrs
+
+let sweep_ref () = Pc_caches.Study.run_trace sweep_feed
+let sweep_onepass () = Pc_caches.Study.run_trace_onepass sweep_feed
+
 let dispatch_ref () =
   let m = Pc_funcsim.Machine_ref.load (Lazy.force dispatch_program) in
   Pc_funcsim.Machine_ref.run ~max_instrs:dispatch_budget m ignore
@@ -178,6 +218,10 @@ let tests =
       (Staged.stage dispatch_ref);
     Test.make ~name:"funcsim:dispatch"
       (Staged.stage dispatch_new);
+    Test.make ~name:"cache:sweep-ref"
+      (Staged.stage sweep_ref);
+    Test.make ~name:"cache:sweep-onepass"
+      (Staged.stage sweep_onepass);
     Test.make ~name:"fidelity:clone-reprofile"
       (Staged.stage (fun () ->
            let p = List.hd (Lazy.force pipelines) in
@@ -277,6 +321,49 @@ let write_dispatch_json path rows =
         dispatch_budget ref_ms new_ms (ips ref_ms) (ips new_ms)
         (ref_ms /. new_ms))
 
+(* Schema "pc-cachesweep/1" (documented in EXPERIMENTS.md): the one-pass
+   cache-sweep comparison distilled from the two cache rows of the same
+   timing run, plus result agreement measured directly — both paths are
+   run once more over the recorded trace and compared per configuration
+   (misses, accesses and mpi must match exactly; [mismatches] counts
+   configs that differ and [max_abs_mpi_diff] bounds the drift).  CI
+   archives this file and gates [speedup] and [mismatches]. *)
+let write_cachesweep_json path rows =
+  let ms name =
+    match List.assoc_opt name rows with
+    | Some (Some v) when v > 0.0 -> v
+    | _ ->
+      Printf.eprintf "bench: no timing estimate for %s\n" name;
+      exit 2
+  in
+  let ref_ms = ms "cache:sweep-ref" and onepass_ms = ms "cache:sweep-onepass" in
+  let refs = Array.length (fst (Lazy.force sweep_trace)) in
+  let simulated = sweep_ref () and onepass = sweep_onepass () in
+  let mismatches = ref 0 and max_diff = ref 0.0 in
+  Array.iteri
+    (fun i (s : Pc_caches.Study.result) ->
+      let o = onepass.(i) in
+      let diff = abs_float (s.Pc_caches.Study.mpi -. o.Pc_caches.Study.mpi) in
+      if diff > !max_diff then max_diff := diff;
+      if
+        s.Pc_caches.Study.misses <> o.Pc_caches.Study.misses
+        || s.Pc_caches.Study.accesses <> o.Pc_caches.Study.accesses
+        || s.Pc_caches.Study.mpi <> o.Pc_caches.Study.mpi
+      then incr mismatches)
+    simulated;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"schema\":\"pc-cachesweep/1\",\"trace\":\"crc32\",\"budget\":%d,\
+         \"refs\":%d,\"configs\":%d,\"ref_ms_per_run\":%.6f,\
+         \"onepass_ms_per_run\":%.6f,\"speedup\":%.3f,\"mismatches\":%d,\
+         \"max_abs_mpi_diff\":%.9f}\n"
+        sweep_budget refs
+        (Array.length Pc_caches.Study.configs)
+        ref_ms onepass_ms (ref_ms /. onepass_ms) !mismatches !max_diff)
+
 let print_series () =
   Format.printf "@.== Paper tables and figures (quick settings) ==@.";
   let s = E.quick_settings in
@@ -299,10 +386,11 @@ let print_series () =
 
 open Cmdliner
 
-let main json dispatch_json no_series =
+let main json dispatch_json cachesweep_json no_series =
   let rows = run_timings () in
   Option.iter (fun path -> write_json path rows) json;
   Option.iter (fun path -> write_dispatch_json path rows) dispatch_json;
+  Option.iter (fun path -> write_cachesweep_json path rows) cachesweep_json;
   if not no_series then print_series ()
 
 let json_arg =
@@ -317,6 +405,14 @@ let dispatch_json_arg =
                  $(b,pc-dispatch/1): seed-interpreter vs threaded-engine \
                  retired-instrs/sec and their ratio) to $(docv).")
 
+let cachesweep_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cachesweep-json" ] ~docv:"FILE"
+           ~doc:"Write the one-pass cache-sweep comparison (schema \
+                 $(b,pc-cachesweep/1): simulated vs stack-distance sweep \
+                 timings, their ratio, and per-config result agreement) \
+                 to $(docv).")
+
 let no_series_arg =
   Arg.(value & flag
        & info [ "no-series" ]
@@ -325,6 +421,8 @@ let no_series_arg =
 let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"benchmark the experiment pipeline")
-    Term.(const main $ json_arg $ dispatch_json_arg $ no_series_arg)
+    Term.(
+      const main $ json_arg $ dispatch_json_arg $ cachesweep_json_arg
+      $ no_series_arg)
 
 let () = exit (Cmd.eval cmd)

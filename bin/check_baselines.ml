@@ -5,6 +5,7 @@
      check_baselines bench baselines/bench.json BENCH_results.json [--tolerance 0.2]
      check_baselines fidelity baselines/fidelity.json fidelity.json
      check_baselines scenario baselines/scenario.json scenario.json
+     check_baselines cachesweep baselines/cachesweep.json cachesweep.json
 
    Exits 0 when the current artefact matches the baseline (exactly for
    pc-obs/1 counters and gauges; within the median-normalised tolerance
@@ -33,6 +34,7 @@ let main mode baseline_path current_path tolerance floor_ms =
     | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
     | `Scenario ->
       Pc_scenario.Report.check ~thresholds:baseline ~report:current
+    | `Cachesweep -> Baseline.check_cachesweep ~thresholds:baseline ~report:current
   in
   match issues with
   | [] ->
@@ -53,6 +55,7 @@ let mode_arg =
       ("bench", `Bench);
       ("fidelity", `Fidelity);
       ("scenario", `Scenario);
+      ("cachesweep", `Cachesweep);
     ]
   in
   Arg.(
@@ -64,7 +67,9 @@ let mode_arg =
               $(b,fidelity) gates a pc-fidelity/1 report against \
               pc-fidelity-thresholds/1 bounds; $(b,scenario) gates a \
               pc-scenario/1 co-run report against \
-              pc-scenario-thresholds/1 bounds.")
+              pc-scenario-thresholds/1 bounds; $(b,cachesweep) gates a \
+              pc-cachesweep/1 one-pass sweep comparison against \
+              pc-cachesweep-thresholds/1 bounds.")
 
 let baseline_arg =
   Arg.(

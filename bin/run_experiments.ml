@@ -3,8 +3,9 @@
    Usage:
      run_experiments [EXPERIMENT]... [--quick] [--bench NAME]... [--seed N] [-j N]
                      [--sample N] [--sample-out FILE] [--sample-no-ref]
-                     [--plan-cache [DIR]] [--trace FILE] [--trace-period-ms MS]
-                     [--metrics] [--metrics-out FILE] [-v] [--quiet]
+                     [--plan-cache [DIR]] [--cache-onepass] [--trace FILE]
+                     [--trace-period-ms MS] [--metrics] [--metrics-out FILE]
+                     [-v] [--quiet]
 
    Experiments: table1 table2 fig3 fig4 fig5 fig6 fig7 table3 fig8 fig9
    ablation all (default: all).
@@ -181,7 +182,8 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
     (fun () -> output_string oc (Buffer.contents b))
 
 let main experiments quick benches seed jobs sample sample_out sample_no_ref
-    plan_cache trace trace_period_ms metrics metrics_out verbosity quiet =
+    plan_cache cache_onepass trace trace_period_ms metrics metrics_out verbosity
+    quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
   if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
   Pc_trace.Chrome.with_trace
@@ -217,6 +219,13 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
   in
   if plan_cache <> None && sample = None then
     Format.eprintf "run_experiments: --plan-cache ignored without --sample@.";
+  let cache_onepass =
+    cache_onepass
+    ||
+    match Sys.getenv_opt "PC_CACHE_ONEPASS" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
   let settings =
     {
       base with
@@ -224,6 +233,7 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
       benchmarks = (if benches = [] then base.E.benchmarks else benches);
       sample;
       plan_cache = (if sample = None then None else plan_cache);
+      cache_onepass;
     }
   in
   let experiments = if experiments = [] then [ "all" ] else experiments in
@@ -388,6 +398,17 @@ let plan_cache_arg =
     & opt ~vopt:(Some "") (some string) None
     & info [ "plan-cache" ] ~docv:"DIR" ~doc)
 
+let cache_onepass_arg =
+  let doc =
+    "Price every 28-configuration cache sweep with the one-pass \
+     stack-distance profiler instead of simulating all 28 caches — the \
+     same results (byte-identical, the test suite holds the two equal) \
+     at about the cost of a single pass over the trace.  Applies to \
+     both full-trace sweeps and sampled projections.  Also enabled by \
+     setting $(b,PC_CACHE_ONEPASS) to 1, true or yes."
+  in
+  Arg.(value & flag & info [ "cache-onepass" ] ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace_event timeline (schema $(b,pc-trace/1), loads \
@@ -437,7 +458,7 @@ let cmd =
     Term.(
       const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
       $ sample_arg $ sample_out_arg $ sample_no_ref_arg $ plan_cache_arg
-      $ trace_arg
+      $ cache_onepass_arg $ trace_arg
       $ trace_period_ms_arg $ metrics_arg $ metrics_out_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)

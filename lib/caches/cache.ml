@@ -116,9 +116,28 @@ let access t addr =
         done;
         if !invalid >= 0 then !invalid
         else begin
-          t.rand_state <-
-            Int64.add (Int64.mul t.rand_state 6364136223846793005L) 1442695040888963407L;
-          Int64.to_int (Int64.shift_right_logical t.rand_state 33) mod t.nways
+          (* Unbiased victim draw.  [mod nways] of a 31-bit draw skews
+             low ways whenever 2^31 is not a multiple of [nways]; mask
+             when [nways] is a power of two (always, given power-of-two
+             geometry), and otherwise reject draws from the final
+             partial multiple of [nways] — same scheme as [Rng.int]. *)
+          let draw () =
+            t.rand_state <-
+              Int64.add
+                (Int64.mul t.rand_state 6364136223846793005L)
+                1442695040888963407L;
+            Int64.to_int (Int64.shift_right_logical t.rand_state 33)
+          in
+          if t.nways land (t.nways - 1) = 0 then draw () land (t.nways - 1)
+          else begin
+            let bound = 1 lsl 31 in
+            let limit = bound - (bound mod t.nways) in
+            let v = ref (draw ()) in
+            while !v >= limit do
+              v := draw ()
+            done;
+            !v mod t.nways
+          end
         end
     in
     let idx = base + victim in

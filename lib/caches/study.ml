@@ -18,6 +18,8 @@ type result = { config : Cache.config; misses : int; accesses : int; mpi : float
 
 let c_runs = Pc_obs.Metrics.counter "study.runs"
 let c_refs = Pc_obs.Metrics.counter "study.trace_refs"
+let c_onepass_runs = Pc_obs.Metrics.counter "study.onepass.runs"
+let c_onepass_refs = Pc_obs.Metrics.counter "study.onepass.trace_refs"
 
 let run_trace ?warmup feed =
   let caches = Array.map Cache.create configs in
@@ -47,11 +49,47 @@ let run_trace ?warmup feed =
            else float_of_int misses /. float_of_int instrs);
       })
 
+(* One-pass variant: same contract as [run_trace] (including the
+   ?warmup snapshot semantics), but the grid is priced by a single
+   stack-distance traversal instead of 28 tag-array simulations.  The
+   test suite holds the two byte-identical per config. *)
+let run_trace_onepass ?warmup feed =
+  Pc_obs.Span.with_ "study:onepass" @@ fun () ->
+  let prof = Stack_dist.create configs in
+  let emit addr = Stack_dist.access prof addr in
+  let warm_misses, warm_accesses =
+    match warmup with
+    | None -> (Array.make (Array.length configs) 0, 0)
+    | Some warm ->
+      warm emit;
+      (Stack_dist.misses prof, Stack_dist.accesses prof)
+  in
+  let instrs = feed emit in
+  Pc_obs.Metrics.incr c_onepass_runs;
+  Pc_obs.Metrics.add c_onepass_refs (Stack_dist.accesses prof - warm_accesses);
+  let misses = Stack_dist.misses prof in
+  let accesses = Stack_dist.accesses prof - warm_accesses in
+  Array.init (Array.length configs) (fun i ->
+      let misses = misses.(i) - warm_misses.(i) in
+      {
+        config = configs.(i);
+        misses;
+        accesses;
+        mpi =
+          (if instrs = 0 then 0.0
+           else float_of_int misses /. float_of_int instrs);
+      })
+
 let relative_mpi results =
   let reference = results.(reference_index).mpi in
   let rest =
     Array.of_list
       (List.filteri (fun i _ -> i <> reference_index) (Array.to_list results))
   in
-  if reference = 0.0 then Array.map (fun r -> r.mpi) rest
+  (* A zero-MPI reference makes the ratios undefined; returning absolute
+     MPIs here (as this once did) silently switches the series' units
+     mid-pipeline.  NaN is the explicit sentinel: the pc JSON writers
+     render non-finite values as null (PR 4 audit), so a degenerate
+     series can never be mistaken for ratios downstream. *)
+  if reference = 0.0 then Array.map (fun _ -> Float.nan) rest
   else Array.map (fun r -> r.mpi /. reference) rest

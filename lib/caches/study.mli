@@ -31,8 +31,23 @@ val run_trace :
     simulation uses this to measure one representative window on a
     warmed cache without a second pass. *)
 
+val run_trace_onepass :
+  ?warmup:((int -> unit) -> unit) -> ((int -> unit) -> int) -> result array
+(** Exactly {!run_trace} — same results, byte for byte, including the
+    [?warmup] snapshot semantics — but computed by a single
+    {!Stack_dist} stack-distance traversal of the trace instead of 28
+    tag-array simulations, making a grid sweep cost about one pass.
+    Bumps [study.onepass.runs]/[study.onepass.trace_refs] (not the
+    simulated-path counters) and runs under a [study:onepass] span.
+    This is what [--cache-onepass] / [PC_CACHE_ONEPASS] route the
+    experiment drivers through; the simulated {!run_trace} remains the
+    oracle it is differentially tested against. *)
+
 val relative_mpi : result array -> float array
 (** The paper's Figure-4 series: misses-per-instruction of each of the 27
     non-reference configurations divided by the reference configuration's
-    misses-per-instruction.  When the reference has zero misses, returns
-    raw MPIs instead (degenerate but defined). *)
+    misses-per-instruction.  When the reference MPI is zero the ratios
+    are undefined and every element is [Float.nan] — an explicit
+    sentinel (rendered as null by the pc JSON writers) rather than a
+    silent switch to absolute MPIs, so downstream consumers can never
+    mix units. *)

@@ -21,6 +21,7 @@ type settings = {
   benchmarks : string list;
   sample : int option;
   plan_cache : string option;
+  cache_onepass : bool;
 }
 
 let default_settings =
@@ -32,6 +33,7 @@ let default_settings =
     benchmarks = [];
     sample = None;
     plan_cache = None;
+    cache_onepass = false;
   }
 
 let quick_settings =
@@ -43,6 +45,7 @@ let quick_settings =
     benchmarks = [ "crc32"; "qsort"; "sha"; "fft"; "dijkstra" ];
     sample = None;
     plan_cache = None;
+    cache_onepass = false;
   }
 
 let prepare ?(pool = Pool.serial) settings =
@@ -197,24 +200,36 @@ type cache_study = {
   clone_mpi : float array;
 }
 
+(* The one-pass results are byte-identical to the simulated ones, but
+   the memo keys are still tagged with the path so that a mixed-flag
+   process (e.g. the onepass-equivalence tests) never serves one path's
+   cached series as evidence the other path agrees. *)
 let mpi_trace settings program =
   let max_instrs = settings.sim_instrs in
   let mpis =
     match settings.sample with
     | None ->
-      let key = digest (program, max_instrs) in
+      let key = digest (program, max_instrs, settings.cache_onepass) in
       Store.find_or_compute trace_store key (fun () ->
+          let feed emit =
+            let m = Machine.load program in
+            Machine.run ~max_instrs m (fun ev ->
+                if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr)
+          in
           let results =
-            Study.run_trace (fun emit ->
-                let m = Machine.load program in
-                Machine.run ~max_instrs m (fun ev ->
-                    if ev.Machine.mem_addr >= 0 then emit ev.Machine.mem_addr))
+            if settings.cache_onepass then Study.run_trace_onepass feed
+            else Study.run_trace feed
           in
           Array.map (fun (r : Study.result) -> r.Study.mpi) results)
     | Some interval ->
-      let key = digest ("sampled-mpi", program, max_instrs, interval, settings.seed) in
+      let key =
+        digest
+          ( "sampled-mpi", program, max_instrs, interval, settings.seed,
+            settings.cache_onepass )
+      in
       Store.find_or_compute trace_store key (fun () ->
-          Pc_sample.Sample.project_mpi (sample_plan settings ~interval program))
+          Pc_sample.Sample.project_mpi ~onepass:settings.cache_onepass
+            (sample_plan settings ~interval program))
   in
   Array.copy mpis
 

@@ -20,6 +20,15 @@ type settings = {
       (** [Some dir]: persist sampling plans on disk under [dir]
           ({!Pc_sample.Plan_cache}), so repeated sampled invocations skip
           plan construction.  Only consulted when [sample] is set. *)
+  cache_onepass : bool;
+      (** [true]: price every 28-configuration cache sweep with the
+          one-pass stack-distance profiler
+          ({!Pc_caches.Study.run_trace_onepass}) instead of 28 simulated
+          caches — both the full-trace sweeps and the sampled
+          {!Pc_sample.Sample.project_mpi} bounds.  Results are
+          byte-identical to the simulated path (the test suite holds the
+          two equal); only the cost changes.  Exposed as
+          [--cache-onepass] / [PC_CACHE_ONEPASS] on the CLI. *)
 }
 
 val default_settings : settings

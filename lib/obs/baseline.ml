@@ -47,6 +47,50 @@ let check_metrics ~baseline ~current =
       ~baseline:(int_fields "gauges" baseline)
       ~current:(int_fields "gauges" current)
 
+(* --- one-pass cache-sweep comparison --- *)
+
+(* The pc-cachesweep/1 report carries both the timing ratio and the
+   result-agreement fields the bench harness measured; the committed
+   pc-cachesweep-thresholds/1 file says how much of each CI accepts.
+   Agreement is behaviour, not timing, so [max_mismatches] should stay
+   0; the speedup bound is the one machine-dependent number. *)
+let check_cachesweep ~thresholds ~report =
+  let issues =
+    check_schema ~expected:"pc-cachesweep-thresholds/1" thresholds []
+    |> check_schema ~expected:"pc-cachesweep/1" report
+    |> List.rev
+  in
+  let num doc key = Option.bind (Json.member key doc) Json.to_float in
+  let required label doc key k =
+    match num doc key with
+    | Some v when Float.is_finite v -> k v
+    | Some _ -> [ Printf.sprintf "cachesweep: non-finite %s in %s" key label ]
+    | None -> [ Printf.sprintf "cachesweep: %s missing from %s" key label ]
+  in
+  issues
+  @ required "thresholds" thresholds "min_speedup" (fun min_speedup ->
+        required "report" report "speedup" (fun speedup ->
+            if speedup < min_speedup then
+              [
+                Printf.sprintf
+                  "cachesweep: one-pass speedup %.2fx below the %.2fx gate"
+                  speedup min_speedup;
+              ]
+            else []))
+  @ required "thresholds" thresholds "max_mismatches" (fun max_mismatches ->
+        required "report" report "mismatches" (fun mismatches ->
+            if mismatches > max_mismatches then
+              [
+                Printf.sprintf
+                  "cachesweep: %.0f config(s) disagree with the simulated \
+                   sweep (max %.0f); max |mpi| diff %s"
+                  mismatches max_mismatches
+                  (match num report "max_abs_mpi_diff" with
+                  | Some d -> Printf.sprintf "%.9f" d
+                  | None -> "unknown");
+              ]
+            else []))
+
 (* --- bench timings --- *)
 
 let bench_rows doc =

@@ -24,6 +24,16 @@ val check_metrics :
     current run, and new instruments absent from the baseline are all
     reported (the latter so baselines cannot silently go stale). *)
 
+val check_cachesweep :
+  thresholds:Pc_util.Json.t -> report:Pc_util.Json.t -> string list
+(** Gate a [pc-cachesweep/1] report (the bench harness's simulated vs
+    one-pass 28-configuration sweep comparison) against committed
+    [pc-cachesweep-thresholds/1] bounds: the one-pass [speedup] must
+    reach [min_speedup], and [mismatches] — configurations where the two
+    paths disagree on misses, accesses or MPI — may not exceed
+    [max_mismatches] (0 in CI: agreement is behaviour, not timing).
+    Missing or non-finite fields are reported rather than assumed. *)
+
 val check_bench :
   ?floor_ms:float ->
   tolerance:float ->

@@ -288,6 +288,198 @@ let test_relative_mpi () =
   (* a pure cold-miss walk has equal MPI everywhere: all relatives are 1 *)
   Array.iter (fun v -> Alcotest.(check (float 1e-9)) "flat" 1.0 v) rel
 
+let test_relative_mpi_degenerate () =
+  (* No memory references at all: every MPI is 0, the reference included,
+     so the ratios are undefined.  The series must be all-NaN sentinels
+     (rendered as null by the JSON writers), never absolute MPIs. *)
+  let results = Study.run_trace (fun _emit -> 100) in
+  let rel = Study.relative_mpi results in
+  Alcotest.(check int) "27 values" 27 (Array.length rel);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "NaN sentinel, not absolute MPI" true
+        (Float.is_nan v))
+    rel
+
+(* --- the one-pass stack-distance sweep --- *)
+
+let check_results_equal what (simulated : Study.result array)
+    (onepass : Study.result array) =
+  Alcotest.(check int)
+    (what ^ ": config count")
+    (Array.length simulated) (Array.length onepass);
+  Array.iteri
+    (fun i (s : Study.result) ->
+      let o = onepass.(i) in
+      let name = Pc_caches.Cache.config_name s.Study.config in
+      if
+        s.Study.misses <> o.Study.misses
+        || s.Study.accesses <> o.Study.accesses
+        || s.Study.mpi <> o.Study.mpi
+      then
+        Alcotest.failf
+          "%s: %s: simulated misses=%d accesses=%d mpi=%.9f, one-pass \
+           misses=%d accesses=%d mpi=%.9f"
+          what name s.Study.misses s.Study.accesses s.Study.mpi o.Study.misses
+          o.Study.accesses o.Study.mpi)
+    simulated
+
+(* Feed a recorded address array, optionally split at [cut] into a
+   warmup prefix and a measured suffix. *)
+let run_both ?cut addrs instrs =
+  let feed_range from until emit =
+    for i = from to until - 1 do
+      emit addrs.(i)
+    done
+  in
+  let n = Array.length addrs in
+  match cut with
+  | None ->
+    let feed emit = feed_range 0 n emit; instrs in
+    (Study.run_trace feed, Study.run_trace_onepass feed)
+  | Some cut ->
+    let warmup emit = feed_range 0 cut emit in
+    let feed emit = feed_range cut n emit; instrs in
+    ( Study.run_trace ~warmup feed,
+      Study.run_trace_onepass ~warmup feed )
+
+let test_onepass_matches_oracle () =
+  (* A mixed trace that exercises every tracker: tight reuse (small
+     stack distances), a sequential walk wider than the largest cache
+     (deep/cold misses), and strided conflicts. *)
+  let addrs =
+    Array.init 30_000 (fun i ->
+        match i mod 3 with
+        | 0 -> i * 7919 mod 1024 * 32 (* hot 32KB-ish working set *)
+        | 1 -> i * 4 land 0x7FFFF (* long sequential walk *)
+        | _ -> i mod 64 * 2048 (* set conflicts across sizes *))
+  in
+  let sim, one = run_both addrs 60_000 in
+  check_results_equal "no warmup" sim one;
+  let sim, one = run_both ~cut:10_000 addrs 40_000 in
+  check_results_equal "with warmup" sim one
+
+let test_onepass_warmup_boundary () =
+  (* Warmup refs prime state but never count: measured accesses must be
+     exactly the post-cut refs, and a measured re-touch of a warmed line
+     must hit in a large cache on both paths. *)
+  let addrs = Array.init 2_000 (fun i -> i mod 400 * 32) in
+  let cut = 1_200 in
+  let sim, one = run_both ~cut addrs 1_000 in
+  check_results_equal "boundary" sim one;
+  Array.iter
+    (fun (r : Study.result) ->
+      Alcotest.(check int) "measured refs only" (Array.length addrs - cut)
+        r.Study.accesses)
+    one;
+  let find name =
+    Array.to_list one
+    |> List.find (fun (r : Study.result) ->
+           Pc_caches.Cache.config_name r.Study.config = name)
+  in
+  (* 400 lines = 12.5KB working set: warmed 16KB-full sees no measured
+     misses at all, while the cold 256B reference keeps missing. *)
+  Alcotest.(check int) "16KB full warmed: no measured misses" 0
+    (find "16KB/full/32B").Study.misses;
+  Alcotest.(check bool) "256B direct still misses" true
+    ((find "256B/direct/32B").Study.misses > 0)
+
+let test_onepass_all_workloads () =
+  (* The acceptance bar: byte-identical to the simulated sweep on every
+     registry workload, with and without a warmup split. *)
+  let max_instrs = 30_000 in
+  List.iter
+    (fun name ->
+      let p = Pc_workloads.Registry.(compile (find name)) in
+      let buf = ref [] and count = ref 0 in
+      let m = Pc_funcsim.Machine.load p in
+      let instrs =
+        Pc_funcsim.Machine.run ~max_instrs m (fun ev ->
+            if ev.Pc_funcsim.Machine.mem_addr >= 0 then begin
+              buf := ev.Pc_funcsim.Machine.mem_addr :: !buf;
+              incr count
+            end)
+      in
+      let addrs = Array.of_list (List.rev !buf) in
+      let sim, one = run_both addrs instrs in
+      check_results_equal (name ^ " (no warmup)") sim one;
+      if Array.length addrs > 1 then begin
+        let cut = Array.length addrs / 2 in
+        let sim, one = run_both ~cut addrs instrs in
+        check_results_equal (name ^ " (warmup split)") sim one
+      end)
+    Pc_workloads.Registry.names
+
+let test_onepass_rejects_non_lru () =
+  expect_invalid (fun () -> Pc_caches.Stack_dist.create [||]);
+  expect_invalid (fun () ->
+      Pc_caches.Stack_dist.create
+        [| Cache.config ~replacement:Cache.Fifo ~size_bytes:256 ~assoc:1 ~line_bytes:32 () |]);
+  expect_invalid (fun () ->
+      Pc_caches.Stack_dist.create
+        [| Cache.config ~replacement:(Cache.Random 1) ~size_bytes:256 ~assoc:2 ~line_bytes:32 () |])
+
+let qcheck_onepass_oracle =
+  QCheck.Test.make
+    ~name:"one-pass sweep equals the simulated oracle (random traces)"
+    ~count:60
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 400) (int_bound 100_000))
+        (int_bound 100))
+    (fun (addrs, cut_pct) ->
+      let addrs = Array.of_list (List.map (fun a -> a * 8) addrs) in
+      let cut = Array.length addrs * cut_pct / 100 in
+      let sim, one = run_both ~cut addrs (Array.length addrs) in
+      Array.for_all2
+        (fun (s : Study.result) (o : Study.result) ->
+          s.Study.misses = o.Study.misses
+          && s.Study.accesses = o.Study.accesses
+          && s.Study.mpi = o.Study.mpi)
+        sim one)
+
+(* --- Random-replacement victim distribution --- *)
+
+let test_random_victim_distribution () =
+  (* Fill a 4-way set, then force one eviction and identify the victim:
+     probing the four original lines in fill order, the first miss is
+     the evicted way (earlier probes hit and evict nothing).  Over many
+     seeds the victim draw must be uniform — the regression guard for
+     the modulo-bias fix (mask/rejection instead of [mod nways]). *)
+  let trials = 4000 in
+  let counts = Array.make 4 0 in
+  for seed = 0 to trials - 1 do
+    let c =
+      Cache.create
+        (Cache.config ~replacement:(Cache.Random seed) ~size_bytes:256
+           ~assoc:4 ~line_bytes:32 ())
+    in
+    (* 2 sets; lines i*2 land in set 0, filling ways 0..3 in order *)
+    for i = 0 to 3 do
+      ignore (Cache.access c (i * 64))
+    done;
+    ignore (Cache.access c (4 * 64));
+    let victim = ref (-1) in
+    (try
+       for i = 0 to 3 do
+         if not (Cache.access c (i * 64)) then begin
+           victim := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !victim < 0 then Alcotest.fail "eviction produced no missing way";
+    counts.(!victim) <- counts.(!victim) + 1
+  done;
+  let expect = trials / 4 in
+  Array.iteri
+    (fun w n ->
+      (* ±15% of the expected quarter: far wider than sampling noise
+         (sigma ~= 27 here), far tighter than any modulo-bias skew *)
+      if abs (n - expect) > expect * 15 / 100 then
+        Alcotest.failf "way %d drawn %d times (expected ~%d)" w n expect)
+    counts
+
 let qcheck_miss_rate_bounds =
   QCheck.Test.make ~name:"miss rate stays within [0,1]" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 500) (int_bound 10_000))
@@ -371,5 +563,24 @@ let () =
           Alcotest.test_case "the 28 configurations" `Quick test_study_configs;
           Alcotest.test_case "trace run" `Quick test_study_run_trace;
           Alcotest.test_case "relative MPI" `Quick test_relative_mpi;
+          Alcotest.test_case "relative MPI degenerate reference" `Quick
+            test_relative_mpi_degenerate;
+        ] );
+      ( "onepass",
+        [
+          Alcotest.test_case "matches the simulated oracle" `Quick
+            test_onepass_matches_oracle;
+          Alcotest.test_case "warmup boundary exactness" `Quick
+            test_onepass_warmup_boundary;
+          Alcotest.test_case "all registry workloads" `Slow
+            test_onepass_all_workloads;
+          Alcotest.test_case "rejects non-LRU grids" `Quick
+            test_onepass_rejects_non_lru;
+          QCheck_alcotest.to_alcotest qcheck_onepass_oracle;
+        ] );
+      ( "victim-distribution",
+        [
+          Alcotest.test_case "random replacement is unbiased" `Quick
+            test_random_victim_distribution;
         ] );
     ]

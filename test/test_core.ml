@@ -21,6 +21,7 @@ let settings =
     benchmarks = [ "crc32"; "sha"; "dijkstra"; "qsort" ];
     sample = None;
     plan_cache = None;
+    cache_onepass = false;
   }
 
 (* Shared across tests (expensive to build). *)
@@ -91,6 +92,26 @@ let test_fig4_correlations () =
   (* the headline claim: high average correlation *)
   Alcotest.(check bool) "average correlation > 0.7" true
     (E.average_correlation studies > 0.7)
+
+let test_fig4_onepass_identical () =
+  (* --cache-onepass must not move a single bit of the cache study, and
+     the sweep output must stay byte-identical across pool widths. *)
+  let onepass_settings = { settings with E.cache_onepass = true } in
+  let baseline = E.cache_studies ~pool settings (Lazy.force pipelines) in
+  let studies pool = E.cache_studies ~pool onepass_settings (Lazy.force pipelines) in
+  let j1 = studies (Pc_exec.Pool.create ~num_domains:1) in
+  let j4 = studies (Pc_exec.Pool.create ~num_domains:4) in
+  Alcotest.(check bool) "one-pass -j1 = -j4 (byte identity)" true (j1 = j4);
+  List.iter2
+    (fun (a : E.cache_study) (b : E.cache_study) ->
+      Alcotest.(check string) "bench order" a.E.bench b.E.bench;
+      Alcotest.(check bool) "orig MPI series identical" true
+        (a.E.orig_mpi = b.E.orig_mpi);
+      Alcotest.(check bool) "clone MPI series identical" true
+        (a.E.clone_mpi = b.E.clone_mpi);
+      Alcotest.(check bool) "correlation identical" true
+        (a.E.correlation = b.E.correlation))
+    baseline j1
 
 let test_fig5_rankings () =
   let studies = E.cache_studies ~pool settings (Lazy.force pipelines) in
@@ -182,6 +203,8 @@ let () =
         [
           Alcotest.test_case "figure 3" `Slow test_fig3;
           Alcotest.test_case "figure 4 correlations" `Slow test_fig4_correlations;
+          Alcotest.test_case "figure 4 one-pass byte identity" `Slow
+            test_fig4_onepass_identical;
           Alcotest.test_case "figure 5 rankings" `Slow test_fig5_rankings;
           Alcotest.test_case "figures 6/7 errors" `Slow test_fig6_fig7_errors;
           Alcotest.test_case "design change list" `Quick test_design_changes_structure;

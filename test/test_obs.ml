@@ -533,6 +533,7 @@ let test_fig6_byte_identity () =
       benchmarks = [ "crc32"; "sha" ];
       sample = None;
       plan_cache = None;
+      cache_onepass = false;
     }
   in
   let render () =

@@ -240,6 +240,21 @@ let test_mpi_projection_accuracy () =
         det)
     [ "crc32"; "qsort"; "sha"; "dijkstra" ]
 
+let test_project_mpi_onepass_identical () =
+  (* The one-pass stack-distance path must reproduce the simulated
+     cold/warm-bound projection bit for bit: same plan, same floats. *)
+  let p = program "crc32" in
+  let plan = Sample.plan ~seed:1 ~interval:50_000 ~max_instrs:300_000 p in
+  let simulated = Sample.project_mpi plan in
+  let onepass = Sample.project_mpi ~onepass:true plan in
+  Alcotest.(check int) "28 projections" 28 (Array.length onepass);
+  Array.iteri
+    (fun i s ->
+      if s <> onepass.(i) then
+        Alcotest.failf "config %d: simulated %.12f vs one-pass %.12f" i s
+          onepass.(i))
+    simulated
+
 let test_plan_determinism () =
   let p = program "fft" in
   let mk () = Sample.plan ~seed:7 ~interval:25_000 ~max_instrs:120_000 p in
@@ -364,6 +379,7 @@ let test_sampled_statsim_deterministic_across_pools () =
       benchmarks = [ "crc32"; "sha" ];
       sample = Some 30_000;
       plan_cache = None;
+      cache_onepass = false;
     }
   in
   let render pool =
@@ -389,6 +405,7 @@ let test_sampled_experiments_deterministic_across_pools () =
       benchmarks = [ "crc32"; "sha" ];
       sample = Some 30_000;
       plan_cache = None;
+      cache_onepass = false;
     }
   in
   let render pool =
@@ -442,6 +459,8 @@ let () =
             test_power_projection_accuracy;
           Alcotest.test_case "projected MPI tracks detailed" `Slow
             test_mpi_projection_accuracy;
+          Alcotest.test_case "one-pass MPI projection byte-identical" `Slow
+            test_project_mpi_onepass_identical;
         ] );
       ( "plan-cache",
         [
