@@ -386,12 +386,33 @@ let print_series () =
 
 open Cmdliner
 
-let main json dispatch_json cachesweep_json no_series =
+let main json dispatch_json cachesweep_json no_series ledger =
   let rows = run_timings () in
   Option.iter (fun path -> write_json path rows) json;
   Option.iter (fun path -> write_dispatch_json path rows) dispatch_json;
   Option.iter (fun path -> write_cachesweep_json path rows) cachesweep_json;
-  if not no_series then print_series ()
+  if not no_series then print_series ();
+  (* Metrics stay off here: Bechamel's adaptive run counts would make
+     the recorded counters (and so the record id) nondeterministic. *)
+  match ledger with
+  | None -> ()
+  | Some dir ->
+    let artifacts =
+      List.filter_map
+        (fun (schema, path) ->
+          Option.map (fun path -> { Pc_report.Ledger.schema; path }) path)
+        [
+          ("pc-bench/1", json);
+          ("pc-dispatch/1", dispatch_json);
+          ("pc-cachesweep/1", cachesweep_json);
+        ]
+    in
+    let file =
+      Pc_report.Ledger.record (Pc_report.Ledger.create dir) ~tool:"bench"
+        ~argv:(Array.to_list Sys.argv) ~seed:bench_settings.E.seed
+        ~jobs:(Pool.num_domains parallel_pool) ~artifacts
+    in
+    Printf.eprintf "bench: ledger: recorded %s\n" file
 
 let json_arg =
   Arg.(value & opt (some string) None
@@ -418,11 +439,20 @@ let no_series_arg =
        & info [ "no-series" ]
            ~doc:"Skip regenerating the paper tables/figures after the timings.")
 
+let ledger_arg =
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Append a pc-run/1 record of this invocation to the run \
+                 ledger under $(docv) (default \
+                 \\$XDG_CACHE_HOME/pc-ledger) for later drift diffing \
+                 with pc_diff.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"benchmark the experiment pipeline")
     Term.(
       const main $ json_arg $ dispatch_json_arg $ cachesweep_json_arg
-      $ no_series_arg)
+      $ no_series_arg $ ledger_arg)
 
 let () = exit (Cmd.eval cmd)

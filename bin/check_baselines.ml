@@ -6,14 +6,18 @@
      check_baselines fidelity baselines/fidelity.json fidelity.json
      check_baselines scenario baselines/scenario.json scenario.json
      check_baselines cachesweep baselines/cachesweep.json cachesweep.json
+     check_baselines all BASELINE CURRENT [BASELINE CURRENT]...
 
    Exits 0 when the current artefact matches the baseline (exactly for
    pc-obs/1 counters and gauges; within the median-normalised tolerance
    for pc-bench/1 timings; within the pc-fidelity-thresholds/1 bounds
    for pc-fidelity/1 clone-fidelity reports; within the
    pc-scenario-thresholds/1 bounds for pc-scenario/1 co-run reports), 1
-   with one line per discrepancy otherwise.  Baselines are regenerated
-   deliberately — see EXPERIMENTS.md. *)
+   with one line per discrepancy otherwise.  The $(b,all) mode runs any
+   number of baseline/current pairs in one invocation — the gate kind
+   is inferred from each baseline's schema — prints a one-line-per-gate
+   summary table, and aggregates the exit code.  Baselines are
+   regenerated deliberately — see EXPERIMENTS.md. *)
 
 module Json = Pc_util.Json
 module Baseline = Pc_obs.Baseline
@@ -25,26 +29,93 @@ let load path =
     Printf.eprintf "check_baselines: %s: %s\n" path msg;
     exit 2
 
-let main mode baseline_path current_path tolerance floor_ms =
-  let baseline = load baseline_path and current = load current_path in
-  let issues =
-    match mode with
-    | `Metrics -> Baseline.check_metrics ~baseline ~current
-    | `Bench -> Baseline.check_bench ~floor_ms ~tolerance ~baseline ~current ()
-    | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
-    | `Scenario ->
-      Pc_scenario.Report.check ~thresholds:baseline ~report:current
-    | `Cachesweep -> Baseline.check_cachesweep ~thresholds:baseline ~report:current
+let check kind ~tolerance ~floor_ms ~baseline ~current =
+  match kind with
+  | `Metrics -> Baseline.check_metrics ~baseline ~current
+  | `Bench -> Baseline.check_bench ~floor_ms ~tolerance ~baseline ~current ()
+  | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
+  | `Scenario -> Pc_scenario.Report.check ~thresholds:baseline ~report:current
+  | `Cachesweep -> Baseline.check_cachesweep ~thresholds:baseline ~report:current
+
+(* In [all] mode the gate kind comes from the baseline document itself:
+   every baseline/thresholds schema names exactly one checker. *)
+let kind_of_baseline path doc =
+  match Option.bind (Json.member "schema" doc) Json.to_string with
+  | Some "pc-obs/1" -> ("metrics", `Metrics)
+  | Some "pc-bench/1" -> ("bench", `Bench)
+  | Some "pc-fidelity-thresholds/1" -> ("fidelity", `Fidelity)
+  | Some "pc-scenario-thresholds/1" -> ("scenario", `Scenario)
+  | Some "pc-cachesweep-thresholds/1" -> ("cachesweep", `Cachesweep)
+  | Some s ->
+    Printf.eprintf "check_baselines: %s: no gate for schema %s\n" path s;
+    exit 2
+  | None ->
+    Printf.eprintf "check_baselines: %s: no schema field\n" path;
+    exit 2
+
+let rec pairs = function
+  | [] -> []
+  | [ odd ] ->
+    Printf.eprintf
+      "check_baselines: all mode needs BASELINE CURRENT pairs (odd file %s)\n"
+      odd;
+    exit 2
+  | b :: c :: rest -> (b, c) :: pairs rest
+
+let run_all files tolerance floor_ms =
+  let rows =
+    List.map
+      (fun (baseline_path, current_path) ->
+        let baseline = load baseline_path and current = load current_path in
+        let name, kind = kind_of_baseline baseline_path baseline in
+        let issues = check kind ~tolerance ~floor_ms ~baseline ~current in
+        (name, current_path, issues))
+      (pairs files)
   in
-  match issues with
+  Printf.printf "  %-10s %-36s %-6s %s\n" "gate" "current" "status" "issues";
+  List.iter
+    (fun (name, current_path, issues) ->
+      Printf.printf "  %-10s %-36s %-6s %d%s\n" name current_path
+        (if issues = [] then "ok" else "FAIL")
+        (List.length issues)
+        (match issues with [] -> "" | worst :: _ -> "  " ^ worst))
+    rows;
+  let failed = List.filter (fun (_, _, issues) -> issues <> []) rows in
+  match failed with
   | [] ->
-    Printf.printf "check_baselines: %s matches %s\n" current_path baseline_path;
+    Printf.printf "check_baselines: all %d gates ok\n" (List.length rows);
     0
-  | issues ->
-    List.iter (fun i -> Printf.printf "check_baselines: %s\n" i) issues;
-    Printf.printf "check_baselines: %d discrepancies against %s\n"
-      (List.length issues) baseline_path;
+  | failed ->
+    List.iter
+      (fun (name, _, issues) ->
+        List.iter (fun i -> Printf.printf "check_baselines: %s: %s\n" name i) issues)
+      failed;
+    Printf.printf "check_baselines: %d of %d gates failed\n"
+      (List.length failed) (List.length rows);
     1
+
+let main mode baseline_path current_path rest tolerance floor_ms =
+  match mode with
+  | `All -> run_all (baseline_path :: current_path :: rest) tolerance floor_ms
+  | (`Metrics | `Bench | `Fidelity | `Scenario | `Cachesweep) as kind -> (
+    if rest <> [] then begin
+      Printf.eprintf
+        "check_baselines: extra files %s (only the all mode takes more than \
+         one pair)\n"
+        (String.concat " " rest);
+      exit 2
+    end;
+    let baseline = load baseline_path and current = load current_path in
+    match check kind ~tolerance ~floor_ms ~baseline ~current with
+    | [] ->
+      Printf.printf "check_baselines: %s matches %s\n" current_path
+        baseline_path;
+      0
+    | issues ->
+      List.iter (fun i -> Printf.printf "check_baselines: %s\n" i) issues;
+      Printf.printf "check_baselines: %d discrepancies against %s\n"
+        (List.length issues) baseline_path;
+      1)
 
 open Cmdliner
 
@@ -56,6 +127,7 @@ let mode_arg =
       ("fidelity", `Fidelity);
       ("scenario", `Scenario);
       ("cachesweep", `Cachesweep);
+      ("all", `All);
     ]
   in
   Arg.(
@@ -69,7 +141,10 @@ let mode_arg =
               pc-scenario/1 co-run report against \
               pc-scenario-thresholds/1 bounds; $(b,cachesweep) gates a \
               pc-cachesweep/1 one-pass sweep comparison against \
-              pc-cachesweep-thresholds/1 bounds.")
+              pc-cachesweep-thresholds/1 bounds; $(b,all) runs any \
+              number of baseline/current pairs (gate kinds inferred \
+              from each baseline's schema) and prints a per-gate \
+              summary table with an aggregated exit code.")
 
 let baseline_arg =
   Arg.(
@@ -82,6 +157,12 @@ let current_arg =
     required
     & pos 2 (some file) None
     & info [] ~docv:"CURRENT" ~doc:"Artefact produced by this run.")
+
+let rest_arg =
+  Arg.(
+    value & pos_right 2 file []
+    & info [] ~docv:"PAIR"
+        ~doc:"Further BASELINE CURRENT pairs ($(b,all) mode only).")
 
 let tolerance_arg =
   let doc =
@@ -103,7 +184,7 @@ let cmd =
   Cmd.v
     (Cmd.info "check_baselines" ~doc:"gate CI artefacts against baselines")
     Term.(
-      const main $ mode_arg $ baseline_arg $ current_arg $ tolerance_arg
-      $ floor_ms_arg)
+      const main $ mode_arg $ baseline_arg $ current_arg $ rest_arg
+      $ tolerance_arg $ floor_ms_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,13 +52,33 @@ let write_fidelity path ~bench ~original ~seed ~instrs ~dynamic clone =
   Format.eprintf "%a" Pc_trace.Fidelity.pp [ report ];
   Log.info (fun m -> m "wrote fidelity report to %s" path)
 
-let cmd_profile () trace bench output instrs =
-  Pc_trace.Chrome.with_trace trace @@ fun () ->
+(* Ledger sidecar: record the invocation once the trace file (written
+   when with_trace unwinds) exists on disk. *)
+let record_ledger ledger ~seed ~artifacts =
+  match ledger with
+  | None -> ()
+  | Some dir ->
+    let artifacts =
+      List.filter_map
+        (fun (schema, path) ->
+          Option.map (fun path -> { Pc_report.Ledger.schema; path }) path)
+        artifacts
+    in
+    let file =
+      Pc_report.Ledger.record (Pc_report.Ledger.create dir) ~tool:"clone_gen"
+        ~argv:(Array.to_list Sys.argv) ~seed ~jobs:1 ~artifacts
+    in
+    Log.info (fun m -> m "ledger: recorded %s" file)
+
+let cmd_profile () trace ledger bench output instrs =
+  if ledger <> None then Pc_obs.Metrics.set_enabled true;
+  (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let program = load_bench bench in
   Log.info (fun m -> m "profiling %s (%d dynamic instructions)" bench instrs);
   let profile = Pc_profile.Collector.profile ~max_instrs:instrs program in
   with_out output (fun oc -> Pc_profile.Profile.save oc profile);
-  Format.eprintf "%a" Pc_profile.Profile.pp_summary profile
+  Format.eprintf "%a" Pc_profile.Profile.pp_summary profile);
+  record_ledger ledger ~seed:0 ~artifacts:[ ("pc-trace/1", trace) ]
 
 let emit_clone clone fmt output =
   with_out output (fun oc ->
@@ -67,8 +87,10 @@ let emit_clone clone fmt output =
       | "bin" -> Pc_isa.Encoding.write oc clone
       | "asm" | _ -> output_string oc (Pc_isa.Parser.roundtrip_text clone))
 
-let cmd_synth () trace fidelity_out profile_path output fmt seed dynamic =
-  Pc_trace.Chrome.with_trace trace @@ fun () ->
+let cmd_synth () trace ledger fidelity_out profile_path output fmt seed dynamic
+    =
+  if ledger <> None then Pc_obs.Metrics.set_enabled true;
+  (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let ic = open_in profile_path in
   let profile =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Pc_profile.Profile.load ic)
@@ -86,10 +108,14 @@ let cmd_synth () trace fidelity_out profile_path output fmt seed dynamic =
         ~dynamic clone)
     fidelity_out;
   Log.info (fun m -> m "wrote %s clone to %s" fmt
-               (Option.value output ~default:"<stdout>"))
+               (Option.value output ~default:"<stdout>")));
+  record_ledger ledger ~seed
+    ~artifacts:[ ("pc-fidelity/1", fidelity_out); ("pc-trace/1", trace) ]
 
-let cmd_clone () trace fidelity_out bench output fmt seed instrs dynamic =
-  Pc_trace.Chrome.with_trace trace @@ fun () ->
+let cmd_clone () trace ledger fidelity_out bench output fmt seed instrs dynamic
+    =
+  if ledger <> None then Pc_obs.Metrics.set_enabled true;
+  (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let program = load_bench bench in
   Log.info (fun m -> m "cloning %s (profile %d instrs, seed %d)" bench instrs seed);
   let pipeline =
@@ -103,7 +129,9 @@ let cmd_clone () trace fidelity_out bench output fmt seed instrs dynamic =
         ~seed ~instrs ~dynamic pipeline.Perfclone.Pipeline.clone)
     fidelity_out;
   Log.info (fun m -> m "wrote %s clone to %s" fmt
-               (Option.value output ~default:"<stdout>"))
+               (Option.value output ~default:"<stdout>")));
+  record_ledger ledger ~seed
+    ~artifacts:[ ("pc-fidelity/1", fidelity_out); ("pc-trace/1", trace) ]
 
 (* --- command line --- *)
 
@@ -140,6 +168,15 @@ let trace_arg =
            "Write a Chrome trace_event timeline (schema pc-trace/1) of the \
             run to $(docv); loads in Perfetto / chrome://tracing.")
 
+let ledger_arg =
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "ledger" ] ~docv:"DIR"
+         ~doc:
+           "Append a pc-run/1 record of this invocation to the run ledger \
+            under $(docv) (default \\$XDG_CACHE_HOME/pc-ledger) for later \
+            drift diffing with pc_diff.  Implies metric collection.")
+
 let fidelity_out_arg =
   Arg.(value & opt (some string) None
        & info [ "fidelity-out" ] ~docv:"FILE"
@@ -167,19 +204,20 @@ let list_cmd = Cmd.v (Cmd.info "list" ~doc:"list available benchmarks")
 
 let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc:"profile a workload")
-    Term.(const cmd_profile $ setup_term $ trace_arg $ bench_pos $ output_arg
-          $ instrs_arg)
+    Term.(const cmd_profile $ setup_term $ trace_arg $ ledger_arg $ bench_pos
+          $ output_arg $ instrs_arg)
 
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"synthesize a clone from a saved profile")
-    Term.(const cmd_synth $ setup_term $ trace_arg $ fidelity_out_arg
-          $ profile_arg $ output_arg $ format_arg $ seed_arg $ dynamic_arg)
+    Term.(const cmd_synth $ setup_term $ trace_arg $ ledger_arg
+          $ fidelity_out_arg $ profile_arg $ output_arg $ format_arg
+          $ seed_arg $ dynamic_arg)
 
 let clone_cmd =
   Cmd.v (Cmd.info "clone" ~doc:"profile and synthesize in one step")
-    Term.(const cmd_clone $ setup_term $ trace_arg $ fidelity_out_arg
-          $ bench_pos $ output_arg $ format_arg $ seed_arg $ instrs_arg
-          $ dynamic_arg)
+    Term.(const cmd_clone $ setup_term $ trace_arg $ ledger_arg
+          $ fidelity_out_arg $ bench_pos $ output_arg $ format_arg $ seed_arg
+          $ instrs_arg $ dynamic_arg)
 
 let main_cmd =
   Cmd.group

@@ -15,8 +15,9 @@
 module E = Perfclone.Experiments
 module Pool = Pc_exec.Pool
 
-let main quick benches seed jobs instrs dynamic per_phase output trace =
-  Pc_trace.Chrome.with_trace trace @@ fun () ->
+let main quick benches seed jobs instrs dynamic per_phase output trace ledger =
+  if ledger <> None then Pc_obs.Metrics.set_enabled true;
+  (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let pool = Pool.create ~num_domains:jobs in
   let settings =
     let base = if quick then E.quick_settings else E.default_settings in
@@ -56,7 +57,22 @@ let main quick benches seed jobs instrs dynamic per_phase output trace =
       Pc_trace.Fidelity.write_json path ~seed:settings.E.seed
         ~profile_instrs:settings.E.profile_instrs
         ~clone_dynamic:settings.E.clone_dynamic reports)
-    output
+    output);
+  (* Record last, once the trace file exists on disk. *)
+  match ledger with
+  | None -> ()
+  | Some dir ->
+    let artifacts =
+      List.filter_map
+        (fun (schema, path) ->
+          Option.map (fun path -> { Pc_report.Ledger.schema; path }) path)
+        [ ("pc-fidelity/1", output); ("pc-trace/1", trace) ]
+    in
+    ignore
+      (Pc_report.Ledger.record (Pc_report.Ledger.create dir)
+         ~tool:"fidelity_report"
+         ~argv:(Array.to_list Sys.argv)
+         ~seed ~jobs ~artifacts)
 
 open Cmdliner
 
@@ -116,10 +132,19 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a pc-trace/1 Chrome timeline of the run to $(docv).")
 
+let ledger_arg =
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Append a pc-run/1 record of this invocation to the run \
+                 ledger under $(docv) (default \
+                 \\$XDG_CACHE_HOME/pc-ledger) for later drift diffing \
+                 with pc_diff.  Implies metric collection.")
+
 let cmd =
   Cmd.v
     (Cmd.info "fidelity_report" ~doc:"measure clone fidelity on the paper characteristics")
     Term.(const main $ quick_arg $ bench_arg $ seed_arg $ jobs_arg $ instrs_arg
-          $ dynamic_arg $ per_phase_arg $ output_arg $ trace_arg)
+          $ dynamic_arg $ per_phase_arg $ output_arg $ trace_arg $ ledger_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -182,14 +182,16 @@ let write_sample_summary ~pool ~interval ~no_ref settings pipelines path =
     (fun () -> output_string oc (Buffer.contents b))
 
 let main experiments quick benches seed jobs sample sample_out sample_no_ref
-    plan_cache cache_onepass trace trace_period_ms metrics metrics_out verbosity
-    quiet =
+    plan_cache cache_onepass trace trace_period_ms metrics metrics_out ledger
+    verbosity quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
-  if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
-  Pc_trace.Chrome.with_trace
-    ~period_s:(float_of_int trace_period_ms /. 1000.0)
-    trace
-  @@ fun () ->
+  if metrics || metrics_out <> None || ledger <> None then
+    Pc_obs.Metrics.set_enabled true;
+  let written =
+    Pc_trace.Chrome.with_trace
+      ~period_s:(float_of_int trace_period_ms /. 1000.0)
+      trace
+    @@ fun () ->
   let pool = Pool.create ~num_domains:jobs in
   let base = if quick then E.quick_settings else E.default_settings in
   let sample =
@@ -292,7 +294,33 @@ let main experiments quick benches seed jobs sample sample_out sample_no_ref
   let spans = Pc_obs.Span.roots () in
   if metrics || Pc_obs.Metrics.env_enabled then
     Pc_obs.Sink.pp_console Format.err_formatter snap spans;
-  Option.iter (fun path -> Pc_obs.Sink.write_json path snap spans) metrics_out
+  Option.iter (fun path -> Pc_obs.Sink.write_json path snap spans) metrics_out;
+  (match metrics_out with Some p -> [ ("pc-obs/1", p) ] | None -> [])
+  @
+  match (sample_summary, settings.E.sample, needs_pipelines) with
+  | Some p, Some _, true -> [ ("pc-sample/1", p) ]
+  | _ -> []
+  in
+  (* Record last, once the trace file exists, so the record can digest
+     every artefact the run emitted. *)
+  match ledger with
+  | None -> ()
+  | Some dir ->
+    let written =
+      written
+      @ match trace with Some p -> [ ("pc-trace/1", p) ] | None -> []
+    in
+    let file =
+      Pc_report.Ledger.record (Pc_report.Ledger.create dir)
+        ~tool:"run_experiments"
+        ~argv:(Array.to_list Sys.argv)
+        ~seed ~jobs
+        ~artifacts:
+          (List.map
+             (fun (schema, path) -> { Pc_report.Ledger.schema; path })
+             written)
+    in
+    Logs.info (fun m -> m "ledger: recorded %s" file)
 
 open Cmdliner
 
@@ -443,6 +471,20 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let ledger_arg =
+  let doc =
+    "Append a $(b,pc-run/1) record of this invocation (tool, normalised \
+     argument digest, seed, git describe, metric snapshot, and the \
+     schemas/paths/digests of every artefact written) to the run ledger \
+     under $(docv), for later drift diffing with $(b,pc_diff).  Without \
+     a value, defaults to \\$XDG_CACHE_HOME/pc-ledger (or \
+     ~/.cache/pc-ledger).  Implies metric collection; never touches \
+     stdout."
+  in
+  Arg.(
+    value & opt ~vopt:(Some "") (some string) None
+    & info [ "ledger" ] ~docv:"DIR" ~doc)
+
 let verbose_arg =
   let doc = "Increase log verbosity (per-benchmark progress is shown by default; $(b,-v) adds debug detail)." in
   Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
@@ -459,7 +501,7 @@ let cmd =
       const main $ experiments_arg $ quick_arg $ bench_arg $ seed_arg $ jobs_arg
       $ sample_arg $ sample_out_arg $ sample_no_ref_arg $ plan_cache_arg
       $ cache_onepass_arg $ trace_arg
-      $ trace_period_ms_arg $ metrics_arg $ metrics_out_arg
+      $ trace_period_ms_arg $ metrics_arg $ metrics_out_arg $ ledger_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)
 

@@ -30,12 +30,13 @@ let die fmt =
     fmt
 
 let main names config_file list_only quick seed budget jobs sample out metrics
-    metrics_out trace trace_period_ms verbosity quiet =
+    metrics_out trace trace_period_ms ledger verbosity quiet =
   Pc_obs.Logging.setup ~quiet ~verbosity ();
   if list_only then List.iter print_endline Presets.names
   else begin
-    if metrics || metrics_out <> None then Pc_obs.Metrics.set_enabled true;
-    Pc_trace.Chrome.with_trace
+    if metrics || metrics_out <> None || ledger <> None then
+      Pc_obs.Metrics.set_enabled true;
+    (Pc_trace.Chrome.with_trace
       ~period_s:(float_of_int trace_period_ms /. 1000.0)
       trace
     @@ fun () ->
@@ -96,7 +97,28 @@ let main names config_file list_only quick seed budget jobs sample out metrics
     let spans = Pc_obs.Span.roots () in
     if metrics || Pc_obs.Metrics.env_enabled then
       Pc_obs.Sink.pp_console Format.err_formatter snap spans;
-    Option.iter (fun path -> Pc_obs.Sink.write_json path snap spans) metrics_out
+    Option.iter (fun path -> Pc_obs.Sink.write_json path snap spans) metrics_out);
+    (* Record last, once the trace file exists on disk. *)
+    match ledger with
+    | None -> ()
+    | Some dir ->
+      let artifacts =
+        List.filter_map
+          (fun (schema, path) ->
+            Option.map (fun path -> { Pc_report.Ledger.schema; path }) path)
+          [
+            ("pc-scenario/1", out);
+            ("pc-obs/1", metrics_out);
+            ("pc-trace/1", trace);
+          ]
+      in
+      let file =
+        Pc_report.Ledger.record (Pc_report.Ledger.create dir)
+          ~tool:"run_scenarios"
+          ~argv:(Array.to_list Sys.argv)
+          ~seed ~jobs ~artifacts
+      in
+      Logs.info (fun m -> m "ledger: recorded %s" file)
   end
 
 open Cmdliner
@@ -205,6 +227,16 @@ let trace_period_ms_arg =
   let doc = "Counter-sampling period for $(b,--trace), in milliseconds." in
   Arg.(value & opt int 50 & info [ "trace-period-ms" ] ~docv:"MS" ~doc)
 
+let ledger_arg =
+  let doc =
+    "Append a $(b,pc-run/1) record of this invocation to the run ledger \
+     under $(docv) (default \\$XDG_CACHE_HOME/pc-ledger) for later \
+     drift diffing with $(b,pc_diff).  Implies metric collection."
+  in
+  Arg.(
+    value & opt ~vopt:(Some "") (some string) None
+    & info [ "ledger" ] ~docv:"DIR" ~doc)
+
 let verbose_arg =
   let doc = "Increase log verbosity." in
   Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
@@ -222,7 +254,7 @@ let cmd =
     Term.(
       const main $ names_arg $ config_arg $ list_arg $ quick_arg $ seed_arg
       $ budget_arg $ jobs_arg $ sample_arg $ out_arg $ metrics_arg
-      $ metrics_out_arg $ trace_arg $ trace_period_ms_arg
+      $ metrics_out_arg $ trace_arg $ trace_period_ms_arg $ ledger_arg
       $ (const List.length $ verbose_arg)
       $ quiet_arg)
 

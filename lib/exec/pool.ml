@@ -23,6 +23,12 @@ let c_tasks = Pc_obs.Metrics.counter "exec.pool.tasks"
 let c_batches = Pc_obs.Metrics.counter "exec.pool.batches"
 let h_task_seconds = Pc_obs.Metrics.histogram "exec.pool.task_seconds"
 
+(* Batches are initiated serially from the spawning domain (nested maps
+   are rejected), so this sequence — and with it every task's flow id —
+   is deterministic for a given program at any pool width. *)
+let batch_seq = Atomic.make 0
+let task_flow_id ~batch i = Pc_obs.Event.flow_id_of_key ("pool:task", batch, i)
+
 (* Count every task; time it only when observability is on (the timing
    is two clock reads per task — cheap, but pointless when disabled). *)
 let run_task task =
@@ -49,6 +55,15 @@ let run_batch pool tasks =
   let results : 'b outcome option array = Array.make n None in
   let next = Atomic.make 0 in
   Pc_obs.Metrics.incr c_batches;
+  let batch = Atomic.fetch_and_add batch_seq 1 in
+  (* Hand-off arrows: the spawning domain opens one flow per task; the
+     domain that claims the task terminates it.  In trace timelines the
+     arrow ties the dispatching span to the worker-lane task span. *)
+  if Pc_obs.Event.collecting () then
+    for i = 0 to n - 1 do
+      Pc_obs.Event.flow Pc_obs.Event.Flow_start "pool:task"
+        (task_flow_id ~batch i)
+    done;
   (* The calling domain's open span adopts every task's spans, so
      per-stage timings survive fan-out to worker domains. *)
   let span_ctx = Pc_obs.Span.current_ctx () in
@@ -56,6 +71,8 @@ let run_batch pool tasks =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        Pc_obs.Event.flow Pc_obs.Event.Flow_end "pool:task"
+          (task_flow_id ~batch i);
         results.(i) <-
           Some
             (match run_task tasks.(i) with

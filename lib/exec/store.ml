@@ -5,6 +5,7 @@ type ('k, 'v) t = {
   mutable misses : int;
   obs_hits : Pc_obs.Metrics.counter option;
   obs_misses : Pc_obs.Metrics.counter option;
+  flow_name : string option;
 }
 
 type stats = { hit_count : int; miss_count : int; entries : int }
@@ -22,9 +23,22 @@ let create ?(initial_size = 64) ?name () =
     misses = 0;
     obs_hits = obs "hits";
     obs_misses = obs "misses";
+    flow_name = Option.map (Printf.sprintf "store:%s") name;
   }
 
 let bump = function Some c -> Pc_obs.Metrics.incr c | None -> ()
+
+(* Async-flow arrows (named stores only): the put that first inserts a
+   key opens the flow, every later get steps it, so a consumer's span is
+   visually tied to the producing task's span in trace timelines even
+   when a pool moved them to different domains.  Ids hash the store name
+   and key — deterministic data — so the flow-event set is identical at
+   any pool width. *)
+let flow t phase key =
+  match t.flow_name with
+  | None -> ()
+  | Some name ->
+    Pc_obs.Event.flow phase name (Pc_obs.Event.flow_id_of_key (name, key))
 
 let find_or_compute t key compute =
   let cached =
@@ -40,6 +54,7 @@ let find_or_compute t key compute =
   match cached with
   | Some v ->
     bump t.obs_hits;
+    flow t Pc_obs.Event.Flow_step key;
     v
   | None ->
     bump t.obs_misses;
@@ -47,15 +62,26 @@ let find_or_compute t key compute =
        do not serialize.  A concurrent miss on the same key computes the
        same (deterministic) value; the first insert wins. *)
     let v = compute () in
-    Mutex.protect t.lock (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some winner -> winner
-        | None ->
-          Hashtbl.add t.table key v;
-          v)
+    let v, won =
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some winner -> (winner, false)
+          | None ->
+            Hashtbl.add t.table key v;
+            (v, true))
+    in
+    (* Only the winning insert opens the flow: a lost same-key race must
+       not add a second Flow_start that -j1 runs would never emit. *)
+    if won then flow t Pc_obs.Event.Flow_start key
+    else flow t Pc_obs.Event.Flow_step key;
+    v
 
 let find_opt t key =
-  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
+  let v = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) in
+  (match v with
+  | Some _ -> flow t Pc_obs.Event.Flow_step key
+  | None -> ());
+  v
 
 let hits t = Mutex.protect t.lock (fun () -> t.hits)
 let misses t = Mutex.protect t.lock (fun () -> t.misses)

@@ -1,5 +1,5 @@
 type arg = Int of int | Float of float | Str of string
-type phase = Begin | End | Instant
+type phase = Begin | End | Instant | Flow_start | Flow_step | Flow_end
 
 type t = {
   ts : float;
@@ -7,6 +7,7 @@ type t = {
   phase : phase;
   name : string;
   args : (string * arg) list;
+  flow_id : int;
 }
 
 let collecting_flag = Atomic.make false
@@ -28,14 +29,15 @@ let buf_key : buf Domain.DLS.key =
 let set_track i = Domain.DLS.set track_key i
 let track () = Domain.DLS.get track_key
 
-let emit phase name args =
+let emit_flow phase name args flow_id =
   if collecting () then begin
     let b = Domain.DLS.get buf_key in
     if b.len = Array.length b.items then begin
       let cap = max 256 (2 * Array.length b.items) in
       let items =
         Array.make cap
-          { ts = 0.0; track = 0; phase = Instant; name = ""; args = [] }
+          { ts = 0.0; track = 0; phase = Instant; name = ""; args = [];
+            flow_id = 0 }
       in
       Array.blit b.items 0 items 0 b.len;
       b.items <- items
@@ -47,11 +49,19 @@ let emit phase name args =
         phase;
         name;
         args;
+        flow_id;
       };
     b.len <- b.len + 1
   end
 
+let emit phase name args = emit_flow phase name args 0
 let instant name args = emit Instant name args
+
+(* Flow ids must be stable across runs and pool widths; callers derive
+   them from deterministic data (memo-store keys, batch/task indices)
+   and we fold them into a non-negative int so the JSON id is clean. *)
+let flow_id_of_key key = Hashtbl.hash key land 0x3FFFFFFF
+let flow phase name id = emit_flow phase name [] id
 
 let flush_local () =
   let b = Domain.DLS.get buf_key in

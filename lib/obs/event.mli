@@ -20,7 +20,14 @@
     of which domain executed the work. *)
 
 type arg = Int of int | Float of float | Str of string
-type phase = Begin | End | Instant
+
+type phase =
+  | Begin
+  | End
+  | Instant
+  | Flow_start  (** Chrome flow phase [s]: an async arrow leaves here *)
+  | Flow_step  (** Chrome flow phase [t]: the arrow passes through here *)
+  | Flow_end  (** Chrome flow phase [f]: the arrow terminates here *)
 
 type t = {
   ts : float;  (** wall-clock seconds ({!Span.now_s} clock) *)
@@ -28,6 +35,7 @@ type t = {
   phase : phase;
   name : string;
   args : (string * arg) list;
+  flow_id : int;  (** binds the [Flow_*] events of one arrow; 0 otherwise *)
 }
 
 val collecting : unit -> bool
@@ -47,6 +55,18 @@ val emit : phase -> string -> (string * arg) list -> unit
 
 val instant : string -> (string * arg) list -> unit
 (** [emit Instant] — a point-in-time marker. *)
+
+val flow_id_of_key : 'a -> int
+(** Fold any structural value (a memo-store key, a [(batch, task)] pair)
+    into a stable non-negative flow id.  Deterministic across runs and
+    pool widths for the same value; collisions merely merge arrows. *)
+
+val flow : phase -> string -> int -> unit
+(** [flow phase name id] appends one flow event (when {!collecting}).
+    The events of one arrow share [name] and [id]: one [Flow_start]
+    where the value is produced, then [Flow_step]/[Flow_end] at each
+    consumer.  Renderers draw them as async arrows tying the enclosing
+    spans together across tracks. *)
 
 val flush_local : unit -> unit
 (** Move the calling domain's buffered events into the shared stream.

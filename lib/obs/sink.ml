@@ -73,11 +73,20 @@ let hist b (h : Metrics.hist_view) =
           Buffer.add_char b ']' );
     ]
 
+(* Exclusive (self) time: the span's duration minus its children's,
+   clamped at 0 (clock skew between a parent's stop and a late child's
+   can push the raw difference fractionally negative). *)
+let self_s s =
+  Float.max 0.0
+    (Span.duration_s s
+    -. List.fold_left (fun acc c -> acc +. Span.duration_s c) 0.0 (Span.children s))
+
 let rec span b s =
   obj b
     [
       ("name", fun () -> escape b (Span.name s));
       ("duration_s", fun () -> number b (Span.duration_s s));
+      ("self_s", fun () -> number b (self_s s));
       ( "children",
         fun () ->
           Buffer.add_char b '[';
@@ -156,11 +165,11 @@ let pp_console ppf (snap : Metrics.snapshot) spans =
       snap.Metrics.histograms
   end;
   if spans <> [] then begin
-    Format.fprintf ppf "spans:@.";
+    Format.fprintf ppf "spans:%43s@." "total      self";
     let rec pp_span indent s =
-      Format.fprintf ppf "  %s%-*s %9.4f s@." indent
+      Format.fprintf ppf "  %s%-*s %9.4f %9.4f s@." indent
         (max 1 (40 - String.length indent))
-        (Span.name s) (Span.duration_s s);
+        (Span.name s) (Span.duration_s s) (self_s s);
       List.iter (pp_span (indent ^ "  ")) (Span.children s)
     in
     List.iter (pp_span "") spans

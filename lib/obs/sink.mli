@@ -18,11 +18,13 @@
                                   "buckets": [ { "le": <float|"inf">,
                                                  "count": <int> }, ... ] } },
       "spans": [ { "name": <string>, "duration_s": <float>,
+                   "self_s": <float>,
                    "children": [ <span>, ... ] }, ... ] }
     v}
 
       Counter/gauge/histogram keys are sorted by name; spans are in
-      completion order; [p50]/[p95]/[p99] are bucket-interpolated
+      completion order; [self_s] is the span's exclusive time
+      ({!self_s}); [p50]/[p95]/[p99] are bucket-interpolated
       quantile estimates ({!Metrics.hist_quantile}).  Non-finite floats
       serialise as [null] — JSON has no NaN/Infinity.
     - {!null}: does nothing — the disabled path. *)
@@ -31,6 +33,11 @@ val json_string : string -> string
 (** The JSON string literal (quotes included) for [s], escaping
     quotes, backslashes and control characters.  Shared by every
     exporter that writes metric, span or event names into JSON. *)
+
+val self_s : Span.t -> float
+(** Exclusive time of a span: its duration minus the sum of its
+    children's durations, clamped at 0.  Both report sinks surface it so
+    hot stages are readable without loading the timeline in Perfetto. *)
 
 val pp_console : Format.formatter -> Metrics.snapshot -> Span.t list -> unit
 

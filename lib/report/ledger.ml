@@ -1,0 +1,229 @@
+type t = { dir : string }
+type artifact = { schema : string; path : string }
+
+let default_dir () =
+  let base =
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> d
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat h ".cache"
+      | _ -> Filename.get_temp_dir_name ())
+  in
+  Filename.concat base "pc-ledger"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create dir =
+  let dir = if dir = "" then default_dir () else dir in
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* --- argv normalisation --- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Drop parallelism and ledger flags: neither changes what the run
+   computes, and keeping them would give -j1 and -j4 runs of the same
+   experiment different digests.  [--ledger]'s optional value is always
+   glued ([--ledger=DIR]), so the bare form never consumes a token.
+
+   Output-destination values are elided the same way (the flag is kept,
+   its path is not): where an artefact lands does not change what the
+   run computes, and two otherwise-identical runs writing to different
+   temp files should digest alike. *)
+let out_opts =
+  [
+    "-o"; "--out"; "--output"; "--trace"; "--metrics-out"; "--sample-out";
+    "--json"; "--dispatch-json"; "--cachesweep-json"; "--fidelity-out";
+    "--plan-cache";
+  ]
+
+let rec normalise = function
+  | [] -> []
+  | ("-j" | "--jobs") :: rest -> (
+    match rest with _ :: tl -> normalise tl | [] -> [])
+  | "--ledger" :: rest -> normalise rest
+  | arg :: rest
+    when starts_with ~prefix:"--jobs=" arg
+         || starts_with ~prefix:"--ledger=" arg
+         || (starts_with ~prefix:"-j" arg && String.length arg > 2) ->
+    normalise rest
+  | arg :: rest when List.mem arg out_opts -> (
+    (* [--plan-cache]'s optional value is glued like [--ledger]'s, so
+       the bare flag keeps the token after it. *)
+    match rest with
+    | _ :: tl when arg <> "--plan-cache" -> arg :: normalise tl
+    | _ -> arg :: normalise rest)
+  | arg :: rest
+    when List.exists (fun o -> starts_with ~prefix:(o ^ "=") arg) out_opts ->
+    List.find (fun o -> starts_with ~prefix:(o ^ "=") arg) out_opts
+    :: normalise rest
+  | arg :: rest when starts_with ~prefix:"-o" arg && String.length arg > 2 ->
+    "-o" :: normalise rest
+  | arg :: rest -> arg :: normalise rest
+
+let args_digest argv =
+  Digest.to_hex (Digest.string (String.concat "\x00" (normalise argv)))
+
+(* --- record rendering --- *)
+
+let buf_str b s = Buffer.add_string b (Pc_obs.Sink.json_string s)
+
+let buf_int_map b entries =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_str b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    entries;
+  Buffer.add_char b '}'
+
+(* The digested slice ([full = false]): everything in it is
+   deterministic for a given invocation.  Histograms are timing, so the
+   snapshot contributes counters and gauges only; artifact paths and
+   digests and [exec.store.*]/[report.ledger.*] counters are rendered
+   only into the stored record, not the id — paths are destinations
+   (like the elided output-option values), file digests absorb trace
+   timestamps, memo-store miss counts can double on same-key races at
+   -j > 1, and the ledger's own bookkeeping grows with every record
+   appended by the process. *)
+let render_run b ~full ~tool ~args_digest:ad ~seed ~git
+    ~(snap : Pc_obs.Metrics.snapshot) ~arts =
+  let counters =
+    if full then snap.Pc_obs.Metrics.counters
+    else
+      List.filter
+        (fun (k, _) ->
+          (not (starts_with ~prefix:"exec.store." k))
+          && not (starts_with ~prefix:"report.ledger." k))
+        snap.Pc_obs.Metrics.counters
+  in
+  Buffer.add_string b "{\"tool\":";
+  buf_str b tool;
+  Printf.bprintf b ",\"args_digest\":\"%s\",\"seed\":%d,\"git\":" ad seed;
+  buf_str b git;
+  Buffer.add_string b ",\"metrics\":{\"counters\":";
+  buf_int_map b counters;
+  Buffer.add_string b ",\"gauges\":";
+  buf_int_map b snap.Pc_obs.Metrics.gauges;
+  Buffer.add_string b "},\"artifacts\":[";
+  List.iteri
+    (fun i (schema, path, dg) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"schema\":";
+      buf_str b schema;
+      if full then begin
+        Buffer.add_string b ",\"path\":";
+        buf_str b path;
+        Buffer.add_string b ",\"digest\":";
+        buf_str b dg
+      end;
+      Buffer.add_char b '}')
+    arts;
+  Buffer.add_string b "]}"
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file | Sys_error _ -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ | (exception _) -> "unknown")
+
+let digest_of path =
+  match Digest.file path with
+  | d -> Digest.to_hex d
+  | exception Sys_error _ -> "absent"
+
+(* --- the record files --- *)
+
+let is_record f =
+  starts_with ~prefix:"run-" f && Filename.check_suffix f ".json"
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | files ->
+    let l = List.filter is_record (Array.to_list files) in
+    List.map (Filename.concat t.dir) (List.sort compare l)
+
+let last t n =
+  let l = entries t in
+  let len = List.length l in
+  List.filteri (fun i _ -> i >= len - n) l
+
+let next_seq t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun acc f ->
+        if is_record f && String.length f >= 10 then
+          match int_of_string_opt (String.sub f 4 6) with
+          | Some s -> max acc (s + 1)
+          | None -> acc
+        else acc)
+      0 files
+
+let c_records = lazy (Pc_obs.Metrics.counter "report.ledger.records")
+
+let record t ~tool ~argv ~seed ~jobs ~artifacts =
+  let snap = Pc_obs.Metrics.snapshot () in
+  let git = git_describe () in
+  let ad = args_digest argv in
+  let arts =
+    List.map
+      (fun a -> (a.schema, a.path, digest_of a.path))
+      (List.sort
+         (fun a b -> compare (a.schema, a.path) (b.schema, b.path))
+         artifacts)
+  in
+  let run ~full =
+    let b = Buffer.create 2048 in
+    render_run b ~full ~tool ~args_digest:ad ~seed ~git ~snap ~arts;
+    Buffer.contents b
+  in
+  let id = Digest.to_hex (Digest.string (run ~full:false)) in
+  let doc = Buffer.create 4096 in
+  Printf.bprintf doc "{\"schema\":\"pc-run/1\",\"id\":\"%s\",\"run\":%s" id
+    (run ~full:true);
+  Buffer.add_string doc ",\"env\":{\"host\":";
+  buf_str doc (try Unix.gethostname () with _ -> "unknown");
+  Printf.bprintf doc ",\"time_unix_s\":%.6f,\"jobs\":%d,\"argv\":["
+    (Unix.gettimeofday ()) jobs;
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char doc ',';
+      buf_str doc a)
+    argv;
+  Buffer.add_string doc "]}}\n";
+  (* Sequence numbers order the history; a concurrent writer racing to
+     the same number just pushes this record to the next free slot. *)
+  let rec place seq =
+    let file =
+      Filename.concat t.dir
+        (Printf.sprintf "run-%06d-%s.json" seq (String.sub id 0 12))
+    in
+    if Sys.file_exists file then place (seq + 1) else file
+  in
+  let file = place (next_seq t) in
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc doc);
+  Sys.rename tmp file;
+  Pc_obs.Metrics.incr (Lazy.force c_records);
+  file

@@ -1,0 +1,32 @@
+(** Reader (and byte-identical re-emitter) for [pc-trace/1] timelines.
+
+    {!Pc_trace.Chrome} writes traces; this module reads them back for
+    the drift engine ({!Diff}) without pulling the tracer's runtime
+    (sampler domain, event collector) into report-only tools.
+
+    {!render} reproduces {!Pc_trace.Chrome}'s exact field order and
+    number formatting, so [parse |> render] is byte-identical to the
+    file {!Pc_trace.Chrome.stop} wrote (minus the trailing newline) —
+    the round-trip is a test-enforced schema contract.  One known
+    limit: integer argument values at or above 1e9 re-render in
+    [%.9g] exponent form; no current instrumentation emits them. *)
+
+type event = {
+  ph : string;  (** ["M"], ["B"], ["E"], ["i"], ["s"], ["t"], ["f"], ["C"] *)
+  tid : int;  (** track: 0 = main, [i] = pool worker slot [i] *)
+  ts : float;  (** microseconds since the trace epoch; [0.] for ["M"] *)
+  name : string;
+  id : int;  (** flow-arrow binding id (["s"]/["t"]/["f"]); [0] otherwise *)
+  args : (string * Pc_util.Json.t) list;
+}
+
+type t = { events : event list }  (** in file order *)
+
+val parse : Pc_util.Json.t -> (t, string) result
+(** Accepts only documents whose [otherData.schema] is ["pc-trace/1"]
+    and whose events all carry a known [ph]. *)
+
+val parse_file : string -> (t, string) result
+
+val render : t -> string
+(** The [pc-trace/1] document for [t], without a trailing newline. *)

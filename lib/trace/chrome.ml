@@ -105,11 +105,18 @@ let to_json ~epoch events samples =
   List.iter
     (fun (e : Event.t) ->
       sep ();
+      (* Flow events ([s]/[t]/[f]) carry the arrow-binding id; [f] binds
+         to the enclosing slice ("bp":"e") so the arrow lands on the
+         consumer's span rather than the next slice to start. *)
       let ph, extra =
         match e.Event.phase with
         | Event.Begin -> ("B", "")
         | Event.End -> ("E", "")
         | Event.Instant -> ("i", ",\"s\":\"t\"")
+        | Event.Flow_start -> ("s", Printf.sprintf ",\"id\":%d" e.Event.flow_id)
+        | Event.Flow_step -> ("t", Printf.sprintf ",\"id\":%d" e.Event.flow_id)
+        | Event.Flow_end ->
+          ("f", Printf.sprintf ",\"bp\":\"e\",\"id\":%d" e.Event.flow_id)
       in
       Buffer.add_string b
         (Printf.sprintf "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"cat\":\"pc\",\"name\":%s%s,\"args\":"

@@ -1,0 +1,358 @@
+(* pc_report: run ledger, schema-aware drift diffing, trace round-trip.
+
+   The load-bearing properties:
+   - ledger ids are content-addressed over the deterministic slice of a
+     run, so repeated equivalent invocations (any -j, any output paths)
+     digest identically and perturbed runs do not;
+   - the pc-trace/1 parser is exactly inverse to the Chrome renderer
+     (emit -> parse -> re-emit is byte-identical), so trace diffing
+     works on what the tracer actually wrote;
+   - the pc-obs/1 span aligner is sound (a tree diffed with itself is
+     empty) and complete for single perturbations (exactly the
+     perturbed group surfaces). *)
+
+module Json = Pc_util.Json
+module Rng = Pc_util.Rng
+module Diff = Pc_report.Diff
+module Ledger = Pc_report.Ledger
+module Trace = Pc_report.Trace
+module M = Pc_obs.Metrics
+module Event = Pc_obs.Event
+
+let tmpdir () = Filename.temp_file "pc-report-test" ""
+
+let fresh_dir () =
+  let d = tmpdir () in
+  Sys.remove d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- argv normalisation --- *)
+
+let test_args_digest_normalisation () =
+  let base = Ledger.args_digest [ "--quick"; "fig3"; "--seed"; "2" ] in
+  List.iter
+    (fun argv ->
+      Alcotest.(check string)
+        (String.concat " " argv)
+        base (Ledger.args_digest argv))
+    [
+      [ "--quick"; "fig3"; "--seed"; "2"; "-j"; "4" ];
+      [ "--quick"; "fig3"; "--seed"; "2"; "-j8" ];
+      [ "--quick"; "fig3"; "--seed"; "2"; "--jobs=2" ];
+      [ "--quick"; "fig3"; "--seed"; "2"; "--ledger" ];
+      [ "--quick"; "fig3"; "--seed"; "2"; "--ledger=/tmp/elsewhere" ];
+    ];
+  (* output destinations are elided, but the flag itself is kept *)
+  Alcotest.(check string)
+    "trace path elided"
+    (Ledger.args_digest [ "fig3"; "--trace"; "/tmp/a.json" ])
+    (Ledger.args_digest [ "fig3"; "--trace"; "/tmp/b.json" ]);
+  Alcotest.(check bool)
+    "trace flag still distinguishes" false
+    (Ledger.args_digest [ "fig3"; "--trace"; "/tmp/a.json" ]
+    = Ledger.args_digest [ "fig3" ]);
+  Alcotest.(check string)
+    "short -o glued and split agree"
+    (Ledger.args_digest [ "-o"; "x.json"; "fig3" ])
+    (Ledger.args_digest [ "-ofront.json"; "fig3" ]);
+  Alcotest.(check bool)
+    "a real setting still matters" false
+    (Ledger.args_digest [ "--seed"; "2" ] = Ledger.args_digest [ "--seed"; "3" ])
+
+(* --- record determinism --- *)
+
+let record l ?(argv = [ "--quick"; "fig3" ]) ?(seed = 1) ?(jobs = 1) () =
+  Ledger.record l ~tool:"test" ~argv ~seed ~jobs ~artifacts:[]
+
+let id_of path =
+  match Json.parse_file path with
+  | Ok doc ->
+    Option.value ~default:"?" (Option.bind (Json.member "id" doc) Json.to_string)
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let test_record_ids_deterministic () =
+  let l = Ledger.create (fresh_dir ()) in
+  let r1 = record l () in
+  let r2 = record l ~argv:[ "--quick"; "fig3"; "-j"; "7" ] ~jobs:7 () in
+  let r3 = record l ~seed:2 () in
+  Alcotest.(check string) "same run, any -j: same id" (id_of r1) (id_of r2);
+  Alcotest.(check bool) "perturbed seed: new id" false (id_of r1 = id_of r3);
+  Alcotest.(check (list string))
+    "entries oldest first" [ r1; r2; r3 ]
+    (Ledger.entries l);
+  Alcotest.(check (list string)) "last 2" [ r2; r3 ] (Ledger.last l 2)
+
+let test_record_id_ignores_store_counters () =
+  let l = Ledger.create (fresh_dir ()) in
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.reset ();
+      M.set_enabled false)
+    (fun () ->
+      let r1 = record l () in
+      (* same-key misses can double under -j races; the id must not see
+         them (nor the ledger's own bookkeeping counter) *)
+      M.incr (M.counter "exec.store.test.misses");
+      let r2 = record l () in
+      Alcotest.(check string) "store counters elided" (id_of r1) (id_of r2);
+      M.incr (M.counter "funcsim.test.retired");
+      let r3 = record l () in
+      Alcotest.(check bool)
+        "deterministic counters digested" false
+        (id_of r1 = id_of r3))
+
+(* --- trace round-trip --- *)
+
+let test_trace_round_trip () =
+  let path = Filename.temp_file "pc-report-trace" ".json" in
+  (Pc_trace.Chrome.with_trace ~period_s:0.0 (Some path) @@ fun () ->
+   let pool = Pc_exec.Pool.create ~num_domains:2 in
+   let store = Pc_exec.Store.create ~name:"rt" () in
+   (* spans + flow hand-off arrows from the pool, store put/get flows,
+      instants with int/float/string args, and a counter track *)
+   let c = M.counter "report.test.events" in
+   ignore
+     (Pc_exec.Pool.map pool
+        (fun i ->
+          M.incr c;
+          Pc_exec.Store.find_or_compute store i (fun () -> i * i))
+        [ 1; 2; 3; 4 ]);
+   Event.instant "mark"
+     [ ("i", Event.Int 42); ("f", Event.Float 0.125); ("s", Event.Str "x\"y") ];
+   Event.instant "ratio" [ ("v", Event.Float 1.5e-7) ]);
+  let original = read_file path in
+  let t =
+    match Trace.parse_file path with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check bool)
+    "parsed a non-trivial stream" true
+    (List.length t.Trace.events > 8);
+  Alcotest.(check string) "re-render byte-identical" original
+    (Trace.render t ^ "\n");
+  Sys.remove path
+
+(* --- diff engine --- *)
+
+let obs_doc spans =
+  Json.Obj
+    [
+      ("schema", Json.Str "pc-obs/1");
+      ("counters", Json.Obj []);
+      ("gauges", Json.Obj []);
+      ("histograms", Json.Obj []);
+      ("spans", Json.List spans);
+    ]
+
+let diff_docs a b =
+  match Diff.diff ~a_label:"a" ~b_label:"b" a b with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff: %s" e
+
+let bench_doc entries =
+  Json.Obj
+    [
+      ("schema", Json.Str "pc-bench/1");
+      ( "results",
+        Json.List
+          (List.map
+             (fun (name, ms) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("ms_per_run", Json.Num ms) ])
+             entries) );
+    ]
+
+let test_diff_tolerance_and_keys () =
+  let a = bench_doc [ ("x", 10.0); ("y", 2.0) ] in
+  (* reordered and within 20%: notes only *)
+  let b = bench_doc [ ("y", 2.2); ("x", 10.0) ] in
+  let r = diff_docs a b in
+  Alcotest.(check int) "within tolerance: no drift" 0
+    (List.length (Diff.drift r));
+  (* beyond 20%: drift *)
+  let c = bench_doc [ ("x", 14.0); ("y", 2.0) ] in
+  let r = diff_docs a c in
+  Alcotest.(check int) "beyond tolerance: drift" 1 (List.length (Diff.drift r));
+  (* a vanished row is structural *)
+  let d = bench_doc [ ("x", 10.0) ] in
+  let r = diff_docs a d in
+  Alcotest.(check int) "removed row: drift" 1 (List.length (Diff.drift r))
+
+let run_doc ~seed ~host =
+  Json.Obj
+    [
+      ("schema", Json.Str "pc-run/1");
+      ("id", Json.Str (string_of_int seed));
+      ( "run",
+        Json.Obj
+          [
+            ("tool", Json.Str "test");
+            ("seed", Json.Num (float_of_int seed));
+            ("artifacts", Json.List []);
+          ] );
+      ( "env",
+        Json.Obj
+          [ ("host", Json.Str host); ("argv", Json.List [ Json.Str host ]) ] );
+    ]
+
+let test_diff_run_env_skipped () =
+  let r = diff_docs (run_doc ~seed:1 ~host:"a") (run_doc ~seed:1 ~host:"bb") in
+  Alcotest.(check int) "env differences invisible" 0 (List.length r.Diff.items);
+  let r = diff_docs (run_doc ~seed:1 ~host:"a") (run_doc ~seed:2 ~host:"a") in
+  Alcotest.(check int) "seed drift caught" 1 (List.length (Diff.drift r))
+
+let test_thresholds_gate () =
+  let a = bench_doc [ ("x", 10.0) ] and b = bench_doc [ ("x", 20.0) ] in
+  let r = diff_docs a b in
+  Alcotest.(check int) "drifts unguarded" 1 (List.length (Diff.drift r));
+  let th =
+    match
+      Diff.thresholds_of_json
+        (Json.Obj
+           [
+             ("schema", Json.Str "pc-diff-thresholds/1");
+             ("max_drift", Json.Num 0.0);
+             ("ignore", Json.List [ Json.Str "results[*]/ms_per_run" ]);
+           ])
+    with
+    | Ok th -> th
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "ignore glob tolerates it" true (Diff.gate th r);
+  let th_tol =
+    match
+      Diff.thresholds_of_json
+        (Json.Obj
+           [
+             ("schema", Json.Str "pc-diff-thresholds/1");
+             ( "tolerances",
+               Json.Obj [ ("results[*]/ms_per_run", Json.Num 2.0) ] );
+           ])
+    with
+    | Ok th -> th
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "widened tolerance passes" true (Diff.gate th_tol r);
+  Alcotest.(check bool)
+    "default gate fails" false
+    (Diff.gate Diff.default_thresholds r)
+
+(* --- random span trees through the aligner --- *)
+
+let names = [| "prepare"; "profile"; "synth"; "sim"; "fidelity"; "pool" |]
+
+let rec gen_span rng depth =
+  let n_children = if depth <= 0 then 0 else Rng.int rng 3 in
+  let children = List.init n_children (fun _ -> gen_span rng (depth - 1)) in
+  let d =
+    0.001 +. Rng.float rng 0.5
+    +. List.fold_left
+         (fun acc c ->
+           match Json.member "duration_s" c with
+           | Some (Json.Num f) -> acc +. f
+           | _ -> acc)
+         0.0 children
+  in
+  Json.Obj
+    [
+      ("name", Json.Str (Rng.pick rng names));
+      ("duration_s", Json.Num d);
+      ("self_s", Json.Num 0.001);
+      ("children", Json.List children);
+    ]
+
+let gen_roots rng = List.init (1 + Rng.int rng 3) (fun _ -> gen_span rng 3)
+
+(* Graft one extra child with a name the generator never uses at a
+   random (existing) node, returning the perturbed tree. *)
+let rec perturb rng spans =
+  let i = Rng.int rng (List.length spans) in
+  List.mapi
+    (fun j s ->
+      if j <> i then s
+      else
+        match s with
+        | Json.Obj fields ->
+          let children =
+            match List.assoc_opt "children" fields with
+            | Some (Json.List l) -> l
+            | _ -> []
+          in
+          let children =
+            if children <> [] && Rng.bool rng then perturb rng children
+            else
+              children
+              @ [
+                  Json.Obj
+                    [
+                      ("name", Json.Str "__perturbed__");
+                      ("duration_s", Json.Num 0.001);
+                      ("self_s", Json.Num 0.001);
+                      ("children", Json.List []);
+                    ];
+                ]
+          in
+          Json.Obj
+            (List.map
+               (fun (k, v) ->
+                 if k = "children" then (k, Json.List children) else (k, v))
+               fields)
+        | other -> other)
+    spans
+
+let qcheck_span_aligner =
+  QCheck.Test.make ~count:100 ~name:"span aligner: self-empty, perturb-exact"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spans = gen_roots rng in
+      let self = diff_docs (obs_doc spans) (obs_doc spans) in
+      if self.Diff.items <> [] then
+        QCheck.Test.fail_reportf "self-diff not empty (seed %d)" seed;
+      let perturbed = perturb (Rng.split rng) spans in
+      let r = diff_docs (obs_doc spans) (obs_doc perturbed) in
+      match Diff.drift r with
+      | [ it ] ->
+        (* exactly the grafted group, nothing else *)
+        String.length it.Diff.path >= 15
+        && String.sub it.Diff.path
+             (String.length it.Diff.path - 15)
+             15
+           = "[__perturbed__]"
+      | items ->
+        QCheck.Test.fail_reportf "expected 1 drift, got %d (seed %d)"
+          (List.length items) seed)
+
+let () =
+  Alcotest.run "pc_report"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "args_digest normalisation" `Quick
+            test_args_digest_normalisation;
+          Alcotest.test_case "record ids deterministic" `Quick
+            test_record_ids_deterministic;
+          Alcotest.test_case "id ignores store counters" `Quick
+            test_record_id_ignores_store_counters;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "round-trip byte-identical" `Quick
+            test_trace_round_trip ] );
+      ( "diff",
+        [
+          Alcotest.test_case "tolerance + keyed lists" `Quick
+            test_diff_tolerance_and_keys;
+          Alcotest.test_case "run env skipped" `Quick test_diff_run_env_skipped;
+          Alcotest.test_case "thresholds gate" `Quick test_thresholds_gate;
+        ] );
+      ( "aligner",
+        [ QCheck_alcotest.to_alcotest ~long:false qcheck_span_aligner ] );
+    ]

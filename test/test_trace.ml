@@ -109,7 +109,15 @@ let test_worker_tracks_cover_pool () =
        (fun i -> Event.instant "task" [ ("i", Event.Int i) ])
        [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
   let evs = Event.drain () in
-  Alcotest.(check int) "all tasks emitted" 8 (List.length evs);
+  let instants =
+    List.filter (fun (e : Event.t) -> e.Event.phase = Event.Instant) evs
+  in
+  Alcotest.(check int) "all tasks emitted" 8 (List.length instants);
+  (* every hand-off draws one arrow: a Flow_start on the spawning domain
+     matched by a Flow_end at the claim *)
+  let count ph = List.length (List.filter (fun (e : Event.t) -> e.Event.phase = ph) evs) in
+  Alcotest.(check int) "one flow start per task" 8 (count Event.Flow_start);
+  Alcotest.(check int) "one flow end per task" 8 (count Event.Flow_end);
   List.iter
     (fun (e : Event.t) ->
       if e.Event.track < 0 || e.Event.track > 1 then
