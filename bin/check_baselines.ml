@@ -6,6 +6,7 @@
      check_baselines fidelity baselines/fidelity.json fidelity.json
      check_baselines scenario baselines/scenario.json scenario.json
      check_baselines cachesweep baselines/cachesweep.json cachesweep.json
+     check_baselines tune baselines/tune.json tune.json
      check_baselines all BASELINE CURRENT [BASELINE CURRENT]...
 
    Exits 0 when the current artefact matches the baseline (exactly for
@@ -36,6 +37,7 @@ let check kind ~tolerance ~floor_ms ~baseline ~current =
   | `Fidelity -> Pc_trace.Fidelity.check ~thresholds:baseline ~report:current
   | `Scenario -> Pc_scenario.Report.check ~thresholds:baseline ~report:current
   | `Cachesweep -> Baseline.check_cachesweep ~thresholds:baseline ~report:current
+  | `Tune -> Pc_tune.Report.check ~thresholds:baseline ~report:current
 
 (* In [all] mode the gate kind comes from the baseline document itself:
    every baseline/thresholds schema names exactly one checker. *)
@@ -46,6 +48,7 @@ let kind_of_baseline path doc =
   | Some "pc-fidelity-thresholds/1" -> ("fidelity", `Fidelity)
   | Some "pc-scenario-thresholds/1" -> ("scenario", `Scenario)
   | Some "pc-cachesweep-thresholds/1" -> ("cachesweep", `Cachesweep)
+  | Some "pc-tune-thresholds/1" -> ("tune", `Tune)
   | Some s ->
     Printf.eprintf "check_baselines: %s: no gate for schema %s\n" path s;
     exit 2
@@ -97,7 +100,8 @@ let run_all files tolerance floor_ms =
 let main mode baseline_path current_path rest tolerance floor_ms =
   match mode with
   | `All -> run_all (baseline_path :: current_path :: rest) tolerance floor_ms
-  | (`Metrics | `Bench | `Fidelity | `Scenario | `Cachesweep) as kind -> (
+  | (`Metrics | `Bench | `Fidelity | `Scenario | `Cachesweep | `Tune) as kind
+    -> (
     if rest <> [] then begin
       Printf.eprintf
         "check_baselines: extra files %s (only the all mode takes more than \
@@ -127,6 +131,7 @@ let mode_arg =
       ("fidelity", `Fidelity);
       ("scenario", `Scenario);
       ("cachesweep", `Cachesweep);
+      ("tune", `Tune);
       ("all", `All);
     ]
   in
@@ -141,7 +146,9 @@ let mode_arg =
               pc-scenario/1 co-run report against \
               pc-scenario-thresholds/1 bounds; $(b,cachesweep) gates a \
               pc-cachesweep/1 one-pass sweep comparison against \
-              pc-cachesweep-thresholds/1 bounds; $(b,all) runs any \
+              pc-cachesweep-thresholds/1 bounds; $(b,tune) gates a \
+              pc-tune/1 tuning report against pc-tune-thresholds/1 \
+              bounds; $(b,all) runs any \
               number of baseline/current pairs (gate kinds inferred \
               from each baseline's schema) and prints a per-gate \
               summary table with an aggregated exit code.")

@@ -12,7 +12,13 @@
    clone/synth take --fidelity-out FILE to re-profile the generated
    clone and write a pc-fidelity/1 comparison against the original's
    profile; profile/synth/clone take --trace FILE to write a pc-trace/1
-   Chrome timeline of the run. *)
+   Chrome timeline of the run.
+
+   clone/synth also close the loop: --tune [BUDGET] searches the
+   generator's knobs for the most faithful clone before emitting it,
+   and --stress ipc=..,mpki=..,power=.. tunes toward a performance
+   envelope instead of the original (stress clones).  --tune-store DIR
+   memoises tuning evaluations across invocations. *)
 
 open Cmdliner
 
@@ -52,6 +58,47 @@ let write_fidelity path ~bench ~original ~seed ~instrs ~dynamic clone =
   Format.eprintf "%a" Pc_trace.Fidelity.pp [ report ];
   Log.info (fun m -> m "wrote fidelity report to %s" path)
 
+(* Tuning sidecar: when --tune (or --stress, which implies it) is
+   given, run the knob search before generation and emit the clone with
+   the winning knob vector; otherwise the historical default options,
+   byte-identical to the pre-tuning tool. *)
+let resolve_options ~tune ~stress ~tune_store ~bench ~seed ~instrs ~dynamic
+    profile =
+  match (tune, stress) with
+  | None, None ->
+    { Pc_synth.Synth.default_options with seed; target_dynamic = dynamic }
+  | budget, stress ->
+    let budget = Option.value budget ~default:32 in
+    let mode =
+      match stress with
+      | None -> Pc_tune.Fitness.Mimic Pc_tune.Fitness.default_weights
+      | Some spec -> (
+        match Pc_tune.Fitness.envelope_of_string spec with
+        | Ok env -> Pc_tune.Fitness.Stress env
+        | Error msg ->
+          Printf.eprintf "clone_gen: %s\n" msg;
+          exit 1)
+    in
+    let store =
+      Option.map
+        (fun dir ->
+          Pc_tune.Tune_store.create
+            (if dir = "" then Pc_tune.Tune_store.default_dir () else dir))
+        tune_store
+    in
+    Log.info (fun m ->
+        m "tuning %s (budget %d, %s mode)" bench budget
+          (match mode with
+          | Pc_tune.Fitness.Mimic _ -> "mimic"
+          | Pc_tune.Fitness.Stress _ -> "stress"));
+    let result =
+      Pc_tune.Search.run ?store ~budget ~bench ~seed ~profile_instrs:instrs
+        ~target_dynamic:dynamic ~mode profile
+    in
+    Format.eprintf "%a" Pc_tune.Report.pp [ result ];
+    Pc_tune.Search.options_of_knobs ~seed ~target_dynamic:dynamic
+      result.Pc_tune.Search.r_best_knobs
+
 (* Ledger sidecar: record the invocation once the trace file (written
    when with_trace unwinds) exists on disk. *)
 let record_ledger ledger ~seed ~artifacts =
@@ -87,8 +134,8 @@ let emit_clone clone fmt output =
       | "bin" -> Pc_isa.Encoding.write oc clone
       | "asm" | _ -> output_string oc (Pc_isa.Parser.roundtrip_text clone))
 
-let cmd_synth () trace ledger fidelity_out profile_path output fmt seed dynamic
-    =
+let cmd_synth () trace ledger fidelity_out tune stress tune_store profile_path
+    output fmt seed dynamic =
   if ledger <> None then Pc_obs.Metrics.set_enabled true;
   (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let ic = open_in profile_path in
@@ -97,7 +144,9 @@ let cmd_synth () trace ledger fidelity_out profile_path output fmt seed dynamic
   in
   Log.info (fun m -> m "synthesizing clone from %s (seed %d)" profile_path seed);
   let options =
-    { Pc_synth.Synth.default_options with seed; target_dynamic = dynamic }
+    resolve_options ~tune ~stress ~tune_store
+      ~bench:profile.Pc_profile.Profile.name ~seed
+      ~instrs:profile.Pc_profile.Profile.instr_count ~dynamic profile
   in
   let clone = Pc_synth.Synth.generate ~options profile in
   emit_clone clone fmt output;
@@ -112,8 +161,8 @@ let cmd_synth () trace ledger fidelity_out profile_path output fmt seed dynamic
   record_ledger ledger ~seed
     ~artifacts:[ ("pc-fidelity/1", fidelity_out); ("pc-trace/1", trace) ]
 
-let cmd_clone () trace ledger fidelity_out bench output fmt seed instrs dynamic
-    =
+let cmd_clone () trace ledger fidelity_out tune stress tune_store bench output
+    fmt seed instrs dynamic =
   if ledger <> None then Pc_obs.Metrics.set_enabled true;
   (Pc_trace.Chrome.with_trace trace @@ fun () ->
   let program = load_bench bench in
@@ -122,11 +171,20 @@ let cmd_clone () trace ledger fidelity_out bench output fmt seed instrs dynamic
     Perfclone.Pipeline.clone_program ~seed ~profile_instrs:instrs
       ~target_dynamic:dynamic program
   in
-  emit_clone pipeline.Perfclone.Pipeline.clone fmt output;
+  let clone =
+    if tune = None && stress = None then pipeline.Perfclone.Pipeline.clone
+    else
+      let options =
+        resolve_options ~tune ~stress ~tune_store ~bench ~seed ~instrs ~dynamic
+          pipeline.Perfclone.Pipeline.profile
+      in
+      Pc_synth.Synth.generate ~options pipeline.Perfclone.Pipeline.profile
+  in
+  emit_clone clone fmt output;
   Option.iter
     (fun path ->
       write_fidelity path ~bench ~original:pipeline.Perfclone.Pipeline.profile
-        ~seed ~instrs ~dynamic pipeline.Perfclone.Pipeline.clone)
+        ~seed ~instrs ~dynamic clone)
     fidelity_out;
   Log.info (fun m -> m "wrote %s clone to %s" fmt
                (Option.value output ~default:"<stdout>")));
@@ -186,6 +244,33 @@ let fidelity_out_arg =
             mix, dependency distances, strides, branch rates, SFG size) to \
             $(docv).  A summary table goes to stderr.")
 
+let tune_arg =
+  Arg.(value
+       & opt ~vopt:(Some 32) (some int) None
+       & info [ "tune" ] ~docv:"BUDGET"
+         ~doc:
+           "Search the generator's knobs (block scaling, stream count, \
+            dependency jitter, stride bias, branch-period bounds) for the \
+            most faithful clone before emitting it.  $(docv) bounds the \
+            number of candidate evaluations (default 32).")
+
+let stress_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stress" ] ~docv:"SPEC"
+         ~doc:
+           "Tune toward a performance envelope instead of the original: \
+            $(docv) is a comma list of ipc=N, mpki=N, power=N targets \
+            (stress clones).  Implies --tune.")
+
+let tune_store_arg =
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "tune-store" ] ~docv:"DIR"
+         ~doc:
+           "Memoise tuning evaluations on disk under $(docv) (default \
+            \\$XDG_CACHE_HOME/pc-tune), so repeated tuning runs converge \
+            from cache.")
+
 let setup_term =
   let verbose_arg =
     Arg.(value & flag_all
@@ -210,14 +295,15 @@ let profile_cmd =
 let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"synthesize a clone from a saved profile")
     Term.(const cmd_synth $ setup_term $ trace_arg $ ledger_arg
-          $ fidelity_out_arg $ profile_arg $ output_arg $ format_arg
-          $ seed_arg $ dynamic_arg)
+          $ fidelity_out_arg $ tune_arg $ stress_arg $ tune_store_arg
+          $ profile_arg $ output_arg $ format_arg $ seed_arg $ dynamic_arg)
 
 let clone_cmd =
   Cmd.v (Cmd.info "clone" ~doc:"profile and synthesize in one step")
     Term.(const cmd_clone $ setup_term $ trace_arg $ ledger_arg
-          $ fidelity_out_arg $ bench_pos $ output_arg $ format_arg $ seed_arg
-          $ instrs_arg $ dynamic_arg)
+          $ fidelity_out_arg $ tune_arg $ stress_arg $ tune_store_arg
+          $ bench_pos $ output_arg $ format_arg $ seed_arg $ instrs_arg
+          $ dynamic_arg)
 
 let main_cmd =
   Cmd.group

@@ -10,9 +10,31 @@ type options = {
   target_blocks : int;
   target_dynamic : int;
   max_streams : int;
+  block_scale : float;
+  dep_jitter : float;
+  stride_bias : float;
+  period_min : int;
+  period_max : int;
 }
 
-let default_options = { seed = 1; target_blocks = 0; target_dynamic = 100_000; max_streams = 12 }
+(* The tunable-knob fields (block_scale .. period_max) must stay
+   byte-compatible at their defaults: with block_scale 1.0, dep_jitter
+   0.0, stride_bias 0.0 and the historical [2, 256] period bounds the
+   generator draws exactly the same RNG stream and emits exactly the
+   same clone as before the knobs existed — pc_tune relies on candidate
+   0 (the defaults) reproducing the untuned clone. *)
+let default_options =
+  {
+    seed = 1;
+    target_blocks = 0;
+    target_dynamic = 100_000;
+    max_streams = 12;
+    block_scale = 1.0;
+    dep_jitter = 0.0;
+    stride_bias = 0.0;
+    period_min = 2;
+    period_max = 256;
+  }
 
 (* Register layout of generated clones (disjoint roles, no stack):
    r1..r13   integer dataflow pool        f1..f13  FP dataflow pool
@@ -48,7 +70,7 @@ let round8_up n = (n + 7) / 8 * 8
    [max_streams] pooled streams, keeping the highest-weight strides.  A
    stream's footprint is the largest member footprint: static ops that
    share a stride usually walk the same data structure. *)
-let plan_streams ~max_streams (profile : Profile.t) =
+let plan_streams ?(stride_bias = 0.0) ~max_streams (profile : Profile.t) =
   let by_pc = Hashtbl.create 64 in
   Array.iter
     (fun (n : Profile.node) ->
@@ -107,7 +129,26 @@ let plan_streams ~max_streams (profile : Profile.t) =
         :: acc)
       stride_tbl []
   in
-  let sorted = List.sort (fun a b -> compare b.weight a.weight) all in
+  (* stride_bias <> 0 reweights the pool-selection order by
+     |stride|^bias: positive bias favours long-stride (row-walking)
+     streams, negative favours unit-stride ones.  At 0.0 the historical
+     pure-weight order is used verbatim, so untuned clones are
+     byte-identical. *)
+  let sorted =
+    if stride_bias = 0.0 then
+      List.sort (fun a b -> compare b.weight a.weight) all
+    else
+      let eff s =
+        float_of_int s.weight
+        *. (float_of_int (max 8 (abs s.stride)) ** stride_bias)
+      in
+      List.sort
+        (fun a b ->
+          match compare (eff b) (eff a) with
+          | 0 -> compare b.weight a.weight
+          | c -> c)
+        all
+  in
   let chosen = List.filteri (fun i _ -> i < max_streams) sorted in
   Array.of_list
     (List.map
@@ -287,10 +328,19 @@ let sample_distance rng (fractions : float array) =
 type gen_state = {
   rng : Rng.t;
   recent : Recent.t;
+  jitter : float; (* dependency-distance jitter probability (0 = off) *)
   mutable next_int : int; (* round-robin index into int_pool *)
   mutable next_fp : int;
   mutable stream_op_counts : int array; (* per stream: ops placed so far *)
 }
+
+(* With probability [st.jitter], displace a sampled dependency distance
+   by up to ±2 slots.  At jitter 0.0 (the default) this draws nothing
+   from the RNG, keeping untuned streams byte-identical. *)
+let jitter_distance st d =
+  if st.jitter <= 0.0 then d
+  else if Rng.float st.rng 1.0 < st.jitter then max 1 (d - 2 + Rng.int st.rng 5)
+  else d
 
 (* Realised stream geometry: each synthetic op on a stream owns a shard
    of the stream's footprint, walked with the effective stride and reset
@@ -317,12 +367,12 @@ let alloc_fp st =
   r
 
 let int_src st node_deps =
-  let d = sample_distance st.rng node_deps in
+  let d = jitter_distance st (sample_distance st.rng node_deps) in
   Recent.find st.recent ~is_fp:false ~distance:d
     ~fallback:int_pool.(Rng.int st.rng (Array.length int_pool))
 
 let fp_src st node_deps =
-  let d = sample_distance st.rng node_deps in
+  let d = jitter_distance st (sample_distance st.rng node_deps) in
   Recent.find st.recent ~is_fp:true ~distance:d
     ~fallback:fp_pool.(Rng.int st.rng (Array.length fp_pool))
 
@@ -392,8 +442,9 @@ let gen_instr st (node : Profile.node) cls streams geoms mem_queue =
     I.Alu (I.Xor, d, int_src st deps, int_src st deps)
 
 (* The terminating branch of a synthetic block (step 5).  Returns the
-   instructions; the branch always targets [next_label]. *)
-let gen_branch st (node : Profile.node) ~next_label =
+   instructions; the branch always targets [next_label].  [period_lo] /
+   [period_hi] quantise the realised period (both powers of two). *)
+let gen_branch st (node : Profile.node) ~period_lo ~period_hi ~next_label =
   match node.Profile.branch with
   | None ->
     (* Original block ended in an unconditional transfer. *)
@@ -414,28 +465,70 @@ let gen_branch st (node : Profile.node) ~next_label =
     else begin
       (* Period P ~ 2/t (power of two so the modulo is one AND), taken
          for the first T slots of each period. *)
-      let p = max 2 (min 256 (round_pow2 (int_of_float (Float.round (2.0 /. t))))) in
-      let taken_slots =
-        max 1 (min (p - 1) (int_of_float (Float.round (tr *. float_of_int p))))
+      let p =
+        max period_lo
+          (min period_hi (round_pow2 (int_of_float (Float.round (2.0 /. t)))))
       in
-      Recent.push st.recent (-1);
-      Recent.push st.recent (-1);
-      [
-        I.Alui (I.And, scratch, iter_reg, p - 1);
-        I.Alui (I.Cmp_lt, scratch, scratch, taken_slots);
-        I.Br (I.Ne_z, scratch, I.Label next_label);
-      ]
+      let taken_slots =
+        min (p - 1) (int_of_float (Float.round (tr *. float_of_int p)))
+      in
+      if taken_slots <= 0 then
+        (* The profiled taken rate rounds to zero slots at this period
+           (tr < 1/(2P), or exactly never taken): clamping it up to one
+           slot used to clone the branch as taken once per period.  An
+           always-not-taken test is the faithful rendition — execution
+           still falls through to the next block. *)
+        [ I.Br (I.Ne_z, Reg.zero, I.Label next_label) ]
+      else begin
+        Recent.push st.recent (-1);
+        Recent.push st.recent (-1);
+        [
+          I.Alui (I.And, scratch, iter_reg, p - 1);
+          I.Alui (I.Cmp_lt, scratch, scratch, taken_slots);
+          I.Br (I.Ne_z, scratch, I.Label next_label);
+        ]
+      end
     end
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate_options o =
+  if o.max_streams < 1 || o.max_streams > 12 then
+    invalid_arg "Synth.generate: max_streams must be in [1, 12]";
+  if not (o.block_scale > 0.0 && Float.is_finite o.block_scale) then
+    invalid_arg "Synth.generate: block_scale must be positive and finite";
+  if not (o.dep_jitter >= 0.0 && o.dep_jitter <= 1.0) then
+    invalid_arg "Synth.generate: dep_jitter must be in [0, 1]";
+  if not (Float.is_finite o.stride_bias) then
+    invalid_arg "Synth.generate: stride_bias must be finite";
+  if
+    (not (is_pow2 o.period_min))
+    || (not (is_pow2 o.period_max))
+    || o.period_min < 2 || o.period_max > 1024
+    || o.period_min > o.period_max
+  then
+    invalid_arg
+      "Synth.generate: period bounds must be powers of two with 2 <= min <= \
+       max <= 1024"
+
 let generate ?(options = default_options) (profile : Profile.t) =
+  validate_options options;
   let rng = Rng.create options.seed in
   let n_nodes = Array.length profile.Profile.nodes in
   if n_nodes = 0 then invalid_arg "Synth.generate: empty profile";
   let target_blocks =
-    if options.target_blocks > 0 then options.target_blocks
-    else min 400 (max 40 (2 * n_nodes))
+    let base =
+      if options.target_blocks > 0 then options.target_blocks
+      else min 400 (max 40 (2 * n_nodes))
+    in
+    if options.block_scale = 1.0 then base
+    else
+      max 4 (int_of_float (Float.round (options.block_scale *. float_of_int base)))
   in
-  let streams = plan_streams ~max_streams:options.max_streams profile in
+  let streams =
+    plan_streams ~stride_bias:options.stride_bias
+      ~max_streams:options.max_streams profile
+  in
   let streams =
     if Array.length streams = 0 then
       [|
@@ -456,6 +549,7 @@ let generate ?(options = default_options) (profile : Profile.t) =
     {
       rng;
       recent = Recent.create ();
+      jitter = options.dep_jitter;
       next_int = 0;
       next_fp = 0;
       stream_op_counts = Array.make (Array.length streams) 0;
@@ -651,7 +745,9 @@ let generate ?(options = default_options) (profile : Profile.t) =
       done;
       (* any leftover memory ops (when size under-counts) are dropped *)
       Queue.clear mem_queue;
-      List.iter emit (gen_branch st node ~next_label);
+      List.iter emit
+        (gen_branch st node ~period_lo:options.period_min
+           ~period_hi:options.period_max ~next_label);
       body_instrs := !body_instrs + node.Profile.size)
     block_ids;
   emit_label "loop_end";

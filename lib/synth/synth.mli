@@ -36,12 +36,29 @@ type options = {
   target_blocks : int;  (** synthetic basic blocks to instantiate *)
   target_dynamic : int;  (** approximate dynamic instructions when run *)
   max_streams : int;  (** stream pointer registers available (<= 12) *)
+  block_scale : float;
+      (** scales the (explicit or profile-derived) block target; 1.0 =
+          unscaled.  The tuner's coarsest knob: more blocks instantiate
+          more of the SFG's tail, fewer compress it harder. *)
+  dep_jitter : float;
+      (** probability, per sampled dependency distance, of displacing it
+          by up to ±2 slots.  0.0 (the default) draws nothing from the
+          RNG, so untuned clones are byte-identical to pre-knob ones. *)
+  stride_bias : float;
+      (** reweights stream-pool selection by [|stride|^bias]: positive
+          favours long-stride streams, negative unit-stride ones; 0.0 is
+          the historical pure reference-weight order. *)
+  period_min : int;  (** branch-period quantisation lower bound (pow2, >= 2) *)
+  period_max : int;  (** branch-period quantisation upper bound (pow2, <= 1024) *)
 }
 
 val default_options : options
 (** seed 1, 0 target blocks (meaning: derived from the profile as
     [min 400 (max 40 (2 * nodes))]), 100k dynamic instructions, 12
-    streams. *)
+    streams; tuning knobs at their neutral values (block_scale 1.0,
+    dep_jitter 0.0, stride_bias 0.0, periods quantised to [2, 256]) —
+    neutral knobs generate byte-identical clones to the pre-knob
+    generator, which [Pc_tune] relies on. *)
 
 val generate : ?options:options -> Pc_profile.Profile.t -> Pc_isa.Program.t
 (** Generate the synthetic benchmark clone. *)
@@ -58,9 +75,12 @@ type stream_info = {
                          "row" advance of 2-D walks *)
 }
 
-val plan_streams : max_streams:int -> Pc_profile.Profile.t -> stream_info array
+val plan_streams :
+  ?stride_bias:float -> max_streams:int -> Pc_profile.Profile.t -> stream_info array
 (** The stream pool the generator would use (exposed for tests and the
-    what-if examples): profiled strides clustered by reference weight. *)
+    what-if examples): profiled strides clustered by reference weight.
+    [stride_bias] (default 0.0 = pure weight order) reweights selection
+    by [|stride|^bias] as the tuner's {!options.stride_bias} does. *)
 
 (** {1 Building blocks shared with alternative back ends}
 

@@ -198,6 +198,20 @@ let measure ?max_instrs ~bench ~(original : Profile.t) clone_program =
 
 let c_phases = M.counter "fidelity.phases_measured"
 
+(* The explicit "no clone instructions fell in this phase" row: all
+   characteristics NaN, rendered as null in pc-fidelity/1. *)
+let null_characteristics =
+  {
+    instr_mix_l1 = Float.nan;
+    dep_dist_l1 = Float.nan;
+    stride_agreement = Float.nan;
+    single_stride_err = Float.nan;
+    taken_rate_err = Float.nan;
+    transition_rate_err = Float.nan;
+    sfg_block_ratio = Float.nan;
+    avg_block_size_ratio = Float.nan;
+  }
+
 let measure_phases ~interval ~original ~clone report =
   if interval < 1 then
     invalid_arg "Fidelity.measure_phases: interval must be positive";
@@ -215,24 +229,42 @@ let measure_phases ~interval ~original ~clone report =
     List.init n (fun p ->
         let o_start = p * interval in
         let o_len = min interval (orig_total - o_start) in
+        (* Exact proportional partition of the clone: phase p owns
+           [p*total/n, (p+1)*total/n).  When clone_total < n some phases
+           own zero instructions — formerly a [max 1] clamp re-measured
+           the neighbouring phase's slice there, double-counting it; an
+           empty slice now yields an explicit null row instead. *)
         let c_start = p * clone_total / n in
-        let c_len = max 1 (((p + 1) * clone_total / n) - c_start) in
-        let po =
-          Pc_profile.Collector.profile ~start:o_start ~max_instrs:o_len
-            original
-        in
-        let pc =
-          Pc_profile.Collector.profile ~start:c_start ~max_instrs:c_len clone
-        in
-        M.incr c_phases;
-        {
-          p_index = p;
-          p_orig_start = o_start;
-          p_orig_instrs = po.Profile.instr_count;
-          p_clone_start = c_start;
-          p_clone_instrs = pc.Profile.instr_count;
-          p_c = compare_profiles ~original:po ~clone:pc;
-        })
+        let c_len = ((p + 1) * clone_total / n) - c_start in
+        if c_len = 0 then begin
+          M.incr c_phases;
+          {
+            p_index = p;
+            p_orig_start = o_start;
+            p_orig_instrs = o_len;
+            p_clone_start = c_start;
+            p_clone_instrs = 0;
+            p_c = null_characteristics;
+          }
+        end
+        else begin
+          let po =
+            Pc_profile.Collector.profile ~start:o_start ~max_instrs:o_len
+              original
+          in
+          let pc =
+            Pc_profile.Collector.profile ~start:c_start ~max_instrs:c_len clone
+          in
+          M.incr c_phases;
+          {
+            p_index = p;
+            p_orig_start = o_start;
+            p_orig_instrs = po.Profile.instr_count;
+            p_clone_start = c_start;
+            p_clone_instrs = pc.Profile.instr_count;
+            p_c = compare_profiles ~original:po ~clone:pc;
+          }
+        end)
   in
   { report with phases }
 

@@ -57,6 +57,10 @@ type report = {
 val characteristic_names : string list
 (** The pc-fidelity/1 row field names, in emission order. *)
 
+val characteristic_fields : characteristics -> (string * float) list
+(** The characteristics as [(name, value)] rows in emission order —
+    the generic view {!Pc_tune} scores over. *)
+
 val compare_profiles :
   original:Pc_profile.Profile.t -> clone:Pc_profile.Profile.t -> characteristics
 (** Pure comparison of two profiles; [measure] without the
@@ -87,7 +91,13 @@ val measure_phases :
     run — is sliced proportionally, and each slice pair is compared
     with {!compare_profiles}.  Global characteristics can hide phase
     behaviour: a clone that averages two phases scores well globally
-    while matching neither; the per-phase rows expose that.  Raises
+    while matching neither; the per-phase rows expose that.  The
+    partition is exact: phase [p] owns clone instructions
+    [p*total/n, (p+1)*total/n), so phases never re-measure overlapping
+    clone slices; when the clone has fewer instructions than there are
+    phases, the phases left with an empty slice report
+    [p_clone_instrs = 0] with all-NaN characteristics (null in the
+    JSON) instead of double-counting a neighbour's slice.  Raises
     [Invalid_argument] when [interval < 1].  Instrumented with a
     ["fidelity:phases"] span. *)
 

@@ -1,0 +1,189 @@
+module Json = Pc_util.Json
+module Sink = Pc_obs.Sink
+
+let number f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let knobs_fields (k : Search.knobs) =
+  Printf.sprintf
+    "{\"block_scale\":%s,\"max_streams\":%d,\"dep_jitter\":%s,\"stride_bias\":%s,\"period_min\":%d,\"period_max\":%d}"
+    (number k.Search.k_block_scale)
+    k.Search.k_max_streams
+    (number k.Search.k_dep_jitter)
+    (number k.Search.k_stride_bias)
+    k.Search.k_period_min k.Search.k_period_max
+
+let mode_fields (mode : Fitness.mode) b =
+  match mode with
+  | Fitness.Mimic weights ->
+    Buffer.add_string b "\"mode\":\"mimic\",\"weights\":{";
+    List.iteri
+      (fun i (name, w) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "%s:%s" (Sink.json_string name) (number w)))
+      weights;
+    Buffer.add_char b '}'
+  | Fitness.Stress env ->
+    Buffer.add_string b "\"mode\":\"stress\",\"envelope\":{";
+    let first = ref true in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | None -> ()
+        | Some t ->
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Buffer.add_string b (Printf.sprintf "\"%s\":%s" name (number t)))
+      [
+        ("ipc", env.Fitness.e_ipc);
+        ("mpki", env.Fitness.e_mpki);
+        ("power", env.Fitness.e_power);
+      ];
+    Buffer.add_char b '}'
+
+let json ~seed ~profile_instrs ~clone_dynamic ~mode results =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"pc-tune/1\",\"seed\":%d,\"profile_instrs\":%d,\"clone_dynamic\":%d,"
+       seed profile_instrs clone_dynamic);
+  mode_fields mode b;
+  Buffer.add_string b ",\"benchmarks\":[";
+  List.iteri
+    (fun i (r : Search.result) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"bench\":%s,\"budget\":%d,\"evals\":%d,\"memo_hits\":%d,\"default_fitness\":%s,\"best_fitness\":%s,\"knobs\":%s"
+           (Sink.json_string r.Search.r_bench)
+           r.Search.r_budget r.Search.r_evals r.Search.r_memo_hits
+           (number r.Search.r_default.Fitness.fitness)
+           (number r.Search.r_best.Fitness.fitness)
+           (knobs_fields r.Search.r_best_knobs));
+      Buffer.add_string b ",\"generations\":[";
+      List.iteri
+        (fun j (g : Search.generation) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"gen\":%d,\"evals\":%d,\"best\":%s}"
+               g.Search.g_index g.Search.g_evals (number g.Search.g_best)))
+        r.Search.r_generations;
+      (* store hits/misses legitimately differ between a cold and a warm
+         run — CI compares the console table, not this document *)
+      Buffer.add_string b
+        (Printf.sprintf "],\"store\":{\"hits\":%d,\"misses\":%d}}"
+           r.Search.r_store_hits r.Search.r_store_misses))
+    results;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_json path ~seed ~profile_instrs ~clone_dynamic ~mode results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json ~seed ~profile_instrs ~clone_dynamic ~mode results);
+      output_char oc '\n')
+
+(* --- threshold gate (check_baselines tune) --- *)
+
+let schema_of doc = Option.bind (Json.member "schema" doc) Json.to_string
+
+let check ~thresholds ~report =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  (match schema_of thresholds with
+  | Some "pc-tune-thresholds/1" -> ()
+  | s ->
+    issue "thresholds: expected schema pc-tune-thresholds/1, got %s"
+      (Option.value ~default:"<none>" s));
+  (match schema_of report with
+  | Some "pc-tune/1" -> ()
+  | s ->
+    issue "report: expected schema pc-tune/1, got %s"
+      (Option.value ~default:"<none>" s));
+  let bound key =
+    match Json.member key thresholds with
+    | None -> None
+    | Some v -> (
+      match Json.to_float v with
+      | Some f when Float.is_finite f -> Some f
+      | _ ->
+        issue "thresholds: %s is not a finite number" key;
+        None)
+  in
+  let max_best = bound "max_best_fitness" in
+  let min_gain = bound "min_gain" in
+  let min_improved =
+    match Json.member "min_improved" thresholds with
+    | None -> None
+    | Some v -> (
+      match Json.to_int v with
+      | Some n when n >= 0 -> Some n
+      | _ ->
+        issue "thresholds: min_improved is not a non-negative integer";
+        None)
+  in
+  let rows =
+    match Option.bind (Json.member "benchmarks" report) Json.to_list with
+    | Some rows -> rows
+    | None -> []
+  in
+  if rows = [] then issue "report: no benchmarks";
+  let improved = ref 0 in
+  List.iter
+    (fun row ->
+      let bench =
+        Option.value ~default:"?"
+          (Option.bind (Json.member "bench" row) Json.to_string)
+      in
+      let value_of name =
+        match Option.bind (Json.member name row) Json.to_float with
+        | Some f when Float.is_finite f -> Some f
+        | _ ->
+          issue "%s: missing or non-finite %s" bench name;
+          None
+      in
+      match (value_of "default_fitness", value_of "best_fitness") with
+      | Some d, Some best ->
+        if best < d then incr improved;
+        (match max_best with
+        | Some b when best > b ->
+          issue "%s: best_fitness = %.6f exceeds max %.6f" bench best b
+        | _ -> ());
+        (match min_gain with
+        | Some g when d -. best < g ->
+          issue "%s: gain %.6f below min_gain %.6f" bench (d -. best) g
+        | _ -> ())
+      | _ -> ())
+    rows;
+  (match min_improved with
+  | Some n when !improved < n ->
+    issue "only %d/%d benchmarks improved over default knobs (need %d)"
+      !improved (List.length rows) n
+  | _ -> ());
+  List.rev !issues
+
+(* --- console table ---
+
+   Deliberately free of store hit/miss counts: this table is the
+   cold-vs-warm identity artefact CI diffs, and only the store's
+   hit/miss split (never a winner or a score) may differ between a cold
+   and a warm run. *)
+
+let pp ppf results =
+  Format.fprintf ppf "%-12s %9s %9s %7s %6s %5s  %s@." "bench" "default"
+    "tuned" "gain%" "evals" "gens" "knobs";
+  List.iter
+    (fun (r : Search.result) ->
+      let d = r.Search.r_default.Fitness.fitness in
+      let best = r.Search.r_best.Fitness.fitness in
+      let gain = if d > 0.0 then 100.0 *. (d -. best) /. d else 0.0 in
+      let k = r.Search.r_best_knobs in
+      Format.fprintf ppf
+        "%-12s %9.4f %9.4f %6.1f%% %6d %5d  bs=%.2f ms=%d jit=%.2f sb=%+.2f per=[%d,%d]@."
+        r.Search.r_bench d best gain r.Search.r_evals
+        (List.length r.Search.r_generations)
+        k.Search.k_block_scale k.Search.k_max_streams k.Search.k_dep_jitter
+        k.Search.k_stride_bias k.Search.k_period_min k.Search.k_period_max)
+    results

@@ -1,0 +1,47 @@
+(** pc-tune/1 artefacts: serialise {!Search.result}s, gate them in CI.
+
+    The JSON document carries, per benchmark, the untuned (default-knob)
+    fitness, the tuned best with its knob vector, the per-generation
+    best-fitness trajectory, and the memo/store hit statistics —
+    everything the cold/warm CI comparison and the threshold gate need.
+
+    The gate reads a ["pc-tune-thresholds/1"] document
+    ([baselines/tune.json]):
+
+    {v
+    { "schema": "pc-tune-thresholds/1",
+      "max_best_fitness": 1.0,   // every bench: best_fitness <= this
+      "min_gain": 0.0,           // every bench: default - best >= this
+      "min_improved": 2 }        // at least N benches strictly improved
+    v}
+
+    As with the fidelity gate, missing or non-numeric report values are
+    themselves violations — a corrupt report can never pass silently. *)
+
+val json :
+  seed:int ->
+  profile_instrs:int ->
+  clone_dynamic:int ->
+  mode:Fitness.mode ->
+  Search.result list ->
+  string
+(** The pc-tune/1 document (no trailing newline). *)
+
+val write_json :
+  string ->
+  seed:int ->
+  profile_instrs:int ->
+  clone_dynamic:int ->
+  mode:Fitness.mode ->
+  Search.result list ->
+  unit
+
+val check : thresholds:Pc_util.Json.t -> report:Pc_util.Json.t -> string list
+(** Gate a parsed pc-tune/1 report against a parsed
+    pc-tune-thresholds/1 document.  One message per violation; empty
+    list = pass. *)
+
+val pp : Format.formatter -> Search.result list -> unit
+(** Console table, one row per benchmark: default and best fitness,
+    gain, evaluation and store statistics.  Byte-identical across pool
+    widths and across cold/warm store runs — CI diffs it. *)

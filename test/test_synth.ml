@@ -147,6 +147,68 @@ let test_dep_distance_preserved () =
   if abs_float (o -. c) > 0.25 then
     Alcotest.failf "distance-1 dependency fraction %.3f vs clone %.3f" o c
 
+(* Regression: a profiled taken rate small enough to round to zero
+   slots of the branch period must clone as an always-not-taken branch.
+   The old [max 1] clamp made every such branch taken once per period —
+   a direction sequence the original never shows.  The counter test is
+   recognisable as the self-targeted Cmp_lt immediate ([Alui (Cmp_lt,
+   r, r, slots)] on the masked counter); with every branch forced to a
+   near-zero taken rate, none may remain. *)
+let test_zero_taken_rate_branches () =
+  let p = profile "crc32" in
+  let nodes =
+    Array.map
+      (fun (n : Profile.node) ->
+        match n.Profile.branch with
+        | None -> n
+        | Some b ->
+          {
+            n with
+            Profile.branch =
+              Some
+                {
+                  b with
+                  Profile.taken_rate = 0.004;
+                  transition_rate = 0.1;
+                };
+          })
+      p.Profile.nodes
+  in
+  let p = { p with Profile.nodes } in
+  let options = { Synth.default_options with Synth.target_dynamic = 30_000 } in
+  let clone = Synth.generate ~options p in
+  let counter_tests = ref 0 and never_taken = ref 0 in
+  Array.iter
+    (fun i ->
+      match i with
+      | I.Alui (I.Cmp_lt, rd, ra, _) when rd = ra -> incr counter_tests
+      | I.Br (I.Ne_z, r, _) when r = Pc_isa.Reg.zero -> incr never_taken
+      | _ -> ())
+    clone.Program.code;
+  Alcotest.(check int) "no taken-once-per-period counter tests" 0
+    !counter_tests;
+  Alcotest.(check bool) "branches cloned as never-taken" true
+    (!never_taken > 0);
+  let m, _ = run_clone clone in
+  Alcotest.(check bool) "still halts" true (Machine.halted m)
+
+let test_knob_validation () =
+  let reject name options =
+    match Synth.generate ~options (profile "crc32") with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  reject "non-pow2 period"
+    { Synth.default_options with Synth.period_min = 3 };
+  reject "inverted periods"
+    { Synth.default_options with Synth.period_min = 64; period_max = 4 };
+  reject "negative block scale"
+    { Synth.default_options with Synth.block_scale = -1.0 };
+  reject "jitter above 1"
+    { Synth.default_options with Synth.dep_jitter = 1.5 };
+  reject "thirteen streams"
+    { Synth.default_options with Synth.max_streams = 13 }
+
 (* --- stream planning --- *)
 
 let test_plan_streams_caps_count () =
@@ -252,6 +314,9 @@ let () =
           Alcotest.test_case "dynamic length target" `Quick test_target_dynamic_respected;
           Alcotest.test_case "block count target" `Quick test_target_blocks_respected;
           Alcotest.test_case "empty profile rejected" `Quick test_empty_profile_rejected;
+          Alcotest.test_case "taken rate ~0 cloned as never-taken" `Quick
+            test_zero_taken_rate_branches;
+          Alcotest.test_case "knob validation" `Quick test_knob_validation;
           QCheck_alcotest.to_alcotest qcheck_clones_always_halt;
         ] );
       ( "characteristics",

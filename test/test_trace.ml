@@ -363,6 +363,59 @@ let test_fidelity_per_phase () =
   Alcotest.(check bool) "no phases key without measure_phases" false
     (contains without "phases")
 
+(* Boundary regression: when the clone re-profiles to fewer dynamic
+   instructions than there are phases, the exact partition must leave
+   some phases empty (p_clone_instrs = 0, all-NaN characteristics →
+   null in JSON) rather than re-measuring a neighbour's slice.  The old
+   [max 1] slice clamp made adjacent phases overlap on the same clone
+   instruction. *)
+let test_fidelity_phase_boundaries () =
+  let _, p = profile_of "crc32" 40_000 in
+  let tiny =
+    Pc_isa.Parser.parse_string ~name:"tiny" "li r1, 1\nhalt\n"
+  in
+  let r = Fidelity.measure ~max_instrs:40_000 ~bench:"crc32" ~original:p tiny in
+  Alcotest.(check int) "tiny clone re-profile" 2 r.Fidelity.clone_instrs;
+  let r = Fidelity.measure_phases ~interval:10_000 ~original:tiny ~clone:tiny r in
+  Alcotest.(check int) "ceil(orig/interval) phases" 4
+    (List.length r.Fidelity.phases);
+  let covered = ref 0 in
+  List.fold_left
+    (fun prev_end (ph : Fidelity.phase) ->
+      Alcotest.(check int) "slices never overlap" prev_end
+        ph.Fidelity.p_clone_start;
+      covered := !covered + ph.Fidelity.p_clone_instrs;
+      if ph.Fidelity.p_clone_instrs = 0 then
+        Alcotest.(check bool) "empty slice reports NaN characteristics" true
+          (Float.is_nan ph.Fidelity.p_c.Fidelity.instr_mix_l1
+          && Float.is_nan ph.Fidelity.p_c.Fidelity.stride_agreement);
+      ph.Fidelity.p_clone_start + ph.Fidelity.p_clone_instrs)
+    0 r.Fidelity.phases
+  |> Alcotest.(check int) "partition ends at clone length" 2;
+  Alcotest.(check int) "every clone instruction measured exactly once" 2
+    !covered;
+  Alcotest.(check bool) "some phases are empty" true
+    (List.exists
+       (fun (ph : Fidelity.phase) -> ph.Fidelity.p_clone_instrs = 0)
+       r.Fidelity.phases);
+  (* empty slices serialise as null, and the document still parses *)
+  let doc =
+    json_exn
+      (Fidelity.json ~seed:1 ~profile_instrs:40_000 ~clone_dynamic:2 [ r ])
+  in
+  match Option.bind (Json.member "benchmarks" doc) Json.to_list with
+  | Some [ row ] -> (
+    match Option.bind (Json.member "phases" row) Json.to_list with
+    | Some rows ->
+      let nulls =
+        List.filter
+          (fun ph -> Json.member "instr_mix_l1" ph = Some Json.Null)
+          rows
+      in
+      Alcotest.(check bool) "null rows serialised" true (nulls <> [])
+    | None -> Alcotest.fail "phases array missing")
+  | _ -> Alcotest.fail "expected one benchmark row"
+
 let thresholds_doc =
   {|{"schema":"pc-fidelity-thresholds/1",
      "max":{"instr_mix_l1":0.5},
@@ -434,6 +487,8 @@ let () =
           Alcotest.test_case "measure + pc-fidelity/1 json" `Slow
             test_fidelity_measure_and_json;
           Alcotest.test_case "per-phase rows" `Slow test_fidelity_per_phase;
+          Alcotest.test_case "phase boundaries with short clones" `Quick
+            test_fidelity_phase_boundaries;
           Alcotest.test_case "threshold gate" `Quick test_fidelity_check_gate;
         ] );
     ]
